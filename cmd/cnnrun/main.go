@@ -1,0 +1,87 @@
+// Command cnnrun compiles and runs the paper's convolutional-neural-
+// network templates (§4.1.2) through the framework:
+//
+//	cnnrun -net small -h 640 -w 480 -device c870
+//	cnnrun -net large -h 6400 -w 4800 -device 8800 -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/report"
+	"repro/internal/templates"
+	"repro/internal/workload"
+)
+
+var (
+	net      = flag.String("net", "small", "network: small or large")
+	height   = flag.Int("h", 640, "input height")
+	width    = flag.Int("w", 480, "input width")
+	device   = flag.String("device", "c870", "GPU: c870 or 8800")
+	simulate = flag.Bool("simulate", false, "accounting mode (no data; any size)")
+	baseline = flag.Bool("baseline", false, "use the baseline planner")
+)
+
+func main() {
+	flag.Parse()
+	var cfg templates.CNNConfig
+	switch *net {
+	case "small":
+		cfg = templates.SmallCNN(*height, *width)
+	case "large":
+		cfg = templates.LargeCNN(*height, *width)
+	default:
+		log.Fatalf("unknown network %q", *net)
+	}
+	spec := gpu.TeslaC870()
+	if *device == "8800" {
+		spec = gpu.GeForce8800GTX()
+	}
+
+	g, bufs, err := templates.CNN(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := g.Stats()
+	fmt.Printf("template: %s, input %dx%dx%d\n", cfg.Name, cfg.InPlanes, *height, *width)
+	fmt.Printf("graph: %d operators, %d data structures, %s total footprint\n",
+		s.Operators, s.DataStructures, report.MB(s.TotalFloats))
+
+	planner := core.HeuristicPlanner
+	if *baseline {
+		planner = core.BaselinePlanner
+	}
+	eng := core.NewEngine(core.Config{Device: spec, Planner: planner})
+	compiled, err := eng.Compile(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h2d, d2h := compiled.Plan.TransferFloats()
+	fmt.Printf("device: %s; plan: %d steps, transfers %s H2D + %s D2H (peak residency %s)\n",
+		spec, len(compiled.Plan.Steps), report.MB(h2d), report.MB(d2h),
+		report.MB(compiled.Plan.PeakFloats))
+
+	var rep *exec.Report
+	if *simulate {
+		rep, err = compiled.Simulate()
+	} else {
+		rep, err = compiled.Execute(workload.CNNInputs(bufs, 7))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d launches; simulated time %s (%s transfer / %s compute)\n",
+		rep.Stats.KernelLaunches, report.Seconds(rep.Stats.TotalTime()),
+		report.Seconds(rep.Stats.TransferTime), report.Seconds(rep.Stats.ComputeTime))
+	if !*simulate {
+		for id, o := range rep.Outputs {
+			fmt.Printf("output root %d: %dx%d, mean activation %.4f\n",
+				id, o.Rows(), o.Cols(), o.Sum()/float64(o.Len()))
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Command planview inspects the framework's compilation pipeline for a
+// template: the operator graph (optionally as Graphviz dot), the result of
+// operator splitting for a device, and the execution plan step list.
+//
+//	planview -template edge -dim 256 -device mem=262144
+//	planview -template fig3 -dot
+//	planview -template cnn -plan | head -50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/templates"
+)
+
+var (
+	tmpl      = flag.String("template", "edge", "template: edge, cnn, or fig3")
+	dim       = flag.Int("dim", 256, "edge image dimension / CNN height")
+	device    = flag.String("device", "c870", "GPU: c870, 8800, c1060, or mem=<bytes>")
+	dot       = flag.Bool("dot", false, "print the (split) graph in Graphviz dot")
+	showPlan  = flag.Bool("plan", false, "print the full plan step list")
+	showTrace = flag.Bool("trace", false, "replay the plan and print the device timeline")
+	overlap   = flag.Bool("overlap", false, "enable async transfer overlap (c1060 only)")
+	savePlan  = flag.String("save-plan", "", "write the plan as JSON to this file")
+	loadPlan  = flag.String("load-plan", "", "load a JSON plan instead of scheduling, verify, and use it")
+)
+
+func main() {
+	flag.Parse()
+	var g *graph.Graph
+	var err error
+	switch *tmpl {
+	case "edge":
+		g, _, err = templates.EdgeDetect(templates.EdgeConfig{
+			ImageH: *dim, ImageW: *dim, KernelSize: 16, Orientations: 4})
+	case "cnn":
+		w := *dim * 3 / 4
+		g, _, err = templates.CNN(templates.SmallCNN(*dim, w))
+	case "fig3":
+		g, err = templates.EdgeDetectFig3(1)
+	default:
+		log.Fatalf("unknown template %q", *tmpl)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var spec gpu.Spec
+	switch *device {
+	case "c870":
+		spec = gpu.TeslaC870()
+	case "8800":
+		spec = gpu.GeForce8800GTX()
+	case "c1060":
+		spec = gpu.TeslaC1060()
+	default:
+		var mem int64
+		if _, err := fmt.Sscanf(*device, "mem=%d", &mem); err != nil || mem <= 0 {
+			log.Fatalf("unknown device %q", *device)
+		}
+		spec = gpu.Custom("custom", mem)
+	}
+
+	before := g.Stats()
+	eng := core.NewEngine(core.Config{Device: spec})
+	compiled, err := eng.Compile(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after := g.Stats()
+	fmt.Printf("template %s on %s\n", *tmpl, spec)
+	fmt.Printf("before split: %d ops, %d buffers, largest op %s\n",
+		before.Operators, before.DataStructures, report.MB(before.MaxFootprint))
+	fmt.Printf("after split:  %d ops, %d buffers, largest op %s (%d ops split)\n",
+		after.Operators, after.DataStructures, report.MB(after.MaxFootprint),
+		compiled.Split.SplitNodes)
+	h2d, d2h := compiled.Plan.TransferFloats()
+	fmt.Printf("plan: %d steps, H2D %s, D2H %s, peak residency %s\n",
+		len(compiled.Plan.Steps), report.MB(h2d), report.MB(d2h), report.MB(compiled.Plan.PeakFloats))
+
+	if *loadPlan != "" {
+		fh, err := os.Open(*loadPlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := sched.ReadPlan(fh, g)
+		fh.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.Verify(g, plan, eng.Capacity()); err != nil {
+			log.Fatalf("loaded plan failed verification: %v", err)
+		}
+		compiled.Plan = plan
+		fmt.Printf("loaded and verified plan from %s (%d steps)\n", *loadPlan, len(plan.Steps))
+	}
+	if *savePlan != "" {
+		fh, err := os.Create(*savePlan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sched.WritePlan(fh, compiled.Plan); err != nil {
+			log.Fatal(err)
+		}
+		fh.Close()
+		fmt.Printf("wrote plan to %s\n", *savePlan)
+	}
+	if *dot {
+		fmt.Println(g.DOT(*tmpl))
+	}
+	if *showPlan {
+		fmt.Print(compiled.Plan.String())
+	}
+	if *showTrace {
+		tr := &gpu.Trace{}
+		dev := gpu.New(spec)
+		plan := compiled.Plan
+		if *overlap {
+			plan = sched.PrefetchH2D(plan, eng.Capacity()*9/10)
+		}
+		if _, err := exec.Run(g, plan, nil, exec.Options{
+			Mode: exec.Accounting, Device: dev, Trace: tr, Overlap: *overlap}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(tr.Gantt(100))
+		fmt.Print(tr.Summary())
+	}
+}

@@ -1,0 +1,76 @@
+// Edge detection on histological-micrograph-scale images (the paper's
+// motivating cancer-diagnosis application, §2.1): the same find_edges
+// template is executed across image sizes that walk through every
+// Fig. 1(c) region of the Tesla C870 — from "everything fits" to "even the
+// input image must be processed in chunks" — without any change to the
+// application code.
+//
+//	go run ./examples/edgedetection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/sched"
+	"repro/internal/templates"
+	"repro/internal/workload"
+)
+
+func main() {
+	device := gpu.TeslaC870()
+	engine := core.NewEngine(core.Config{Device: device})
+	fmt.Printf("device: %s\n\n", device)
+
+	// Small sizes run materialized (with verification); the paper-scale
+	// sizes run in accounting mode — the plan is identical, only data
+	// materialization is skipped.
+	fmt.Printf("%-12s %-10s %-10s %-14s %-14s %s\n",
+		"image", "mode", "ops-split", "transfers", "lower-bound", "sim-time")
+	for _, dim := range []int{512, 1024, 9000, 15000, 22000} {
+		g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+			ImageH: dim, ImageW: dim, KernelSize: 16, Orientations: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := sched.LowerBound(g)
+		compiled, err := engine.Compile(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mode := "real"
+		var rep *exec.Report
+		if dim <= 1024 {
+			in := workload.EdgeInputs(bufs, int64(dim))
+			rep, err = compiled.Execute(in)
+			if err == nil {
+				want, rerr := exec.RunReference(g, in)
+				if rerr != nil {
+					log.Fatal(rerr)
+				}
+				for id, w := range want {
+					if !rep.Outputs[id].AlmostEqual(w, 1e-3) {
+						log.Fatalf("dim %d: verification failed", dim)
+					}
+				}
+			}
+		} else {
+			mode = "accounting"
+			rep, err = compiled.Simulate()
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %-10s %-10d %-14d %-14d %.3fs\n",
+			fmt.Sprintf("%dx%d", dim, dim), mode, compiled.Split.SplitNodes,
+			rep.Stats.TotalFloats(), lb, rep.Stats.TotalTime())
+	}
+	fmt.Println("\nsmall images hit the I/O lower bound exactly; huge images stay")
+	fmt.Println("within a small factor of it even though their footprint exceeds")
+	fmt.Println("the GPU memory many times over.")
+}

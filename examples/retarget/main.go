@@ -1,0 +1,63 @@
+// Performance portability (paper §2): one template, written once against
+// the domain-specific API, automatically retargeted to GPUs with very
+// different memory capacities — the Tesla C870 (1.5 GB), the GeForce 8800
+// GTX (768 MB), and a hypothetical 128 MB low-end part. The framework
+// re-derives the split factors and the transfer schedule for each device;
+// the application code does not change.
+//
+//	go run ./examples/retarget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/templates"
+)
+
+func main() {
+	const dim = 12000 // 549 MB image, 3.2 GB template footprint
+	devices := []gpu.Spec{
+		gpu.TeslaC870(),
+		gpu.GeForce8800GTX(),
+		gpu.Custom("LowEnd-128MB", 128<<20),
+	}
+
+	fmt.Printf("edge detection on a %dx%d image (%s template footprint)\n\n",
+		dim, dim, func() string {
+			g, _, _ := templates.EdgeDetect(templates.EdgeConfig{
+				ImageH: dim, ImageW: dim, KernelSize: 16, Orientations: 4})
+			return report.MB(g.Stats().TotalFloats)
+		}())
+
+	t := report.New("", "device", "memory", "ops after split", "transfers", "vs lower bound", "sim-time")
+	for _, spec := range devices {
+		g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+			ImageH: dim, ImageW: dim, KernelSize: 16, Orientations: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb := sched.LowerBound(g)
+		engine := core.NewEngine(core.Config{Device: spec, AutoTuneSplit: true})
+		compiled, err := engine.Compile(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := compiled.Simulate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Add(spec.Name, fmt.Sprintf("%d MB", spec.MemoryBytes>>20),
+			fmt.Sprint(len(g.Nodes)),
+			report.MB(rep.Stats.TotalFloats()),
+			fmt.Sprintf("%.2fx", float64(rep.Stats.TotalFloats())/float64(lb)),
+			report.Seconds(rep.Stats.TotalTime()))
+	}
+	fmt.Println(t.String())
+	fmt.Println("smaller devices split more operators but the framework keeps the")
+	fmt.Println("transfer volume within a small factor of the unavoidable I/O.")
+}

@@ -1,0 +1,240 @@
+// Package core is the framework's public entry point: it wires the paper's
+// pipeline (Fig. 4) end to end. A template expressed as a parallel
+// operator graph goes through operator splitting (to satisfy GPU memory
+// constraints), offload-unit identification, operator and data-transfer
+// scheduling, and finally code generation / execution — automatically
+// retargeted to whichever GPU the engine is configured with, which is the
+// paper's performance-portability story.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/pb"
+	"repro/internal/sched"
+	"repro/internal/split"
+)
+
+// Planner selects the scheduling strategy.
+type Planner int
+
+// Planners.
+const (
+	// HeuristicPlanner is the paper's scalable default: depth-first
+	// operator schedule + latest-time-of-use transfer schedule (§3.3.1).
+	HeuristicPlanner Planner = iota
+	// PBOptimalPlanner solves the Fig. 5 pseudo-Boolean formulation
+	// exactly; feasible only for small templates (tens of operators).
+	PBOptimalPlanner
+	// BaselinePlanner reproduces the paper's comparison baseline: per
+	// operator, copy inputs in, execute, copy outputs back.
+	BaselinePlanner
+)
+
+func (p Planner) String() string {
+	switch p {
+	case PBOptimalPlanner:
+		return "pb-optimal"
+	case BaselinePlanner:
+		return "baseline"
+	}
+	return "heuristic"
+}
+
+// Config parametrizes an Engine.
+type Config struct {
+	Device gpu.Spec
+	// Planner defaults to HeuristicPlanner.
+	Planner Planner
+	// Capacity overrides the planner memory budget in floats (0 = the
+	// device's PlannerCapacity, i.e. physical memory minus fragmentation
+	// headroom).
+	Capacity int64
+	// PBMaxConflicts bounds each PB solver call (0 = unlimited). If the
+	// budget is exhausted, the best plan found so far is used.
+	PBMaxConflicts int64
+	// SplitMaxParts bounds a single operator's split factor (0 = none).
+	SplitMaxParts int
+	// Overlap enables the asynchronous transfer/compute extension
+	// (§3.3.2) on devices that support it: H2D copies are prefetched as
+	// early as memory allows and the executor runs the DMA and compute
+	// engines concurrently. Ignored on devices without AsyncTransfer.
+	Overlap bool
+	// AutoTuneSplit is an extension beyond the paper's §3.3.1 heuristic
+	// (which the paper itself notes "does not take into account the GPU
+	// memory limitations" and has "scope for improvement"): the engine
+	// additionally tries splitting against reduced capacity targets
+	// (1/2, 1/4) and keeps whichever plan transfers the least. Splitting
+	// deeper than strictly necessary often converts large intermediate
+	// spills into chunk-wise pipelines.
+	AutoTuneSplit bool
+}
+
+// Engine compiles templates for one GPU configuration.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine returns an engine for the given configuration.
+func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Capacity returns the planner memory budget in floats.
+func (e *Engine) Capacity() int64 {
+	if e.cfg.Capacity > 0 {
+		return e.cfg.Capacity
+	}
+	return e.cfg.Device.PlannerCapacity()
+}
+
+// Compiled is a template compiled for a device: the (possibly split)
+// operator graph and its optimized execution plan.
+type Compiled struct {
+	Graph  *graph.Graph
+	Plan   *sched.Plan
+	Split  split.Result
+	Device gpu.Spec
+	// PBStatus is set when the PB planner was used.
+	PBStatus pb.Result
+	// Overlap records that the plan was prefetch-reordered for
+	// asynchronous execution; Execute/Simulate then overlap the engines.
+	Overlap bool
+}
+
+// Compile runs the compilation pipeline on the template graph. The graph
+// is transformed in place by the operator-splitting pass (when
+// AutoTuneSplit selects a deeper split, the returned Compiled.Graph is a
+// clone and the argument graph holds the default split).
+func (e *Engine) Compile(g *graph.Graph) (*Compiled, error) {
+	if e.cfg.AutoTuneSplit && e.cfg.Planner == HeuristicPlanner {
+		return e.compileAutoTuned(g)
+	}
+	return e.compileAt(g, e.Capacity())
+}
+
+// compileAutoTuned tries the default capacity plus reduced split targets
+// and keeps the plan with the smallest transfer volume. Scheduling always
+// uses the full capacity; only the split pass sees the reduced target.
+func (e *Engine) compileAutoTuned(g *graph.Graph) (*Compiled, error) {
+	capacity := e.Capacity()
+	best, err := e.compileAt(g, capacity)
+	if err != nil {
+		return nil, err
+	}
+	for _, div := range []int64{2, 4} {
+		target := capacity / div
+		if target <= 0 {
+			continue
+		}
+		cand, err := e.compileSplitTarget(g.Clone(), target, capacity)
+		if err != nil {
+			continue // deeper target infeasible: keep what we have
+		}
+		if cand.Plan.TotalTransferFloats() < best.Plan.TotalTransferFloats() {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+func (e *Engine) compileAt(g *graph.Graph, capacity int64) (*Compiled, error) {
+	return e.compileSplitTarget(g, capacity, capacity)
+}
+
+// compileSplitTarget splits the graph to fit splitTarget floats per
+// operator, then schedules against the (possibly larger) planner capacity.
+func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
+	c := &Compiled{Graph: g, Device: e.cfg.Device}
+
+	res, err := split.Apply(g, split.Options{Capacity: splitTarget, MaxParts: e.cfg.SplitMaxParts})
+	if err != nil {
+		return nil, fmt.Errorf("core: operator splitting: %w", err)
+	}
+	c.Split = res
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: split graph invalid: %w", err)
+	}
+
+	switch e.cfg.Planner {
+	case BaselinePlanner:
+		plan, err := sched.Baseline(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline scheduling: %w", err)
+		}
+		c.Plan = plan
+	case PBOptimalPlanner:
+		warm, err := sched.Heuristic(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: heuristic warm start: %w", err)
+		}
+		f, err := pb.Formulate(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: PB formulation: %w", err)
+		}
+		res, err := f.Minimize(warm.TotalTransferFloats(), e.cfg.PBMaxConflicts)
+		if err != nil {
+			return nil, fmt.Errorf("core: PB optimization: %w", err)
+		}
+		c.PBStatus = res.Status
+		if res.Plan != nil && res.Cost <= warm.TotalTransferFloats() {
+			c.Plan = res.Plan
+		} else {
+			c.Plan = warm // budget ran out before beating the heuristic
+		}
+	default:
+		plan, err := sched.Heuristic(g, capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: heuristic scheduling: %w", err)
+		}
+		c.Plan = plan
+	}
+	if e.cfg.Overlap && e.cfg.Device.AsyncTransfer {
+		// Keep a prefetch reserve: raising the residency high-watermark
+		// raises fragmentation pressure in the first-fit allocator.
+		c.Plan = sched.PrefetchH2D(c.Plan, capacity*9/10)
+		c.Overlap = true
+	}
+	if err := sched.Verify(g, c.Plan, capacity); err != nil {
+		return nil, fmt.Errorf("core: plan verification: %w", err)
+	}
+	return c, nil
+}
+
+// Execute runs the compiled plan with real data on a fresh simulated
+// device, returning outputs and device statistics.
+func (c *Compiled) Execute(in exec.Inputs) (*exec.Report, error) {
+	dev := gpu.New(c.Device)
+	return exec.Run(c.Graph, c.Plan, in,
+		exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap})
+}
+
+// Simulate replays the compiled plan in accounting mode: byte-exact
+// memory, transfer, and timing behaviour without materializing data. Use
+// for paper-scale footprints.
+func (c *Compiled) Simulate() (*exec.Report, error) {
+	dev := gpu.New(c.Device)
+	return exec.Run(c.Graph, c.Plan, nil,
+		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap})
+}
+
+// GenerateCUDA emits the hybrid CPU/GPU CUDA source for the plan.
+func (c *Compiled) GenerateCUDA(templateName string) string {
+	return codegen.CUDA(c.Graph, c.Plan, templateName)
+}
+
+// GenerateGo emits a Go replay of the plan.
+func (c *Compiled) GenerateGo(pkg, templateName string) string {
+	return codegen.Go(c.Graph, c.Plan, pkg, templateName)
+}
+
+// GenerateKernelStubs emits reference C implementations of the operator
+// entry points the generated CUDA program links against.
+func (c *Compiled) GenerateKernelStubs() string {
+	return codegen.KernelStubs(c.Plan)
+}
+
+// TransferFloats returns the plan's total host↔GPU volume.
+func (c *Compiled) TransferFloats() int64 { return c.Plan.TotalTransferFloats() }

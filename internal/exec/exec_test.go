@@ -1,0 +1,323 @@
+package exec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/pb"
+	"repro/internal/sched"
+	"repro/internal/split"
+	"repro/internal/templates"
+	"repro/internal/tensor"
+)
+
+func randTensor(seed int64, rows, cols int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(rows, cols)
+	for r := 0; r < rows; r++ {
+		row := t.Row(r)
+		for i := range row {
+			row[i] = rng.Float32()*2 - 1
+		}
+	}
+	return t
+}
+
+func edgeGraph(t *testing.T, h, w, k int) (*graph.Graph, Inputs) {
+	t.Helper()
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: h, ImageW: w, KernelSize: k, Orientations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{bufs.Image.ID: randTensor(1, h, w)}
+	for i, kb := range bufs.Kernels {
+		in[kb.ID] = randTensor(int64(10+i), k, k)
+	}
+	return g, in
+}
+
+func TestRunReferenceEdge(t *testing.T) {
+	g, in := edgeGraph(t, 24, 20, 5)
+	out, err := RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("outputs = %d", len(out))
+	}
+}
+
+func TestRunReferenceMissingInput(t *testing.T) {
+	g, in := edgeGraph(t, 10, 10, 3)
+	for id := range in {
+		delete(in, id)
+		break
+	}
+	if _, err := RunReference(g, in); err == nil {
+		t.Fatal("missing input must error")
+	}
+}
+
+// The core end-to-end contract: executing any valid plan on the simulated
+// GPU in materialized mode reproduces the reference results exactly.
+func TestMaterializedMatchesReference(t *testing.T) {
+	g, in := edgeGraph(t, 24, 20, 5)
+	want, err := RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split so that plans actually juggle memory: capacity 1400 floats.
+	const capacity = 1400
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	plans := map[string]*sched.Plan{}
+	if p, err := sched.Heuristic(g, capacity); err != nil {
+		t.Fatal(err)
+	} else {
+		plans["heuristic"] = p
+	}
+	if p, err := sched.Baseline(g, capacity); err != nil {
+		t.Fatal(err)
+	} else {
+		plans["baseline"] = p
+	}
+
+	for name, plan := range plans {
+		dev := gpu.New(gpu.Custom("test", capacity*6))
+		rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for id, w := range want {
+			if !rep.Outputs[id].AlmostEqual(w, 1e-4) {
+				t.Fatalf("%s: output differs by %v", name, rep.Outputs[id].MaxAbsDiff(w))
+			}
+		}
+		if rep.Stats.TotalFloats() != plan.TotalTransferFloats() {
+			t.Fatalf("%s: device stats %d != plan %d", name,
+				rep.Stats.TotalFloats(), plan.TotalTransferFloats())
+		}
+		if rep.Stats.TotalTime() <= 0 {
+			t.Fatalf("%s: no simulated time", name)
+		}
+	}
+}
+
+func TestPBOptimalPlanExecutes(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := g.InputBuffers()[0]
+	in := Inputs{im.Root.ID: randTensor(7, 8, 1)}
+	want, err := RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	capacity := int64(5 * 4) // 5 units of 4 floats
+	f, err := pb.Formulate(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Minimize(0, 500000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != pb.Sat {
+		t.Fatalf("PB status %v", res.Status)
+	}
+	dev := gpu.New(gpu.Custom("fig3", capacity*6))
+	rep, err := Run(g, res.Plan, in, Options{Mode: Materialized, Device: dev})
+	if err != nil {
+		t.Fatalf("PB plan failed to execute: %v", err)
+	}
+	for id, w := range want {
+		if !rep.Outputs[id].AlmostEqual(w, 1e-4) {
+			t.Fatal("PB plan result mismatch")
+		}
+	}
+	if rep.Stats.TotalFloats() != res.Cost {
+		t.Fatalf("executed transfers %d != PB cost %d", rep.Stats.TotalFloats(), res.Cost)
+	}
+}
+
+// Accounting mode must produce identical statistics to materialized mode.
+func TestAccountingMatchesMaterialized(t *testing.T) {
+	g, in := edgeGraph(t, 24, 20, 5)
+	const capacity = 1400
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devM := gpu.New(gpu.Custom("m", capacity*6))
+	repM, err := Run(g, plan, in, Options{Mode: Materialized, Device: devM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	devA := gpu.New(gpu.Custom("a", capacity*6))
+	repA, err := Run(g, plan, nil, Options{Mode: Accounting, Device: devA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.Stats != repM.Stats {
+		t.Fatalf("stats differ:\nacc  %+v\nmat  %+v", repA.Stats, repM.Stats)
+	}
+	if repA.PeakResidentBytes != repM.PeakResidentBytes {
+		t.Fatal("peak residency differs")
+	}
+	if repA.Outputs != nil {
+		t.Fatal("accounting mode must not materialize outputs")
+	}
+}
+
+func TestExecutorRejectsCorruptPlans(t *testing.T) {
+	g, in := edgeGraph(t, 16, 16, 3)
+	const capacity = 100000
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(p *sched.Plan) error {
+		dev := gpu.New(gpu.Custom("t", capacity*6))
+		_, err := Run(g, p, in, Options{Mode: Materialized, Device: dev})
+		return err
+	}
+	if err := run(plan); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+
+	// Drop the first H2D: some launch must fail.
+	var corrupt sched.Plan
+	dropped := false
+	for _, s := range plan.Steps {
+		if !dropped && s.Kind == sched.StepH2D {
+			dropped = true
+			continue
+		}
+		corrupt.Steps = append(corrupt.Steps, s)
+	}
+	if err := run(&corrupt); err == nil {
+		t.Fatal("plan missing an H2D must fail")
+	}
+
+	// Free something twice.
+	var doubleFree sched.Plan
+	for _, s := range plan.Steps {
+		doubleFree.Steps = append(doubleFree.Steps, s)
+		if s.Kind == sched.StepFree {
+			doubleFree.Steps = append(doubleFree.Steps, s)
+			break
+		}
+	}
+	if err := run(&doubleFree); err == nil {
+		t.Fatal("double free must fail")
+	}
+}
+
+func TestExecutorEnforcesDeviceMemory(t *testing.T) {
+	g, in := edgeGraph(t, 16, 16, 3)
+	// Plan computed against a large capacity, then executed on a tiny
+	// device: must OOM.
+	plan, err := sched.Heuristic(g, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(gpu.Custom("tiny", 64))
+	if _, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev}); err == nil ||
+		!strings.Contains(err.Error(), "cannot allocate") {
+		t.Fatalf("want OOM error, got %v", err)
+	}
+}
+
+// Split + schedule + execute across a sweep of capacities: the full
+// pipeline must stay correct as the split factor changes (Fig. 1(c)'s
+// regions, in miniature).
+func TestPipelineAcrossCapacities(t *testing.T) {
+	for _, capacity := range []int64{800, 1200, 2000, 4000, 100000} {
+		g, in := edgeGraph(t, 24, 20, 5)
+		want, err := RunReference(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+			t.Fatalf("capacity %d: split: %v", capacity, err)
+		}
+		plan, err := sched.Heuristic(g, capacity)
+		if err != nil {
+			t.Fatalf("capacity %d: sched: %v", capacity, err)
+		}
+		if plan.PeakFloats > capacity {
+			t.Fatalf("capacity %d: peak %d over capacity", capacity, plan.PeakFloats)
+		}
+		dev := gpu.New(gpu.Custom("sweep", capacity*6))
+		rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+		if err != nil {
+			t.Fatalf("capacity %d: exec: %v", capacity, err)
+		}
+		for id, w := range want {
+			if !rep.Outputs[id].AlmostEqual(w, 1e-4) {
+				t.Fatalf("capacity %d: wrong result", capacity)
+			}
+		}
+	}
+}
+
+// A CNN slice through the whole pipeline.
+func TestCNNPipeline(t *testing.T) {
+	cfg := templates.CNNConfig{
+		Name: "mini", ImageH: 12, ImageW: 8, InPlanes: 2,
+		Layers: []templates.CNNLayer{
+			{Kind: templates.LayerConv, OutPlanes: 3, KernelSize: 3},
+			{Kind: templates.LayerTanh},
+			{Kind: templates.LayerSubsample, Factor: 2},
+			{Kind: templates.LayerConv, OutPlanes: 2, KernelSize: 3},
+			{Kind: templates.LayerTanh},
+		},
+	}
+	g, bufs, err := templates.CNN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{}
+	seed := int64(20)
+	for _, b := range append(append([]*graph.Buffer{}, bufs.Inputs...), bufs.Params...) {
+		in[b.ID] = randTensor(seed, b.Shape().Rows, b.Shape().Cols)
+		seed++
+	}
+	want, err := RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 700
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := gpu.New(gpu.Custom("cnn", capacity*6))
+	rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, w := range want {
+		if !rep.Outputs[id].AlmostEqual(w, 1e-4) {
+			t.Fatalf("CNN output differs by %v", rep.Outputs[id].MaxAbsDiff(w))
+		}
+	}
+}

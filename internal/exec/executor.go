@@ -1,0 +1,333 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/tensor"
+)
+
+// Mode selects how a plan is executed on the simulated device.
+type Mode int
+
+// Execution modes.
+const (
+	// Materialized allocates real host and device buffers and runs every
+	// operator kernel, so results can be verified bit-for-bit against the
+	// reference executor. Use for small/medium problem sizes.
+	Materialized Mode = iota
+	// Accounting performs the identical sequence of allocations,
+	// transfers, and (modeled) kernel launches without materializing any
+	// data: byte-exact memory/transfer/timing simulation for paper-scale
+	// footprints (up to the 17 GB configurations of Table 1).
+	Accounting
+)
+
+func (m Mode) String() string {
+	if m == Accounting {
+		return "accounting"
+	}
+	return "materialized"
+}
+
+// Options configures plan execution.
+type Options struct {
+	Mode   Mode
+	Device *gpu.Device
+	// Overlap runs transfers and kernels on concurrent engine timelines
+	// when the device supports asynchronous transfer (the extension the
+	// paper describes in §3.3.2 but could not evaluate on its hardware).
+	// The reported WallTime is the two-engine makespan; transfer volumes
+	// and results are unchanged.
+	Overlap bool
+	// Trace, when non-nil, records every transfer, kernel, and sync as a
+	// timeline event (see gpu.Trace). Recording large plans is cheap but
+	// produces one event per step.
+	Trace *gpu.Trace
+}
+
+// Report is the result of executing a plan.
+type Report struct {
+	Stats   gpu.Stats
+	Outputs Outputs // nil in Accounting mode
+	// PeakResidentBytes is the maximum simultaneous device allocation.
+	PeakResidentBytes int64
+	// Thrashing is set when the volume moved across the bus exceeds the
+	// host's main memory — the condition under which the paper reports
+	// "inconsistent results (due to thrashing)" in Table 2.
+	Thrashing bool
+}
+
+type devBuf struct {
+	off  int64
+	data *tensor.Tensor // nil in accounting mode
+}
+
+// Run executes the plan on the simulated GPU. It enforces every memory
+// and data-validity constraint: transfers of data that is not valid at
+// the source, launches with missing operands, and device out-of-memory
+// conditions are errors — so a plan that "passes" is proven feasible for
+// the device.
+func Run(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	dev := opt.Device
+	if dev == nil {
+		return nil, fmt.Errorf("exec: no device")
+	}
+	rep := &Report{}
+
+	// Host state: root arrays (materialized) and per-buffer validity.
+	host := make(map[int]*tensor.Tensor)
+	hostValid := make(map[int]bool)
+	for _, b := range g.LiveBuffers() {
+		if b.Root.IsInput || b.IsInput {
+			hostValid[b.ID] = true
+		}
+	}
+	if opt.Mode == Materialized {
+		for _, b := range g.Buffers() {
+			if !b.IsRoot() {
+				continue
+			}
+			if b.IsInput {
+				t, ok := in[b.ID]
+				if !ok {
+					return nil, fmt.Errorf("exec: missing input tensor for %s", b)
+				}
+				if t.Rows() != b.Region.Rows || t.Cols() != b.Region.Cols {
+					return nil, fmt.Errorf("exec: input %s shape %v, want %v", b, t, b.Shape())
+				}
+				host[b.ID] = t.Clone()
+			} else {
+				host[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
+			}
+		}
+	}
+
+	resident := make(map[int]*devBuf)
+
+	// Overlapped-execution timelines: the DMA engine and the compute
+	// engine advance independently; ready[id] is the simulated time at
+	// which a buffer's device copy becomes available (transfer complete or
+	// producing kernel finished).
+	overlap := opt.Overlap && dev.Spec.AsyncTransfer
+	var dmaFree, compFree float64
+	ready := make(map[int]float64)
+
+	rec := func(kind gpu.EventKind, label, engine string, start, end float64) {
+		if opt.Trace != nil {
+			opt.Trace.Add(gpu.Event{Kind: kind, Label: label, Engine: engine, Start: start, End: end})
+		}
+	}
+
+	for si, step := range plan.Steps {
+		switch step.Kind {
+		case sched.StepH2D:
+			b := step.Buf
+			if _, ok := resident[b.ID]; ok {
+				return nil, fmt.Errorf("exec: step %d: H2D of already-resident %s", si, b)
+			}
+			if !hostValid[b.ID] {
+				return nil, fmt.Errorf("exec: step %d: H2D of %s but host copy is invalid", si, b)
+			}
+			off, err := dev.Malloc(b.Bytes())
+			if err != nil {
+				return nil, fmt.Errorf("exec: step %d: %w", si, err)
+			}
+			t0 := dev.Clock()
+			dev.CopyToDevice(b.Size())
+			if overlap {
+				start := dmaFree
+				dmaFree = start + dev.H2DDuration(b.Size())
+				ready[b.ID] = dmaFree
+				rec(gpu.EventH2D, b.Name, "dma", start, dmaFree)
+			} else {
+				rec(gpu.EventH2D, b.Name, "dma", t0, dev.Clock())
+			}
+			db := &devBuf{off: off}
+			if opt.Mode == Materialized {
+				root := host[b.Root.ID]
+				db.data = root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).Clone()
+			}
+			resident[b.ID] = db
+
+		case sched.StepD2H:
+			b := step.Buf
+			db, ok := resident[b.ID]
+			if !ok {
+				return nil, fmt.Errorf("exec: step %d: D2H of non-resident %s", si, b)
+			}
+			t0 := dev.Clock()
+			dev.CopyToHost(b.Size())
+			if overlap {
+				start := dmaFree
+				if r, ok := ready[b.ID]; ok && r > start {
+					start = r
+				}
+				dmaFree = start + dev.D2HDuration(b.Size())
+				rec(gpu.EventD2H, b.Name, "dma", start, dmaFree)
+			} else {
+				rec(gpu.EventD2H, b.Name, "dma", t0, dev.Clock())
+			}
+			if opt.Mode == Materialized {
+				root := host[b.Root.ID]
+				root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).CopyFrom(db.data)
+			}
+			hostValid[b.ID] = true
+
+		case sched.StepFree:
+			b := step.Buf
+			db, ok := resident[b.ID]
+			if !ok {
+				return nil, fmt.Errorf("exec: step %d: free of non-resident %s", si, b)
+			}
+			if err := dev.FreeMem(db.off); err != nil {
+				return nil, fmt.Errorf("exec: step %d: %w", si, err)
+			}
+			delete(resident, b.ID)
+
+		case sched.StepLaunch:
+			n := step.Node
+			// Outputs may need fresh allocations (plans allocate outputs
+			// implicitly at launch).
+			for _, b := range n.OutputBuffers() {
+				if _, ok := resident[b.ID]; ok {
+					continue
+				}
+				off, err := dev.Malloc(b.Bytes())
+				if err != nil {
+					return nil, fmt.Errorf("exec: step %d (%s): output %s: %w", si, n, b, err)
+				}
+				db := &devBuf{off: off}
+				if opt.Mode == Materialized {
+					db.data = tensor.New(b.Region.Rows, b.Region.Cols)
+				}
+				resident[b.ID] = db
+			}
+			var bytes int64
+			for _, b := range n.Buffers() {
+				if _, ok := resident[b.ID]; !ok {
+					return nil, fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, b)
+				}
+				bytes += b.Bytes()
+			}
+			if opt.Mode == Materialized {
+				if err := launchMaterialized(n, resident); err != nil {
+					return nil, fmt.Errorf("exec: step %d: %w", si, err)
+				}
+			}
+			inShapes := make([]graph.Shape, len(n.In))
+			for i, a := range n.In {
+				inShapes[i] = a.Shape()
+			}
+			flops := n.Op.FLOPs(inShapes, n.Out.Shape())
+			t0 := dev.Clock()
+			dev.Launch(flops, n.Out.Region.Size(), bytes)
+			if overlap {
+				start := compFree
+				for _, b := range n.InputBuffers() {
+					if r, ok := ready[b.ID]; ok && r > start {
+						start = r
+					}
+				}
+				compFree = start + dev.KernelTime(flops, n.Out.Region.Size(), bytes)
+				for _, b := range n.OutputBuffers() {
+					ready[b.ID] = compFree
+				}
+				rec(gpu.EventKernel, n.Name, "compute", start, compFree)
+			} else {
+				rec(gpu.EventKernel, n.Name, "compute", t0, dev.Clock())
+			}
+			for _, b := range n.OutputBuffers() {
+				hostValid[b.ID] = false // GPU now holds the only valid copy
+			}
+
+		case sched.StepSync:
+			t0 := dev.Clock()
+			dev.Sync()
+			if overlap {
+				// Asynchronous streams do not join the host at unit
+				// boundaries: the sync degenerates to a stream-ordered
+				// event, charged on the compute timeline only. Cross-engine
+				// ordering is still enforced through the ready times.
+				rec(gpu.EventSync, "", "compute", compFree, compFree+dev.Spec.SyncOverhead)
+				compFree += dev.Spec.SyncOverhead
+			} else {
+				rec(gpu.EventSync, "", "compute", t0, dev.Clock())
+			}
+
+		default:
+			return nil, fmt.Errorf("exec: step %d: unknown kind %v", si, step.Kind)
+		}
+		if used := dev.Allocator().UsedBytes(); used > rep.PeakResidentBytes {
+			rep.PeakResidentBytes = used
+		}
+	}
+
+	for _, b := range g.OutputBuffers() {
+		if !hostValid[b.ID] {
+			return nil, fmt.Errorf("exec: template output %s did not reach the host", b)
+		}
+	}
+	if len(resident) != 0 {
+		return nil, fmt.Errorf("exec: %d buffers leaked on the device", len(resident))
+	}
+
+	if overlap {
+		dev.SetWallTime(max(dmaFree, compFree))
+	}
+	rep.Stats = dev.Stats()
+	if hm := dev.Spec.HostMemoryBytes; hm > 0 && rep.Stats.TotalFloats()*4 > hm {
+		rep.Thrashing = true
+	}
+	if opt.Mode == Materialized {
+		rep.Outputs = make(Outputs)
+		for _, b := range g.OutputBuffers() {
+			root := b.Root
+			if _, ok := rep.Outputs[root.ID]; !ok {
+				rep.Outputs[root.ID] = host[root.ID]
+			}
+		}
+	}
+	return rep, nil
+}
+
+// launchMaterialized assembles the node's logical argument tensors from
+// the resident device buffers, runs the kernel, and scatters the result
+// into the resident output buffers.
+func launchMaterialized(n *graph.Node, resident map[int]*devBuf) error {
+	ins := make([]*tensor.Tensor, len(n.In))
+	inRegs := make([]graph.Region, len(n.In))
+	for i, a := range n.In {
+		t := tensor.New(a.Region.Rows, a.Region.Cols)
+		for _, b := range a.Bufs {
+			iv, ok := a.Region.Intersect(b.Region)
+			if !ok {
+				continue
+			}
+			src := resident[b.ID].data.View(
+				iv.Row-b.Region.Row, iv.Col-b.Region.Col, iv.Rows, iv.Cols)
+			t.View(iv.Row-a.Region.Row, iv.Col-a.Region.Col, iv.Rows, iv.Cols).CopyFrom(src)
+		}
+		ins[i] = t
+		inRegs[i] = a.Region
+	}
+	out := tensor.New(n.Out.Region.Rows, n.Out.Region.Cols)
+	if rr, ok := n.Op.(graph.RegionRunner); ok {
+		if err := rr.RunRegion(ins, inRegs, out, n.Out.Region); err != nil {
+			return fmt.Errorf("node %s: %w", n, err)
+		}
+	} else if err := n.Op.Run(ins, out); err != nil {
+		return fmt.Errorf("node %s: %w", n, err)
+	}
+	for _, b := range n.Out.Bufs {
+		iv, ok := n.Out.Region.Intersect(b.Region)
+		if !ok {
+			continue
+		}
+		src := out.View(iv.Row-n.Out.Region.Row, iv.Col-n.Out.Region.Col, iv.Rows, iv.Cols)
+		resident[b.ID].data.View(iv.Row-b.Region.Row, iv.Col-b.Region.Col, iv.Rows, iv.Cols).CopyFrom(src)
+	}
+	return nil
+}

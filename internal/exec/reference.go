@@ -1,0 +1,92 @@
+// Package exec executes operator graphs: a pure-CPU reference evaluator
+// used as ground truth, and a plan executor that replays an execution plan
+// on the simulated GPU (plan.go / executor.go).
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Inputs maps template-input root buffer IDs to their host tensors.
+type Inputs map[int]*tensor.Tensor
+
+// Outputs maps template-output root buffer IDs to result tensors.
+type Outputs map[int]*tensor.Tensor
+
+// RunReference evaluates the graph directly on the host with no memory
+// constraints: the ground-truth semantics every execution plan must match.
+// Buffers that are regions of the same root read and write a single shadow
+// array per root, so the reference works identically on split and unsplit
+// graphs.
+func RunReference(g *graph.Graph, in Inputs) (Outputs, error) {
+	store := make(map[int]*tensor.Tensor) // root buffer ID -> full root array
+	for _, b := range g.Buffers() {
+		if !b.IsRoot() {
+			continue
+		}
+		if b.IsInput {
+			t, ok := in[b.ID]
+			if !ok {
+				return nil, fmt.Errorf("exec: missing input tensor for %s", b)
+			}
+			if t.Rows() != b.Region.Rows || t.Cols() != b.Region.Cols {
+				return nil, fmt.Errorf("exec: input %s shape %v, want %v", b, t, b.Shape())
+			}
+			store[b.ID] = t
+		} else {
+			store[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
+		}
+	}
+
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		ins := make([]*tensor.Tensor, len(n.In))
+		for i, a := range n.In {
+			root := a.Root()
+			arr, ok := store[root.ID]
+			if !ok {
+				return nil, fmt.Errorf("exec: node %s input %d root %s missing", n, i, root)
+			}
+			ins[i] = arr.View(a.Region.Row, a.Region.Col, a.Region.Rows, a.Region.Cols).Clone()
+		}
+		root := n.Out.Root()
+		arr, ok := store[root.ID]
+		if !ok {
+			return nil, fmt.Errorf("exec: node %s output root %s missing", n, root)
+		}
+		out := tensor.New(n.Out.Region.Rows, n.Out.Region.Cols)
+		if rr, ok := n.Op.(graph.RegionRunner); ok {
+			inRegs := make([]graph.Region, len(n.In))
+			for i, a := range n.In {
+				inRegs[i] = a.Region
+			}
+			if err := rr.RunRegion(ins, inRegs, out, n.Out.Region); err != nil {
+				return nil, fmt.Errorf("exec: node %s: %w", n, err)
+			}
+		} else if err := n.Op.Run(ins, out); err != nil {
+			return nil, fmt.Errorf("exec: node %s: %w", n, err)
+		}
+		dst := arr.View(n.Out.Region.Row, n.Out.Region.Col, n.Out.Region.Rows, n.Out.Region.Cols)
+		dst.CopyFrom(out)
+	}
+
+	res := make(Outputs)
+	for _, b := range g.OutputBuffers() {
+		root := b.Root
+		if _, ok := res[root.ID]; ok {
+			continue
+		}
+		arr, ok := store[root.ID]
+		if !ok {
+			return nil, fmt.Errorf("exec: output root %s missing", root)
+		}
+		res[root.ID] = arr
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§2 and §4): Fig. 1(c), Fig. 2, Fig. 3/6, Table 1,
+// Table 2, and Fig. 8. Each experiment builds the corresponding template,
+// runs the framework's compilation pipeline against the paper's two GPU
+// platforms, and measures transfer volumes and simulated times in
+// accounting mode (byte-exact, so paper-scale footprints up to 17 GB run
+// in milliseconds). cmd/paperbench prints them; bench_test.go wraps each
+// as a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/split"
+	"repro/internal/templates"
+)
+
+// edgeConfig is the paper's experimental edge template: 16×16 kernels at
+// 4 orientations (2 convolutions + 2 remaps), max combine.
+func edgeConfig(dim int) templates.EdgeConfig {
+	return templates.EdgeConfig{
+		ImageH: dim, ImageW: dim, KernelSize: 16, Orientations: 4,
+		Combine: templates.CombineMax,
+	}
+}
+
+// buildEdge builds the edge template graph for a square image.
+func buildEdge(dim int) (*graph.Graph, *templates.EdgeBuffers, error) {
+	return templates.EdgeDetect(edgeConfig(dim))
+}
+
+// compileAndSimulate splits the graph for the device, schedules it with
+// the paper's heuristic, and replays the plan in accounting mode on the
+// device's timing model.
+func compileAndSimulate(g *graph.Graph, spec gpu.Spec) (*sched.Plan, *exec.Report, error) {
+	capacity := spec.PlannerCapacity()
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		return nil, nil, err
+	}
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev := gpu.New(spec)
+	rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, rep, nil
+}
+
+// simulateBaseline builds the paper's baseline plan (no split pass: the
+// baseline is a manual port that assumes each operator's data fits) and
+// replays it. It returns feasible=false when some operator exceeds the
+// device memory, the paper's "N/A" entries.
+func simulateBaseline(g *graph.Graph, spec gpu.Spec) (*sched.Plan, gpu.Stats, bool, error) {
+	plan, err := sched.Baseline(g, spec.PlannerCapacity())
+	if err != nil {
+		return nil, gpu.Stats{}, false, nil // infeasible: N/A
+	}
+	dev := gpu.New(spec)
+	rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
+	if err != nil {
+		return nil, gpu.Stats{}, false, err
+	}
+	return plan, rep.Stats, true, nil
+}
+
+// TemplateSpec identifies one workload row of Tables 1 and 2.
+type TemplateSpec struct {
+	Name   string
+	Input  string
+	Build  func() (*graph.Graph, error)
+	InputH int
+	InputW int
+}
+
+// PaperWorkloads returns the eight workload rows of Tables 1 and 2:
+// edge detection at 1000² and 10000², and the small and large CNNs at
+// 640×480, 6400×480, and 6400×4800.
+func PaperWorkloads() []TemplateSpec {
+	specs := []TemplateSpec{
+		{Name: "Edge detection", Input: "1000x1000", InputH: 1000, InputW: 1000,
+			Build: func() (*graph.Graph, error) { g, _, err := buildEdge(1000); return g, err }},
+		{Name: "Edge detection", Input: "10000x10000", InputH: 10000, InputW: 10000,
+			Build: func() (*graph.Graph, error) { g, _, err := buildEdge(10000); return g, err }},
+	}
+	for _, sz := range [][2]int{{640, 480}, {6400, 480}, {6400, 4800}} {
+		sz := sz
+		specs = append(specs, TemplateSpec{
+			Name: "Small CNN", Input: fmt.Sprintf("%dx%d", sz[0], sz[1]),
+			InputH: sz[0], InputW: sz[1],
+			Build: func() (*graph.Graph, error) {
+				g, _, err := templates.CNN(templates.SmallCNN(sz[0], sz[1]))
+				return g, err
+			}})
+	}
+	for _, sz := range [][2]int{{640, 480}, {6400, 480}, {6400, 4800}} {
+		sz := sz
+		specs = append(specs, TemplateSpec{
+			Name: "Large CNN", Input: fmt.Sprintf("%dx%d", sz[0], sz[1]),
+			InputH: sz[0], InputW: sz[1],
+			Build: func() (*graph.Graph, error) {
+				g, _, err := templates.CNN(templates.LargeCNN(sz[0], sz[1]))
+				return g, err
+			}})
+	}
+	return specs
+}

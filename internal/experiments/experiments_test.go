@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// Table 1, edge-detection rows: the paper's numbers reproduce exactly for
+// the 1000×1000 template and for the optimized C870 plan at 10000×10000;
+// our chunk-aligned splitting beats the paper's 400,000,512 on the
+// GeForce 8800 (see EXPERIMENTS.md).
+func TestTable1EdgeRowsMatchPaper(t *testing.T) {
+	rows, err := Table1(PaperWorkloads()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := rows[0]
+	if small.TotalTemp != 6000512 || small.Lower != 2000512 ||
+		small.Baseline != 13000512 || small.OptC870 != 2000512 || small.Opt8800 != 2000512 {
+		t.Fatalf("edge 1000x1000 row = %+v, want paper's 6,000,512 / 2,000,512 / 13,000,512 / 2,000,512 / 2,000,512", small)
+	}
+	big := rows[1]
+	if big.TotalTemp != 600000512 || big.Lower != 200000512 {
+		t.Fatalf("edge 10000x10000 totals = %+v", big)
+	}
+	if big.Baseline != -1 {
+		t.Fatalf("edge 10000x10000 baseline should be N/A, got %d", big.Baseline)
+	}
+	if big.OptC870 != 400000512 {
+		t.Fatalf("edge 10000x10000 C870 = %d, want paper's 400,000,512", big.OptC870)
+	}
+	if big.Opt8800 > 400000512 || big.Opt8800 < big.Lower {
+		t.Fatalf("edge 10000x10000 8800 = %d, want within [lower bound, paper's 400,000,512]", big.Opt8800)
+	}
+}
+
+// Table 1, CNN rows at the two smaller sizes: the paper's qualitative
+// result is that the optimized plan transfers exactly the I/O lower bound
+// on both devices (everything else stays resident).
+func TestTable1CNNSmallSizesHitLowerBound(t *testing.T) {
+	specs := PaperWorkloads()
+	rows, err := Table1([]TemplateSpec{specs[2], specs[3], specs[5], specs[6]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptC870 != r.Lower || r.Opt8800 != r.Lower {
+			t.Fatalf("%s %s: optimized (%d / %d) != lower bound %d",
+				r.Template, r.Input, r.OptC870, r.Opt8800, r.Lower)
+		}
+		if r.Baseline <= 2*r.Lower {
+			t.Fatalf("%s %s: baseline %d should far exceed the bound %d",
+				r.Template, r.Input, r.Baseline, r.Lower)
+		}
+	}
+}
+
+// Table 1, largest CNN size: on the C870 the optimized plan still hits the
+// lower bound; on the 768 MB GeForce it cannot (the paper's pattern —
+// its last column jumps to 2.5e9/7.9e9 floats).
+func TestTable1LargestCNNSpillsOn8800(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale CNN sweep")
+	}
+	specs := PaperWorkloads()
+	rows, err := Table1([]TemplateSpec{specs[4], specs[7]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.OptC870 != r.Lower {
+			t.Fatalf("%s %s: C870 %d != lower bound %d", r.Template, r.Input, r.OptC870, r.Lower)
+		}
+		if r.Opt8800 <= r.Lower {
+			t.Fatalf("%s %s: 8800 should exceed the bound (%d <= %d)",
+				r.Template, r.Input, r.Opt8800, r.Lower)
+		}
+		if r.Opt8800 >= r.Baseline {
+			t.Fatalf("%s %s: optimized should beat baseline (%d >= %d)",
+				r.Template, r.Input, r.Opt8800, r.Baseline)
+		}
+	}
+}
+
+// Table 2: optimized beats baseline everywhere it is feasible, with
+// speedups in the paper's 1.7-7.8X region (we allow a wider 1.5-12X band:
+// the timing model is calibrated, not measured).
+func TestTable2Speedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	rows, err := Table2(PaperWorkloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, sp := range []float64{r.SpeedupC870, r.Speedup8800} {
+			if sp == 0 {
+				continue // baseline infeasible: N/A
+			}
+			if sp < 1.5 || sp > 12 {
+				t.Fatalf("%s %s: speedup %.2f outside the expected band", r.Template, r.Input, sp)
+			}
+		}
+		if r.OptimizedC870 <= 0 || r.Optimized8800 <= 0 {
+			t.Fatalf("%s %s: optimized must always be feasible: %+v", r.Template, r.Input, r)
+		}
+	}
+	// Edge 10000x10000 baseline is N/A on both devices (paper Table 2).
+	if rows[1].BaselineC870 != -1 || rows[1].Baseline8800 != -1 {
+		t.Fatalf("edge 10000 baseline should be N/A: %+v", rows[1])
+	}
+}
+
+// Fig. 1(c): the execution strategy walks through the paper's regions as
+// the image grows on the C870.
+func TestFig1cRegions(t *testing.T) {
+	rows, err := Fig1c([]int{1000, 8000, 10000, 15000, 22000}, gpu.TeslaC870())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"all-fit", "max-separate", "split-max", "split-convs", "split-input"}
+	for i, r := range rows {
+		if r.Strategy != want[i] {
+			t.Fatalf("dim %d: strategy %q, want %q", r.ImageDim, r.Strategy, want[i])
+		}
+	}
+	// No splitting needed while everything fits; splitting kicks in later.
+	if rows[0].SplitNodes != 0 || rows[2].SplitNodes == 0 {
+		t.Fatalf("split counts wrong: %+v", rows)
+	}
+	if !rows[4].InputSplits {
+		t.Fatal("largest image must be processed in chunks")
+	}
+	if rows[4].SplitNodes == 0 {
+		t.Fatal("largest image must split operators")
+	}
+}
+
+// Fig. 2: the transfer share of execution time falls as the kernel grows
+// (the paper reports 75% at k=2 down to 30% at k=20; our calibrated model
+// gives ~93% down to ~20% with the crossover in the same region).
+func TestFig2TransferShareFalls(t *testing.T) {
+	rows, err := Fig2(8000, []int{2, 4, 8, 12, 16, 20}, gpu.TeslaC870())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TransferShare >= rows[i-1].TransferShare {
+			t.Fatalf("share not falling: %+v", rows)
+		}
+	}
+	if rows[0].TransferShare < 0.6 {
+		t.Fatalf("k=2 should be transfer-dominated: %v", rows[0].TransferShare)
+	}
+	last := rows[len(rows)-1]
+	if last.TransferShare > 0.5 {
+		t.Fatalf("k=20 should be compute-dominated: %v", last.TransferShare)
+	}
+}
+
+// Fig. 3: operator scheduling matters. At 4 units of GPU memory the
+// depth-first schedule (b) moves exactly the paper's 8 units while the
+// breadth-leaning schedule (a) moves 12 (16 under a naive policy).
+func TestFig3Numbers(t *testing.T) {
+	rows, err := Fig3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(sched, pol string) Fig3Row {
+		for _, r := range rows {
+			if r.Schedule == sched && r.Policy == pol {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%s missing", sched, pol)
+		return Fig3Row{}
+	}
+	if r := get("(a) breadth-leaning", "naive-fifo"); !r.Feasible || r.Units != 16 {
+		t.Fatalf("(a) naive = %+v, want 16", r)
+	}
+	if r := get("(a) breadth-leaning", "latest-time-of-use"); !r.Feasible || r.Units != 12 {
+		t.Fatalf("(a) belady = %+v, want 12", r)
+	}
+	if r := get("(b) depth-first", "latest-time-of-use"); !r.Feasible || r.Units != 8 {
+		t.Fatalf("(b) = %+v, want the paper's 8", r)
+	}
+}
+
+// Fig. 6: the PB optimum equals the heuristic on the illustration (8 at
+// capacity 4; 6 at the paper's stated capacity 5).
+func TestFig6Optimum(t *testing.T) {
+	r4, err := Fig6(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.OptimalUnits != 8 || r4.HeuristicCost != 8 {
+		t.Fatalf("capacity 4: %+v, want optimum 8 = heuristic 8", r4)
+	}
+	r5, err := Fig6(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.OptimalUnits != 6 || r5.HeuristicCost != 6 {
+		t.Fatalf("capacity 5: %+v, want optimum 6 = heuristic 6", r5)
+	}
+}
+
+// Fig. 8: the optimized plan stays within 20% of the best-possible
+// (infinite-memory, single-kernel) bound across the size sweep, and the
+// baseline becomes infeasible before dimension 10000 while the optimized
+// plan keeps scaling (the paper's headline scalability claim).
+func TestFig8Scalability(t *testing.T) {
+	rows, err := Fig8([]int{1000, 2000, 4000, 8000, 10000}, gpu.TeslaC870())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Optimized <= 0 {
+			t.Fatalf("dim %d: optimized infeasible", r.ImageDim)
+		}
+		if r.OverBest > 1.2 {
+			t.Fatalf("dim %d: optimized %.2fx over best possible (paper: within 20%%)",
+				r.ImageDim, r.OverBest)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Baseline != -1 {
+		t.Fatalf("baseline at 10000 should be infeasible, got %v", last.Baseline)
+	}
+	if rows[0].Baseline <= rows[0].Optimized {
+		t.Fatal("baseline should be slower where feasible")
+	}
+}
+
+// Extension: asynchronous transfer/compute overlap (§3.3.2) on the Tesla
+// C1060 profile — overlap always helps and never changes volumes.
+func TestOverlapExtension(t *testing.T) {
+	rows, err := Overlap([]int{2000, 18000, 26000}, gpu.TeslaC1060())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.AsyncSeconds > r.SyncSeconds+1e-12 {
+			t.Fatalf("dim %d: overlap made it worse (%v > %v)",
+				r.ImageDim, r.AsyncSeconds, r.SyncSeconds)
+		}
+		if r.Improvement > 2.05 {
+			t.Fatalf("dim %d: improvement %.2f exceeds the theoretical 2x bound",
+				r.ImageDim, r.Improvement)
+		}
+	}
+	// Unsplit templates have a strict transfer->compute->transfer chain:
+	// no overlap opportunity. Chunked pipelines prefetch the next chunk
+	// while computing the current one, so the benefit must be real.
+	if rows[0].Improvement > 1.01 {
+		t.Fatalf("unsplit template should see ~no benefit, got %.2f", rows[0].Improvement)
+	}
+	for _, r := range rows[1:] {
+		if r.Improvement < 1.05 {
+			t.Fatalf("dim %d: chunked pipeline should benefit, got %.3f",
+				r.ImageDim, r.Improvement)
+		}
+	}
+}
+
+// The Table 2 thrashing footnote: at the largest CNN size on the GeForce
+// the transferred volume may approach the 8 GB host memory (the paper
+// reports erratic times there). Our better planner transfers less, so the
+// flag fires only if volumes exceed host RAM — assert consistency.
+func TestTable2ThrashingConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale sweep")
+	}
+	specs := PaperWorkloads()
+	rows, err := Table2([]TemplateSpec{specs[4], specs[7]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The flag must agree with the Table 1 volume for the same config.
+		t1, err := Table1([]TemplateSpec{mustFind(specs, r.Template, r.Input)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exceeds := t1[0].Opt8800*4 > 8<<30
+		if r.Thrashing8800 != exceeds {
+			t.Fatalf("%s %s: thrashing=%v but volume-exceeds-host=%v",
+				r.Template, r.Input, r.Thrashing8800, exceeds)
+		}
+	}
+}
+
+func mustFind(specs []TemplateSpec, name, input string) TemplateSpec {
+	for _, s := range specs {
+		if s.Name == name && s.Input == input {
+			return s
+		}
+	}
+	panic("workload not found: " + name + " " + input)
+}

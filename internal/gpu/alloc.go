@@ -1,0 +1,101 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Allocator is a first-fit free-list allocator over the device memory
+// address range. It exhibits real external fragmentation, which is why
+// planners receive only Spec.PlannerCapacity() of the physical memory
+// (paper §3.3.2, final remark).
+type Allocator struct {
+	size int64
+	free []span // sorted by offset, coalesced
+	used map[int64]int64
+}
+
+type span struct{ off, len int64 }
+
+// NewAllocator returns an allocator over [0, size) bytes.
+func NewAllocator(size int64) *Allocator {
+	return &Allocator{
+		size: size,
+		free: []span{{0, size}},
+		used: make(map[int64]int64),
+	}
+}
+
+// Alloc reserves n bytes and returns the offset, or an error if no free
+// span is large enough (out-of-memory or fragmentation).
+func (a *Allocator) Alloc(n int64) (int64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("gpu: invalid allocation size %d", n)
+	}
+	for i, s := range a.free {
+		if s.len >= n {
+			off := s.off
+			if s.len == n {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{s.off + n, s.len - n}
+			}
+			a.used[off] = n
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("gpu: cannot allocate %d bytes (free %d in %d spans, largest %d)",
+		n, a.FreeBytes(), len(a.free), a.LargestFree())
+}
+
+// Free releases the allocation at off, coalescing adjacent free spans.
+func (a *Allocator) Free(off int64) error {
+	n, ok := a.used[off]
+	if !ok {
+		return fmt.Errorf("gpu: free of unallocated offset %d", off)
+	}
+	delete(a.used, off)
+	a.free = append(a.free, span{off, n})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].off < a.free[j].off })
+	// Coalesce.
+	out := a.free[:1]
+	for _, s := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.off+last.len == s.off {
+			last.len += s.len
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+	return nil
+}
+
+// UsedBytes returns the total allocated bytes.
+func (a *Allocator) UsedBytes() int64 {
+	var t int64
+	for _, n := range a.used {
+		t += n
+	}
+	return t
+}
+
+// FreeBytes returns the total free bytes (possibly fragmented).
+func (a *Allocator) FreeBytes() int64 { return a.size - a.UsedBytes() }
+
+// LargestFree returns the largest contiguous free span.
+func (a *Allocator) LargestFree() int64 {
+	var m int64
+	for _, s := range a.free {
+		if s.len > m {
+			m = s.len
+		}
+	}
+	return m
+}
+
+// Allocations returns the number of live allocations.
+func (a *Allocator) Allocations() int { return len(a.used) }
+
+// FreeSpans returns the number of free spans (fragmentation indicator).
+func (a *Allocator) FreeSpans() int { return len(a.free) }

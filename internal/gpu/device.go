@@ -1,0 +1,156 @@
+package gpu
+
+import (
+	"fmt"
+)
+
+// Device is one simulated GPU: an allocator enforcing memory capacity and
+// a clock advanced by the spec's performance model. The device tracks the
+// transfer/compute statistics the paper's tables report.
+type Device struct {
+	Spec  Spec
+	alloc *Allocator
+	clock float64
+	stats Stats
+}
+
+// Stats accumulates the measurements the paper reports: transfer volumes
+// (in floats and bytes), call counts, and the simulated time split into
+// transfer, compute, and host-sync, mirroring Fig. 2's breakdown.
+type Stats struct {
+	H2DFloats, D2HFloats int64
+	H2DCalls, D2HCalls   int
+	KernelLaunches       int
+	Syncs                int
+	TransferTime         float64 // seconds of simulated DMA time
+	ComputeTime          float64 // seconds of simulated kernel time
+	SyncTime             float64 // seconds of host-GPU synchronization
+	// WallTime, when non-zero, is the overlapped-execution makespan set
+	// by an executor running with asynchronous transfers; otherwise the
+	// engines serialize and TotalTime is the sum of the buckets.
+	WallTime float64
+}
+
+// TotalFloats returns the total floats moved across the host↔GPU link,
+// the objective the paper's PB formulation minimizes.
+func (s Stats) TotalFloats() int64 { return s.H2DFloats + s.D2HFloats }
+
+// TotalTime returns the simulated execution time.
+func (s Stats) TotalTime() float64 {
+	if s.WallTime > 0 {
+		return s.WallTime
+	}
+	return s.TransferTime + s.ComputeTime + s.SyncTime
+}
+
+// TransferShare returns the fraction of simulated time spent in DMA,
+// the quantity plotted in Fig. 2.
+func (s Stats) TransferShare() float64 {
+	t := s.TotalTime()
+	if t == 0 {
+		return 0
+	}
+	return s.TransferTime / t
+}
+
+// New returns a device with empty memory and zeroed clock.
+func New(spec Spec) *Device {
+	return &Device{Spec: spec, alloc: NewAllocator(spec.MemoryBytes)}
+}
+
+// Reset clears memory, clock, and statistics.
+func (d *Device) Reset() {
+	d.alloc = NewAllocator(d.Spec.MemoryBytes)
+	d.clock = 0
+	d.stats = Stats{}
+}
+
+// Clock returns the simulated time in seconds.
+func (d *Device) Clock() float64 { return d.clock }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Allocator exposes the device allocator (read-only uses in reports).
+func (d *Device) Allocator() *Allocator { return d.alloc }
+
+// Malloc reserves n bytes of device memory.
+func (d *Device) Malloc(n int64) (int64, error) {
+	off, err := d.alloc.Alloc(n)
+	if err != nil {
+		return 0, fmt.Errorf("device %s: %w", d.Spec.Name, err)
+	}
+	return off, nil
+}
+
+// FreeMem releases a device allocation.
+func (d *Device) FreeMem(off int64) error { return d.alloc.Free(off) }
+
+// H2DDuration returns the modeled host→device DMA duration.
+func (d *Device) H2DDuration(floats int64) float64 {
+	return d.Spec.TransferLatency + float64(floats*4)/d.Spec.H2DBandwidth
+}
+
+// D2HDuration returns the modeled device→host DMA duration.
+func (d *Device) D2HDuration(floats int64) float64 {
+	return d.Spec.TransferLatency + float64(floats*4)/d.Spec.D2HBandwidth
+}
+
+// CopyToDevice accounts a host→device DMA of the given float count.
+func (d *Device) CopyToDevice(floats int64) {
+	t := d.H2DDuration(floats)
+	d.clock += t
+	d.stats.TransferTime += t
+	d.stats.H2DFloats += floats
+	d.stats.H2DCalls++
+}
+
+// CopyToHost accounts a device→host DMA of the given float count.
+func (d *Device) CopyToHost(floats int64) {
+	t := d.D2HDuration(floats)
+	d.clock += t
+	d.stats.TransferTime += t
+	d.stats.D2HFloats += floats
+	d.stats.D2HCalls++
+}
+
+// Sync accounts a host-GPU synchronization at an offload-unit boundary.
+func (d *Device) Sync() {
+	t := d.Spec.SyncOverhead
+	d.clock += t
+	d.stats.SyncTime += t
+	d.stats.Syncs++
+}
+
+// SetWallTime records the overlapped makespan computed by an executor
+// driving the DMA and compute engines concurrently.
+func (d *Device) SetWallTime(t float64) {
+	d.stats.WallTime = t
+	d.clock = t
+}
+
+// KernelTime returns the modeled duration of a kernel producing the given
+// number of output elements with the given FLOP count and total bytes
+// touched in device memory: the maximum of the arithmetic, issue-floor,
+// and memory-bandwidth bounds, plus launch overhead.
+func (d *Device) KernelTime(flops, elements, bytes int64) float64 {
+	arith := float64(flops) / d.Spec.GFLOPS
+	issue := float64(elements) * d.Spec.CyclesPerElement / (float64(d.Spec.Cores) * d.Spec.ClockGHz * 1e9)
+	mem := float64(bytes) / d.Spec.DeviceBandwidth
+	t := arith
+	if issue > t {
+		t = issue
+	}
+	if mem > t {
+		t = mem
+	}
+	return d.Spec.LaunchOverhead + t
+}
+
+// Launch accounts one kernel execution.
+func (d *Device) Launch(flops, elements, bytes int64) {
+	t := d.KernelTime(flops, elements, bytes)
+	d.clock += t
+	d.stats.ComputeTime += t
+	d.stats.KernelLaunches++
+}

@@ -1,0 +1,44 @@
+package graph
+
+// Clone returns a deep copy of the graph: fresh Buffer and Node values
+// with identical IDs, names, regions, and roles. Operators are shared
+// (they are stateless). Use when a pass that mutates the graph (such as
+// operator splitting) must be tried under several configurations.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	out.nextBufID = g.nextBufID
+	out.nextNodeID = g.nextNodeID
+
+	bufMap := make(map[int]*Buffer, len(g.buffers))
+	for id, b := range g.buffers {
+		nb := &Buffer{
+			ID:       b.ID,
+			Name:     b.Name,
+			Region:   b.Region,
+			IsInput:  b.IsInput,
+			IsOutput: b.IsOutput,
+		}
+		bufMap[id] = nb
+		out.buffers[id] = nb
+	}
+	for id, b := range g.buffers {
+		bufMap[id].Root = bufMap[b.Root.ID]
+	}
+
+	cloneArg := func(a Arg) Arg {
+		bufs := make([]*Buffer, len(a.Bufs))
+		for i, b := range a.Bufs {
+			bufs[i] = bufMap[b.ID]
+		}
+		return Arg{Region: a.Region, Bufs: bufs}
+	}
+	for _, n := range g.Nodes {
+		nn := &Node{ID: n.ID, Name: n.Name, Op: n.Op, Out: cloneArg(n.Out)}
+		nn.In = make([]Arg, len(n.In))
+		for i, a := range n.In {
+			nn.In[i] = cloneArg(a)
+		}
+		out.Nodes = append(out.Nodes, nn)
+	}
+	return out
+}

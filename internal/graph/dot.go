@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, mirroring the paper's
+// figures: ellipses for operators, rectangles for data structures.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n")
+	for _, buf := range g.LiveBuffers() {
+		shapeAttr := "box"
+		style := ""
+		if buf.IsInput {
+			style = ",style=filled,fillcolor=lightblue"
+		} else if buf.IsOutput {
+			style = ",style=filled,fillcolor=lightyellow"
+		}
+		fmt.Fprintf(&b, "  b%d [label=\"%s\\n%s (%d)\",shape=%s%s];\n",
+			buf.ID, buf.Name, buf.Shape(), buf.Size(), shapeAttr, style)
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\",shape=ellipse];\n", n.ID, n.Name, n.Op.Kind())
+		for _, buf := range n.InputBuffers() {
+			fmt.Fprintf(&b, "  b%d -> n%d;\n", buf.ID, n.ID)
+		}
+		for _, buf := range n.Out.Bufs {
+			fmt.Fprintf(&b, "  n%d -> b%d;\n", n.ID, buf.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

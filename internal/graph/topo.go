@@ -1,0 +1,112 @@
+package graph
+
+import "fmt"
+
+// Deps returns, for each node, the set of nodes it depends on (producers
+// of buffers it reads). The result maps node ID to dependency nodes.
+func (g *Graph) Deps() map[int][]*Node {
+	prod := g.Producer()
+	deps := make(map[int][]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		seen := make(map[int]bool)
+		var ds []*Node
+		for _, b := range n.InputBuffers() {
+			if p, ok := prod[b.ID]; ok && p != n && !seen[p.ID] {
+				seen[p.ID] = true
+				ds = append(ds, p)
+			}
+		}
+		deps[n.ID] = ds
+	}
+	return deps
+}
+
+// Dependents returns the inverse of Deps: for each node, the nodes that
+// consume one of its outputs.
+func (g *Graph) Dependents() map[int][]*Node {
+	deps := g.Deps()
+	out := make(map[int][]*Node, len(g.Nodes))
+	byID := make(map[int]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		byID[n.ID] = n
+		out[n.ID] = nil
+	}
+	for id, ds := range deps {
+		for _, d := range ds {
+			out[d.ID] = append(out[d.ID], byID[id])
+		}
+	}
+	return out
+}
+
+// TopoSort returns the nodes in a dependency-respecting order (Kahn's
+// algorithm, stable by node ID), or an error if the graph has a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	deps := g.Deps()
+	indeg := make(map[int]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(deps[n.ID])
+	}
+	dependents := g.Dependents()
+
+	var ready []*Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var order []*Node
+	for len(ready) > 0 {
+		// Stable: pick the lowest-ID ready node.
+		best := 0
+		for i, n := range ready {
+			if n.ID < ready[best].ID {
+				best = i
+			}
+		}
+		n := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, n)
+		for _, m := range dependents[n.ID] {
+			indeg[m.ID]--
+			if indeg[m.ID] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("graph: cycle detected (%d of %d nodes ordered)",
+			len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// IsTopoOrder reports whether the given node sequence contains every node
+// of the graph exactly once and respects all dependencies.
+func (g *Graph) IsTopoOrder(order []*Node) bool {
+	if len(order) != len(g.Nodes) {
+		return false
+	}
+	pos := make(map[int]int, len(order))
+	for i, n := range order {
+		if _, dup := pos[n.ID]; dup {
+			return false
+		}
+		pos[n.ID] = i
+	}
+	if len(pos) != len(g.Nodes) {
+		return false
+	}
+	for id, ds := range g.Deps() {
+		p, ok := pos[id]
+		if !ok {
+			return false
+		}
+		for _, d := range ds {
+			if pos[d.ID] >= p {
+				return false
+			}
+		}
+	}
+	return true
+}

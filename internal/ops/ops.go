@@ -1,0 +1,63 @@
+// Package ops is the domain-specific operator library the framework
+// assumes exists (paper §3.1: "an operator library that implements all the
+// parallel operators is available"). Each operator implements
+// graph.Operator: statically-defined shape and FLOP behaviour plus a CPU
+// kernel, and — where the operator is splittable — the graph.Splittable
+// region rule used by the operator-splitting pass.
+package ops
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// parallelRows runs fn(r0, r1) over [0, rows) sharded across GOMAXPROCS
+// goroutines. Operator kernels use it so that "GPU" kernel execution in
+// materialized mode exploits the host's cores.
+func parallelRows(rows int, fn func(r0, r1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+func wantInputs(kind string, in []graph.Shape, n int) error {
+	if len(in) != n {
+		return fmt.Errorf("ops: %s wants %d inputs, got %d", kind, n, len(in))
+	}
+	return nil
+}
+
+func sameShapes(kind string, in []graph.Shape) (graph.Shape, error) {
+	if len(in) == 0 {
+		return graph.Shape{}, fmt.Errorf("ops: %s wants at least one input", kind)
+	}
+	for i, s := range in[1:] {
+		if s != in[0] {
+			return graph.Shape{}, fmt.Errorf("ops: %s input %d shape %v != input 0 shape %v",
+				kind, i+1, s, in[0])
+		}
+	}
+	return in[0], nil
+}

@@ -1,0 +1,45 @@
+package pb_test
+
+import (
+	"fmt"
+
+	"repro/internal/pb"
+	"repro/internal/templates"
+)
+
+// Solve the paper's Fig. 3 scheduling instance to proven optimality: at a
+// 4-unit GPU capacity the minimum data transfer is the paper's 8 units.
+func Example() {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		panic(err)
+	}
+	f, err := pb.Formulate(g, 4)
+	if err != nil {
+		panic(err)
+	}
+	res, err := f.Minimize(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status, res.Cost)
+	// Output:
+	// SAT 8
+}
+
+// The solver is a general pseudo-Boolean optimizer: a covering knapsack.
+func ExampleMinimize() {
+	s := pb.NewSolver()
+	a, b, c := pb.Lit(s.NewVar()), pb.Lit(s.NewVar()), pb.Lit(s.NewVar())
+	// 4a + 3b + 2c >= 5, minimize 5a + 4b + 3c.
+	if err := s.AddGE([]pb.Term{{Coef: 4, Lit: a}, {Coef: 3, Lit: b}, {Coef: 2, Lit: c}}, 5); err != nil {
+		panic(err)
+	}
+	res, err := pb.Minimize(s, []pb.Term{{Coef: 5, Lit: a}, {Coef: 4, Lit: b}, {Coef: 3, Lit: c}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Status, res.Cost)
+	// Output:
+	// SAT 7
+}

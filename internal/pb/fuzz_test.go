@@ -1,0 +1,95 @@
+package pb
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseOPB checks the parser never panics and that every accepted
+// instance survives an encode→parse round trip structurally intact.
+// (The seed corpus runs as part of the ordinary test suite.)
+func FuzzParseOPB(f *testing.F) {
+	f.Add(sampleOPB)
+	f.Add("* empty\n")
+	f.Add("min: +1 x1 ;\n+1 x1 >= 1 ;\n")
+	f.Add("+3 ~x2 -4 x1 = -1 ;\n")
+	f.Add("min: ;\n")
+	f.Add("+1 x1 >= 9223372036854775807 ;\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		ins, err := ParseOPB(strings.NewReader(s))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if ins.NVars > 100000 || len(ins.Constraints) > 100000 {
+			return // avoid pathological re-encodes
+		}
+		var buf strings.Builder
+		if err := ins.EncodeOPB(&buf); err != nil {
+			t.Fatalf("encode of accepted instance failed: %v", err)
+		}
+		back, err := ParseOPB(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+		}
+		if len(back.Constraints) != len(ins.Constraints) {
+			t.Fatalf("constraint count changed: %d -> %d",
+				len(ins.Constraints), len(back.Constraints))
+		}
+		if len(back.Objective) != len(ins.Objective) {
+			t.Fatalf("objective length changed")
+		}
+	})
+}
+
+// FuzzNormalizeGE checks that constraint normalization preserves the
+// Boolean solution set: for random small term lists, brute-force the raw
+// constraint and its normalized form over all assignments.
+func FuzzNormalizeGE(f *testing.F) {
+	f.Add([]byte{3, 1, 250, 2, 5, 3}, int64(2))
+	f.Add([]byte{1, 1, 1, 2, 1, 3, 1, 4}, int64(-1))
+	f.Add([]byte{200, 1, 200, 1}, int64(100)) // duplicate literal
+	f.Add([]byte{5, 1, 5, 129}, int64(3))     // x and ~x
+	f.Fuzz(func(t *testing.T, raw []byte, degree int64) {
+		if len(raw) < 2 || len(raw) > 16 {
+			return
+		}
+		if degree > 1<<40 || degree < -(1<<40) {
+			return
+		}
+		const nVars = 4
+		var terms []Term
+		for i := 0; i+1 < len(raw); i += 2 {
+			coef := int64(int8(raw[i])) // [-128, 127]
+			v := int(raw[i+1])%nVars + 1
+			l := Lit(v)
+			if raw[i+1] >= 128 {
+				l = -l
+			}
+			if coef == 0 {
+				continue
+			}
+			terms = append(terms, Term{Coef: coef, Lit: l})
+		}
+		norm, d, err := normalizeGE(terms, degree)
+		if err != nil {
+			t.Fatalf("normalize error on valid terms: %v", err)
+		}
+		for _, nt := range norm {
+			if nt.Coef <= 0 {
+				t.Fatalf("normalized coefficient %d not positive", nt.Coef)
+			}
+		}
+		for m := 0; m < 1<<nVars; m++ {
+			model := make([]bool, nVars+1)
+			for v := 1; v <= nVars; v++ {
+				model[v] = m&(1<<(v-1)) != 0
+			}
+			rawSat := evalTerms(terms, model) >= degree
+			normSat := d <= 0 || evalTerms(norm, model) >= d
+			if rawSat != normSat {
+				t.Fatalf("normalization changed semantics for model %04b: raw %v norm %v\nterms=%v degree=%d -> %v degree=%d",
+					m, rawSat, normSat, terms, degree, norm, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package pb
+
+import "fmt"
+
+// MinimizeResult reports the outcome of an optimization run.
+type MinimizeResult struct {
+	Status Result // Sat (optimum proved), Unknown (best-so-far), Unsat (no solution at all)
+	Cost   int64
+	Model  []bool
+	Solves int // number of Solve calls performed
+}
+
+// Minimize finds a model minimizing Σ objective subject to the solver's
+// constraints, by iterative objective strengthening: solve, then require
+// cost <= best-1 and repeat until UNSAT (the classic linear PB-optimization
+// loop, as used with MiniSAT+ in the paper). A zero MaxConflicts budget
+// per call means unlimited; if the budget runs out, the best model found
+// so far is returned with Status Unknown.
+func Minimize(s *Solver, objective []Term) (MinimizeResult, error) {
+	res := MinimizeResult{Status: Unsat}
+	for {
+		r := s.Solve()
+		res.Solves++
+		switch r {
+		case Unsat:
+			if res.Model != nil {
+				res.Status = Sat // previous model is optimal
+			}
+			return res, nil
+		case Unknown:
+			if res.Model != nil {
+				res.Status = Unknown
+			}
+			return res, nil
+		}
+		model := s.Model()
+		cost := evalTerms(objective, model)
+		if res.Model != nil && cost >= res.Cost {
+			return res, fmt.Errorf("pb: objective did not decrease (%d -> %d)", res.Cost, cost)
+		}
+		res.Cost = cost
+		res.Model = model
+		if err := s.AddLE(objective, cost-1); err != nil {
+			return res, err
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package pb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Instance is a pseudo-Boolean optimization instance in portable form: an
+// optional minimization objective and a list of linear constraints. It
+// round-trips through the OPB text format used by the pseudo-Boolean
+// solver competitions (the format MiniSAT+ consumes), so instances built
+// by the Fig. 5 formulation can be exported for independent checking and
+// external instances can be solved by cmd/pbsolve.
+type Instance struct {
+	NVars       int
+	Objective   []Term // empty: pure satisfiability
+	Constraints []Constraint
+}
+
+// Constraint is one linear pseudo-Boolean constraint of an Instance.
+type Constraint struct {
+	Terms []Term
+	// Op is ">=" or "=".
+	Op     string
+	Degree int64
+}
+
+// ToSolver loads the instance into a fresh solver.
+func (ins *Instance) ToSolver() (*Solver, error) {
+	s := NewSolver()
+	for i := 0; i < ins.NVars; i++ {
+		s.NewVar()
+	}
+	for ci, c := range ins.Constraints {
+		var err error
+		switch c.Op {
+		case ">=":
+			err = s.AddGE(c.Terms, c.Degree)
+		case "=":
+			err = s.AddEQ(c.Terms, c.Degree)
+		case "<=":
+			err = s.AddLE(c.Terms, c.Degree)
+		default:
+			err = fmt.Errorf("unknown operator %q", c.Op)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pb: constraint %d: %w", ci, err)
+		}
+	}
+	return s, nil
+}
+
+// EncodeOPB writes the instance in OPB syntax.
+func (ins *Instance) EncodeOPB(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "* #variable= %d #constraint= %d\n", ins.NVars, len(ins.Constraints))
+	writeTerms := func(terms []Term) {
+		for _, t := range terms {
+			if t.Lit > 0 {
+				fmt.Fprintf(bw, "%+d x%d ", t.Coef, t.Lit)
+			} else {
+				fmt.Fprintf(bw, "%+d ~x%d ", t.Coef, -t.Lit)
+			}
+		}
+	}
+	if len(ins.Objective) > 0 {
+		bw.WriteString("min: ")
+		writeTerms(ins.Objective)
+		bw.WriteString(";\n")
+	}
+	for _, c := range ins.Constraints {
+		writeTerms(c.Terms)
+		fmt.Fprintf(bw, "%s %d ;\n", c.Op, c.Degree)
+	}
+	return bw.Flush()
+}
+
+// ParseOPB reads an instance in OPB syntax. Supported: comment lines
+// starting with '*', an optional "min:" objective, and ">=", "<=", "="
+// constraints over literals "xN" / "~xN" with integer coefficients.
+func ParseOPB(r io.Reader) (*Instance, error) {
+	ins := &Instance{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		isObj := false
+		if strings.HasPrefix(line, "min:") {
+			isObj = true
+			line = strings.TrimPrefix(line, "min:")
+		}
+		line = strings.TrimSuffix(strings.TrimSpace(line), ";")
+		fields := strings.Fields(line)
+		var terms []Term
+		op := ""
+		degree := int64(0)
+		i := 0
+		for i < len(fields) {
+			f := fields[i]
+			switch f {
+			case ">=", "<=", "=":
+				op = f
+				if i+1 >= len(fields) {
+					return nil, fmt.Errorf("pb: line %d: missing degree", lineNo)
+				}
+				d, err := strconv.ParseInt(fields[i+1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("pb: line %d: bad degree %q", lineNo, fields[i+1])
+				}
+				degree = d
+				i += 2
+				continue
+			}
+			coef, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("pb: line %d: bad coefficient %q", lineNo, f)
+			}
+			if i+1 >= len(fields) {
+				return nil, fmt.Errorf("pb: line %d: coefficient without literal", lineNo)
+			}
+			litStr := fields[i+1]
+			neg := strings.HasPrefix(litStr, "~")
+			litStr = strings.TrimPrefix(litStr, "~")
+			if !strings.HasPrefix(litStr, "x") {
+				return nil, fmt.Errorf("pb: line %d: bad literal %q", lineNo, fields[i+1])
+			}
+			v, err := strconv.Atoi(litStr[1:])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("pb: line %d: bad variable %q", lineNo, litStr)
+			}
+			if v > ins.NVars {
+				ins.NVars = v
+			}
+			l := Lit(v)
+			if neg {
+				l = -l
+			}
+			terms = append(terms, Term{Coef: coef, Lit: l})
+			i += 2
+		}
+		if isObj {
+			if op != "" {
+				return nil, fmt.Errorf("pb: line %d: objective with relational operator", lineNo)
+			}
+			ins.Objective = terms
+			continue
+		}
+		if op == "" {
+			return nil, fmt.Errorf("pb: line %d: constraint without operator", lineNo)
+		}
+		ins.Constraints = append(ins.Constraints, Constraint{Terms: terms, Op: op, Degree: degree})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// FormulationInstance exports the Fig. 5 encoding of a template as a
+// portable Instance (objective + every constraint re-encoded as >=/=).
+// Because the solver normalizes internally, the export is reconstructed
+// from the formulation inputs rather than the solver state; the instance
+// is equisatisfiable with the solver's.
+func (f *Formulation) Instance() *Instance {
+	ins := &Instance{NVars: f.solver.NVars(), Objective: append([]Term(nil), f.objective...)}
+	for _, c := range f.solver.cons {
+		if c.learned {
+			continue
+		}
+		ins.Constraints = append(ins.Constraints, Constraint{
+			Terms:  append([]Term(nil), c.terms...),
+			Op:     ">=",
+			Degree: c.degree,
+		})
+	}
+	return ins
+}

@@ -1,0 +1,144 @@
+package pb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/templates"
+)
+
+const sampleOPB = `* #variable= 3 #constraint= 2
+min: +5 x1 +4 x2 +3 x3 ;
++4 x1 +3 x2 +2 x3 >= 5 ;
++1 x1 -1 x2 = 0 ;
+`
+
+func TestParseOPB(t *testing.T) {
+	ins, err := ParseOPB(strings.NewReader(sampleOPB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.NVars != 3 || len(ins.Constraints) != 2 || len(ins.Objective) != 3 {
+		t.Fatalf("instance = %+v", ins)
+	}
+	if ins.Constraints[0].Op != ">=" || ins.Constraints[0].Degree != 5 {
+		t.Fatalf("c0 = %+v", ins.Constraints[0])
+	}
+	if ins.Constraints[1].Op != "=" || ins.Constraints[1].Terms[1].Coef != -1 {
+		t.Fatalf("c1 = %+v", ins.Constraints[1])
+	}
+}
+
+func TestParseOPBNegatedLiterals(t *testing.T) {
+	ins, err := ParseOPB(strings.NewReader("+2 ~x1 +1 x2 >= 2 ;\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Constraints[0].Terms[0].Lit != -1 {
+		t.Fatalf("terms = %+v", ins.Constraints[0].Terms)
+	}
+}
+
+func TestParseOPBErrors(t *testing.T) {
+	for _, bad := range []string{
+		"+1 x1 >= ;",
+		"frog x1 >= 1 ;",
+		"+1 y3 >= 1 ;",
+		"+1 x1 ;",
+		"min: +1 x1 >= 2 ;",
+		"+1 ;",
+	} {
+		if _, err := ParseOPB(strings.NewReader(bad)); err == nil {
+			t.Fatalf("parse of %q should fail", bad)
+		}
+	}
+}
+
+func TestOPBRoundTrip(t *testing.T) {
+	ins, err := ParseOPB(strings.NewReader(sampleOPB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := ins.EncodeOPB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOPB(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	if back.NVars != ins.NVars || len(back.Constraints) != len(ins.Constraints) {
+		t.Fatal("round trip changed structure")
+	}
+	// Both must give the same optimum.
+	s1, err := ins.ToSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Minimize(s1, ins.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.ToSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(s2, back.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != Sat || r2.Status != Sat || r1.Cost != r2.Cost {
+		t.Fatalf("optima differ: %+v vs %+v", r1, r2)
+	}
+	if r1.Cost != 9 { // x1 = x2 = 1 is forced; x3 stays off
+		t.Fatalf("cost = %d, want 9", r1.Cost)
+	}
+}
+
+func TestFormulationInstanceExport(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Formulate(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := f.Instance()
+	if ins.NVars == 0 || len(ins.Constraints) == 0 || len(ins.Objective) == 0 {
+		t.Fatal("export empty")
+	}
+	// The exported instance must have the same optimum as the live
+	// formulation (8 units at capacity 4).
+	s, err := ins.ToSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Minimize(s, ins.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat || res.Cost != 8 {
+		t.Fatalf("exported optimum = %+v, want 8", res)
+	}
+	// And it must survive an OPB round trip.
+	var buf strings.Builder
+	if err := ins.EncodeOPB(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseOPB(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := back.ToSolver()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Minimize(s2, back.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != Sat || res2.Cost != 8 {
+		t.Fatalf("round-tripped optimum = %+v, want 8", res2)
+	}
+}

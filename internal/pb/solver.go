@@ -1,0 +1,482 @@
+package pb
+
+import (
+	"fmt"
+)
+
+// Result is the outcome of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unknown Result = iota // budget exhausted
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+type occRef struct {
+	cons int
+	coef int64
+}
+
+// Solver is a conflict-driven pseudo-Boolean satisfiability solver:
+// counter-based unit propagation over normalized >= constraints, 1UIP
+// clause learning via clausal weakening of PB reasons, VSIDS-style
+// activities, phase saving, and geometric restarts.
+type Solver struct {
+	nVars int
+	cons  []*constraint
+	occ   map[Lit][]occRef
+
+	assign   []int8 // 0 unassigned, +1 true, -1 false (1-indexed)
+	level    []int
+	reason   []int // constraint index or -1
+	trailPos []int
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	phase    []bool
+
+	rootUnsat bool
+	model     []bool
+
+	// MaxConflicts bounds the search (0 = unlimited); exceeded -> Unknown.
+	MaxConflicts int64
+	// Conflicts counts conflicts across all Solve calls (stats).
+	Conflicts int64
+	// Decisions counts branching decisions (stats).
+	Decisions int64
+	// Propagations counts implied assignments (stats).
+	Propagations int64
+}
+
+// NewSolver returns an empty solver.
+func NewSolver() *Solver {
+	return &Solver{
+		occ:      make(map[Lit][]occRef),
+		assign:   make([]int8, 1),
+		level:    make([]int, 1),
+		reason:   []int{-1},
+		trailPos: make([]int, 1),
+		activity: make([]float64, 1),
+		phase:    make([]bool, 1),
+		varInc:   1,
+	}
+}
+
+// NewVar allocates a fresh variable and returns its index (>= 1).
+func (s *Solver) NewVar() int {
+	s.nVars++
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.trailPos = append(s.trailPos, 0)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, false)
+	return s.nVars
+}
+
+// NVars returns the number of allocated variables.
+func (s *Solver) NVars() int { return s.nVars }
+
+func (s *Solver) value(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// AddGE adds the constraint Σ coef·lit >= degree.
+func (s *Solver) AddGE(terms []Term, degree int64) error {
+	norm, d, err := normalizeGE(terms, degree)
+	if err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil // trivially satisfied
+	}
+	var sum, maxC int64
+	for _, t := range norm {
+		if t.Lit.Var() > s.nVars {
+			return fmt.Errorf("pb: literal %v beyond allocated variables", t.Lit)
+		}
+		sum += t.Coef
+		if t.Coef > maxC {
+			maxC = t.Coef
+		}
+	}
+	if sum < d {
+		s.rootUnsat = true
+		return nil
+	}
+	s.attach(&constraint{terms: norm, degree: d, maxCoef: maxC})
+	return nil
+}
+
+// AddLE adds Σ coef·lit <= degree.
+func (s *Solver) AddLE(terms []Term, degree int64) error {
+	neg := make([]Term, len(terms))
+	for i, t := range terms {
+		neg[i] = Term{Coef: -t.Coef, Lit: t.Lit}
+	}
+	return s.AddGE(neg, -degree)
+}
+
+// AddEQ adds Σ coef·lit == degree.
+func (s *Solver) AddEQ(terms []Term, degree int64) error {
+	if err := s.AddGE(terms, degree); err != nil {
+		return err
+	}
+	return s.AddLE(terms, degree)
+}
+
+// AddClause adds the disjunction of the given literals.
+func (s *Solver) AddClause(lits ...Lit) error {
+	terms := make([]Term, len(lits))
+	for i, l := range lits {
+		terms[i] = Term{Coef: 1, Lit: l}
+	}
+	return s.AddGE(terms, 1)
+}
+
+// AddImplication adds a -> b.
+func (s *Solver) AddImplication(a, b Lit) error { return s.AddClause(a.Neg(), b) }
+
+// AddAndImplies adds (a1 ∧ a2 ∧ ... ) -> b.
+func (s *Solver) AddAndImplies(b Lit, as ...Lit) error {
+	lits := make([]Lit, 0, len(as)+1)
+	for _, a := range as {
+		lits = append(lits, a.Neg())
+	}
+	return s.AddClause(append(lits, b)...)
+}
+
+func (s *Solver) attach(c *constraint) int {
+	idx := len(s.cons)
+	s.cons = append(s.cons, c)
+	for _, t := range c.terms {
+		s.occ[t.Lit.Neg()] = append(s.occ[t.Lit.Neg()], occRef{cons: idx, coef: t.Coef})
+	}
+	return idx
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l true with the given reason constraint index.
+// It returns false on conflict with an existing assignment.
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.value(l) {
+	case 1:
+		return true
+	case -1:
+		return false
+	}
+	v := l.Var()
+	if l > 0 {
+		s.assign[v] = 1
+	} else {
+		s.assign[v] = -1
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trailPos[v] = len(s.trail)
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate processes the assignment queue; it returns the index of a
+// conflicting constraint, or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		// p just became true, so ¬p is falsified; constraints containing
+		// the term ¬p are registered under occ[(¬p).Neg()] == occ[p].
+		// On conflict, keep subtracting the remaining coefficients so the
+		// slack bookkeeping stays symmetric with cancelUntil's restore.
+		conflict := -1
+		for _, ref := range s.occ[p] {
+			c := s.cons[ref.cons]
+			c.slack -= ref.coef
+			if conflict >= 0 {
+				continue
+			}
+			if c.slack < 0 {
+				conflict = ref.cons
+				continue
+			}
+			if c.maxCoef > c.slack {
+				for _, t := range c.terms {
+					if t.Coef <= c.slack {
+						break
+					}
+					if s.value(t.Lit) == 0 {
+						s.Propagations++
+						s.enqueue(t.Lit, ref.cons)
+					}
+				}
+			}
+		}
+		if conflict >= 0 {
+			return conflict
+		}
+	}
+	return -1
+}
+
+// cancelUntil backtracks to the given decision level, restoring slacks.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		p := s.trail[i]
+		v := p.Var()
+		s.phase[v] = p > 0
+		s.assign[v] = 0
+		s.reason[v] = -1
+		// Restore the slack that assigning p true removed (see propagate).
+		// Trail entries at or beyond qhead were never processed, so they
+		// have nothing to restore.
+		if i < s.qhead {
+			for _, ref := range s.occ[p] {
+				s.cons[ref.cons].slack += ref.coef
+			}
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// reasonLits returns the literals of constraint c that were false before
+// position pos on the trail (pos < 0 means "all currently false"),
+// excluding skip. These are exactly the falsified literals that caused the
+// propagation/conflict, so the clause ⋁ lits (∨ skip) is implied.
+func (s *Solver) reasonLits(cIdx int, skip Lit, pos int) []Lit {
+	c := s.cons[cIdx]
+	out := make([]Lit, 0, len(c.terms))
+	for _, t := range c.terms {
+		if t.Lit == skip {
+			continue
+		}
+		if s.value(t.Lit) == -1 && (pos < 0 || s.trailPos[t.Lit.Var()] < pos) {
+			out = append(out, t.Lit)
+		}
+	}
+	return out
+}
+
+func (s *Solver) bump(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs 1UIP conflict analysis using clausal weakenings of the
+// PB reasons. It returns the learned clause (asserting literal first) and
+// the backjump level.
+func (s *Solver) analyze(conflIdx int) ([]Lit, int) {
+	seen := make(map[int]bool)
+	var learnt []Lit
+	counter := 0
+	idx := len(s.trail) - 1
+	lits := s.reasonLits(conflIdx, 0, -1)
+	var p Lit
+
+	for {
+		for _, q := range lits {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bump(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		for idx >= 0 && !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		if idx < 0 {
+			break
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter <= 0 {
+			break
+		}
+		lits = s.reasonLits(s.reason[p.Var()], p, s.trailPos[p.Var()])
+	}
+
+	out := make([]Lit, 0, len(learnt)+1)
+	out = append(out, p.Neg())
+	out = append(out, learnt...)
+	bt := 0
+	for _, l := range learnt {
+		if lv := s.level[l.Var()]; lv > bt {
+			bt = lv
+		}
+	}
+	return out, bt
+}
+
+// initSlacks recomputes every constraint's slack from the current
+// assignment (called at the start of each Solve).
+func (s *Solver) initSlacks() int {
+	for ci, c := range s.cons {
+		c.slack = -c.degree
+		for _, t := range c.terms {
+			if s.value(t.Lit) != -1 {
+				c.slack += t.Coef
+			}
+		}
+		if c.slack < 0 {
+			return ci
+		}
+	}
+	return -1
+}
+
+// Solve searches for a satisfying assignment of all added constraints.
+func (s *Solver) Solve() Result {
+	if s.rootUnsat {
+		return Unsat
+	}
+	s.cancelUntil(0)
+	if s.initSlacks() >= 0 {
+		return Unsat
+	}
+	// Slacks already reflect the level-0 trail; do not re-run the queue
+	// over it. Instead scan every constraint once for literals forced at
+	// the root (covers constraints added since the last Solve).
+	s.qhead = len(s.trail)
+	for ci, c := range s.cons {
+		if c.maxCoef <= c.slack {
+			continue
+		}
+		for _, t := range c.terms {
+			if t.Coef <= c.slack {
+				break
+			}
+			if s.value(t.Lit) == 0 {
+				s.Propagations++
+				s.enqueue(t.Lit, ci)
+			}
+		}
+	}
+
+	var sinceRestart int64
+	restartLimit := int64(100)
+	budget := s.MaxConflicts
+
+	for {
+		conflIdx := s.propagate()
+		if conflIdx < 0 {
+			// Root-level propagation pass for constraints that are unit at
+			// level 0 but were added after earlier Solve calls: handled by
+			// the fresh initSlacks + full propagation above.
+			v := s.pickBranchVar()
+			if v == 0 {
+				s.model = make([]bool, s.nVars+1)
+				for i := 1; i <= s.nVars; i++ {
+					s.model[i] = s.assign[i] == 1
+				}
+				s.cancelUntil(0)
+				return Sat
+			}
+			s.Decisions++
+			s.trailLim = append(s.trailLim, len(s.trail))
+			l := Lit(v)
+			if !s.phase[v] {
+				l = -l
+			}
+			s.enqueue(l, -1)
+			continue
+		}
+
+		s.Conflicts++
+		sinceRestart++
+		if s.decisionLevel() == 0 {
+			return Unsat
+		}
+		learnt, bt := s.analyze(conflIdx)
+		s.cancelUntil(bt)
+		if len(learnt) == 1 {
+			// Unit learned clause: assert at the root level.
+			if !s.enqueue(learnt[0], -1) {
+				return Unsat
+			}
+			// Make the fact permanent so future Solve calls keep it.
+			terms := []Term{{Coef: 1, Lit: learnt[0]}}
+			s.attach(&constraint{terms: terms, degree: 1, slack: 0, maxCoef: 1, learned: true})
+		} else {
+			terms := make([]Term, len(learnt))
+			for i, l := range learnt {
+				terms[i] = Term{Coef: 1, Lit: l}
+			}
+			c := &constraint{terms: terms, degree: 1, learned: true, maxCoef: 1}
+			c.slack = -c.degree
+			for _, t := range c.terms {
+				if s.value(t.Lit) != -1 {
+					c.slack += t.Coef
+				}
+			}
+			ci := s.attach(c)
+			s.enqueue(learnt[0], ci)
+		}
+		s.varInc /= 0.95
+
+		if budget > 0 && s.Conflicts >= budget {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if sinceRestart >= restartLimit {
+			sinceRestart = 0
+			restartLimit += restartLimit / 2
+			s.cancelUntil(0)
+		}
+	}
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or 0 if all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	best := 0
+	bestAct := -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == 0 && s.activity[v] > bestAct {
+			best = v
+			bestAct = s.activity[v]
+		}
+	}
+	return best
+}
+
+// Model returns the satisfying assignment found by the last Sat result
+// (indexed by variable; entry 0 unused).
+func (s *Solver) Model() []bool { return s.model }

@@ -1,0 +1,459 @@
+package pb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newVars(s *Solver, n int) []int {
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	return vs
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	if err := s.AddClause(Lit(v)); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	if !s.Model()[v] {
+		t.Fatal("v must be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(Lit(v))
+	s.AddClause(Lit(v).Neg())
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("result = %v", r)
+	}
+}
+
+func TestEmptyConstraintUnsat(t *testing.T) {
+	s := NewSolver()
+	if err := s.AddGE(nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("result = %v", r)
+	}
+}
+
+func TestThreeSATInstance(t *testing.T) {
+	// (a ∨ b) ∧ (¬a ∨ c) ∧ (¬b ∨ ¬c) ∧ (a ∨ c)
+	s := NewSolver()
+	vs := newVars(s, 3)
+	a, b, c := Lit(vs[0]), Lit(vs[1]), Lit(vs[2])
+	s.AddClause(a, b)
+	s.AddClause(a.Neg(), c)
+	s.AddClause(b.Neg(), c.Neg())
+	s.AddClause(a, c)
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	m := s.Model()
+	val := func(l Lit) bool {
+		v := m[l.Var()]
+		if l < 0 {
+			return !v
+		}
+		return v
+	}
+	for i, cl := range [][]Lit{{a, b}, {a.Neg(), c}, {b.Neg(), c.Neg()}, {a, c}} {
+		ok := false
+		for _, l := range cl {
+			ok = ok || val(l)
+		}
+		if !ok {
+			t.Fatalf("clause %d unsatisfied", i)
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	// 4 pigeons, 3 holes: classic UNSAT instance exercising learning.
+	s := NewSolver()
+	const P, H = 4, 3
+	x := make([][]Lit, P)
+	for p := 0; p < P; p++ {
+		x[p] = make([]Lit, H)
+		for h := 0; h < H; h++ {
+			x[p][h] = Lit(s.NewVar())
+		}
+		terms := make([]Term, H)
+		for h := 0; h < H; h++ {
+			terms[h] = Term{Coef: 1, Lit: x[p][h]}
+		}
+		s.AddGE(terms, 1) // each pigeon somewhere
+	}
+	for h := 0; h < H; h++ {
+		terms := make([]Term, P)
+		for p := 0; p < P; p++ {
+			terms[p] = Term{Coef: 1, Lit: x[p][h]}
+		}
+		s.AddLE(terms, 1) // each hole at most once
+	}
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("PHP(4,3) = %v, want UNSAT", r)
+	}
+}
+
+func TestCardinalityConstraints(t *testing.T) {
+	s := NewSolver()
+	vs := newVars(s, 5)
+	terms := make([]Term, 5)
+	for i, v := range vs {
+		terms[i] = Term{Coef: 1, Lit: Lit(v)}
+	}
+	s.AddEQ(terms, 3)
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	count := 0
+	for _, v := range vs {
+		if s.Model()[v] {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestWeightedPBPropagation(t *testing.T) {
+	// 5a + 3b + 2c >= 8 with a=false forces... 3+2=5 < 8, so a must be
+	// true at the root; then b and c both needed (3+2 >= 3 exactly).
+	s := NewSolver()
+	vs := newVars(s, 3)
+	a, b, c := Lit(vs[0]), Lit(vs[1]), Lit(vs[2])
+	s.AddGE([]Term{{5, a}, {3, b}, {2, c}}, 8)
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	m := s.Model()
+	if !m[vs[0]] || !m[vs[1]] {
+		t.Fatalf("a and b must be true: %v", m[1:])
+	}
+}
+
+func TestNormalizationNegativeCoefs(t *testing.T) {
+	// -2a + 3b >= 1  ≡  2(¬a) + 3b >= 3.
+	s := NewSolver()
+	vs := newVars(s, 2)
+	a, b := Lit(vs[0]), Lit(vs[1])
+	s.AddGE([]Term{{-2, a}, {3, b}}, 1)
+	s.AddClause(a) // force a true => need b
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	if !s.Model()[vs[1]] {
+		t.Fatal("b must be true")
+	}
+}
+
+func TestDuplicateAndOpposingLiterals(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	w := s.NewVar()
+	// 2x + 3¬x + w >= 4  ≡  (x appears both ways) 2 + ¬x + w >= 4 - ... the
+	// solver normalizes; brute force the semantics instead.
+	s.AddGE([]Term{{2, Lit(v)}, {3, -Lit(v)}, {1, Lit(w)}}, 4)
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	m := s.Model()
+	lhs := int64(0)
+	if m[v] {
+		lhs += 2
+	} else {
+		lhs += 3
+	}
+	if m[w] {
+		lhs++
+	}
+	if lhs < 4 {
+		t.Fatalf("constraint violated: lhs=%d", lhs)
+	}
+}
+
+func TestMinimizeKnapsack(t *testing.T) {
+	// Cover requirement: 4a + 3b + 2c >= 5, minimize 5a + 4b + 3c.
+	// Options: a+b(7)->cost 9, a+c(6)->cost 8, b+c(5)->cost 7, a+b+c ->12.
+	s := NewSolver()
+	vs := newVars(s, 3)
+	a, b, c := Lit(vs[0]), Lit(vs[1]), Lit(vs[2])
+	s.AddGE([]Term{{4, a}, {3, b}, {2, c}}, 5)
+	obj := []Term{{5, a}, {4, b}, {3, c}}
+	res, err := Minimize(s, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Cost != 7 {
+		t.Fatalf("cost = %d, want 7", res.Cost)
+	}
+	if res.Model[vs[0]] || !res.Model[vs[1]] || !res.Model[vs[2]] {
+		t.Fatalf("model = %v, want b,c", res.Model[1:])
+	}
+}
+
+func TestMinimizeUnsat(t *testing.T) {
+	s := NewSolver()
+	v := s.NewVar()
+	s.AddClause(Lit(v))
+	s.AddClause(-Lit(v))
+	res, err := Minimize(s, []Term{{1, Lit(v)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unsat {
+		t.Fatalf("status = %v", res.Status)
+	}
+}
+
+func TestBudgetUnknown(t *testing.T) {
+	// A hard instance with a tiny budget must return Unknown.
+	s := NewSolver()
+	const P, H = 7, 6
+	x := make([][]Lit, P)
+	for p := 0; p < P; p++ {
+		x[p] = make([]Lit, H)
+		terms := make([]Term, H)
+		for h := 0; h < H; h++ {
+			x[p][h] = Lit(s.NewVar())
+			terms[h] = Term{Coef: 1, Lit: x[p][h]}
+		}
+		s.AddGE(terms, 1)
+	}
+	for h := 0; h < H; h++ {
+		terms := make([]Term, P)
+		for p := 0; p < P; p++ {
+			terms[p] = Term{Coef: 1, Lit: x[p][h]}
+		}
+		s.AddLE(terms, 1)
+	}
+	s.MaxConflicts = 3
+	if r := s.Solve(); r != Unknown && r != Unsat {
+		t.Fatalf("result = %v, want Unknown (or fast Unsat)", r)
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	// Solve, add a constraint excluding the model, solve again.
+	s := NewSolver()
+	vs := newVars(s, 4)
+	terms := make([]Term, 4)
+	for i, v := range vs {
+		terms[i] = Term{Coef: 1, Lit: Lit(v)}
+	}
+	s.AddGE(terms, 1)
+	seen := map[[4]bool]bool{}
+	for i := 0; i < 15; i++ { // 2^4 - 1 models satisfy >= 1
+		if r := s.Solve(); r != Sat {
+			t.Fatalf("iteration %d: %v", i, r)
+		}
+		var key [4]bool
+		block := make([]Lit, 4)
+		for j, v := range vs {
+			key[j] = s.Model()[v]
+			if key[j] {
+				block[j] = -Lit(v)
+			} else {
+				block[j] = Lit(v)
+			}
+		}
+		if seen[key] {
+			t.Fatalf("model repeated at iteration %d", i)
+		}
+		seen[key] = true
+		s.AddClause(block...)
+	}
+	if r := s.Solve(); r != Unsat {
+		t.Fatalf("after 15 blocks: %v, want UNSAT", r)
+	}
+}
+
+// bruteForce checks satisfiability of raw GE constraints by enumeration.
+func bruteForce(nVars int, cons [][]Term, degrees []int64) (bool, int64, []Term) {
+	best := int64(-1)
+	for m := 0; m < 1<<nVars; m++ {
+		model := make([]bool, nVars+1)
+		for v := 1; v <= nVars; v++ {
+			model[v] = m&(1<<(v-1)) != 0
+		}
+		ok := true
+		for i, c := range cons {
+			if evalTerms(c, model) < degrees[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, best, nil
+		}
+	}
+	return false, best, nil
+}
+
+// Property: on random small PB instances the solver agrees with brute
+// force on satisfiability, and returned models satisfy every constraint.
+func TestSolverMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(7) // 4..10
+		nCons := 2 + rng.Intn(8)
+		s := NewSolver()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		var cons [][]Term
+		var degrees []int64
+		for i := 0; i < nCons; i++ {
+			nTerms := 1 + rng.Intn(nVars)
+			terms := make([]Term, 0, nTerms)
+			var sum int64
+			for j := 0; j < nTerms; j++ {
+				v := 1 + rng.Intn(nVars)
+				coef := int64(1 + rng.Intn(5))
+				l := Lit(v)
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				terms = append(terms, Term{Coef: coef, Lit: l})
+				sum += coef
+			}
+			deg := int64(rng.Intn(int(sum + 2)))
+			cons = append(cons, terms)
+			degrees = append(degrees, deg)
+			if err := s.AddGE(terms, deg); err != nil {
+				return false
+			}
+		}
+		gotSat := s.Solve() == Sat
+		wantSat, _, _ := bruteForce(nVars, cons, degrees)
+		if gotSat != wantSat {
+			return false
+		}
+		if gotSat {
+			m := s.Model()
+			for i, c := range cons {
+				if evalTerms(c, m) < degrees[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Minimize returns the true optimum on random instances.
+func TestMinimizeMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 4 + rng.Intn(5) // 4..8
+		s := NewSolver()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		var cons [][]Term
+		var degrees []int64
+		for i := 0; i < 3; i++ {
+			nTerms := 1 + rng.Intn(nVars)
+			terms := make([]Term, 0, nTerms)
+			var sum int64
+			for j := 0; j < nTerms; j++ {
+				coef := int64(1 + rng.Intn(4))
+				l := Lit(1 + rng.Intn(nVars))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				terms = append(terms, Term{Coef: coef, Lit: l})
+				sum += coef
+			}
+			deg := int64(rng.Intn(int(sum)/2 + 1))
+			cons = append(cons, terms)
+			degrees = append(degrees, deg)
+			s.AddGE(terms, deg)
+		}
+		obj := make([]Term, nVars)
+		for v := 1; v <= nVars; v++ {
+			obj[v-1] = Term{Coef: int64(rng.Intn(6)), Lit: Lit(v)}
+		}
+		res, err := Minimize(s, obj)
+		if err != nil {
+			return false
+		}
+		// Brute-force optimum.
+		bestCost := int64(-1)
+		for m := 0; m < 1<<nVars; m++ {
+			model := make([]bool, nVars+1)
+			for v := 1; v <= nVars; v++ {
+				model[v] = m&(1<<(v-1)) != 0
+			}
+			ok := true
+			for i, c := range cons {
+				if evalTerms(c, model) < degrees[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			cost := evalTerms(obj, model)
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+			}
+		}
+		if bestCost < 0 {
+			return res.Status == Unsat
+		}
+		return res.Status == Sat && res.Cost == bestCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHelperConstructors(t *testing.T) {
+	s := NewSolver()
+	vs := newVars(s, 3)
+	a, b, c := Lit(vs[0]), Lit(vs[1]), Lit(vs[2])
+	s.AddImplication(a, b)
+	s.AddAndImplies(c, a, b)
+	s.AddClause(a)
+	if r := s.Solve(); r != Sat {
+		t.Fatalf("result = %v", r)
+	}
+	m := s.Model()
+	if !m[vs[0]] || !m[vs[1]] || !m[vs[2]] {
+		t.Fatalf("chain a->b, (a∧b)->c broken: %v", m[1:])
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := Lit(5)
+	if l.Var() != 5 || !l.Sign() || l.Neg() != Lit(-5) || l.Neg().Var() != 5 {
+		t.Fatal("Lit helpers wrong")
+	}
+	if l.String() != "x5" || l.Neg().String() != "~x5" {
+		t.Fatal("Lit strings wrong")
+	}
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("Result strings wrong")
+	}
+}

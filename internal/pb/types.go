@@ -1,0 +1,128 @@
+// Package pb implements pseudo-Boolean optimization: a CDCL-style solver
+// with native counter-based propagation over linear pseudo-Boolean
+// constraints, plus the paper's Fig. 5 formulation of offload and
+// data-transfer scheduling (formulate.go). It plays the role MiniSAT+
+// plays in the paper (§3.3.2): exact minimization of host↔GPU transfer
+// volume on small templates.
+package pb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lit is a literal: +v is variable v, -v its negation (v >= 1).
+type Lit int
+
+// Var returns the literal's variable index.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+func (l Lit) String() string {
+	if l < 0 {
+		return fmt.Sprintf("~x%d", -l)
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+// Term is one weighted literal of a pseudo-Boolean constraint.
+type Term struct {
+	Coef int64
+	Lit  Lit
+}
+
+// constraint is the normalized internal form: sum of positive-coefficient
+// terms over literals, required to be >= degree. degree <= 0 means the
+// constraint is trivially satisfied and dropped.
+type constraint struct {
+	terms   []Term
+	degree  int64
+	slack   int64 // sum of coefs of non-false terms minus degree (maintained)
+	learned bool
+	// maxCoef caches the largest coefficient for propagation checks.
+	maxCoef int64
+}
+
+// normalizeGE converts Σ coef·lit >= degree into the canonical form with
+// all coefficients positive, merging duplicate literals and clamping
+// coefficients at the degree (saturation, which strengthens propagation
+// without changing the Boolean solution set).
+func normalizeGE(terms []Term, degree int64) ([]Term, int64, error) {
+	acc := make(map[Lit]int64)
+	for _, t := range terms {
+		if t.Lit == 0 {
+			return nil, 0, fmt.Errorf("pb: zero literal")
+		}
+		c, l := t.Coef, t.Lit
+		if c == 0 {
+			continue
+		}
+		if c < 0 {
+			// c*l = c - c*(¬l)  =>  move constant to the degree.
+			degree -= c
+			c = -c
+			l = l.Neg()
+		}
+		acc[l] += c
+	}
+	// Merge x and ¬x: a·x + b·¬x with a >= b equals (a-b)·x + b.
+	out := make([]Term, 0, len(acc))
+	for l, c := range acc {
+		if l < 0 {
+			continue
+		}
+		neg, ok := acc[l.Neg()]
+		if !ok {
+			continue
+		}
+		m := min(c, neg)
+		degree -= m
+		acc[l] -= m
+		acc[l.Neg()] -= m
+	}
+	for l, c := range acc {
+		if c > 0 {
+			out = append(out, Term{Coef: c, Lit: l})
+		}
+	}
+	// Saturate coefficients at the degree.
+	if degree > 0 {
+		for i := range out {
+			if out[i].Coef > degree {
+				out[i].Coef = degree
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coef != out[j].Coef {
+			return out[i].Coef > out[j].Coef
+		}
+		return out[i].Lit < out[j].Lit
+	})
+	return out, degree, nil
+}
+
+// evalTerms computes the value of Σ coef·lit under a model.
+func evalTerms(terms []Term, model []bool) int64 {
+	var s int64
+	for _, t := range terms {
+		v := model[t.Lit.Var()]
+		if !t.Lit.Sign() {
+			v = !v
+		}
+		if v {
+			s += t.Coef
+		}
+	}
+	return s
+}

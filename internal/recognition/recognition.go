@@ -1,0 +1,117 @@
+// Package recognition is the domain-specific API layer the paper argues
+// for (§1: "the application programmer ... simply views the templates as
+// parametrized APIs that implement specific algorithms"). A domain expert
+// calls FindEdges or CNNForward with plain tensors; template construction,
+// operator splitting, scheduling, and execution on the target GPU are
+// entirely hidden, and the same call retargets to any device.
+package recognition
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/templates"
+	"repro/internal/tensor"
+)
+
+// Result carries an API call's output tensors plus the execution
+// statistics a curious caller may inspect.
+type Result struct {
+	Outputs []*tensor.Tensor
+	Stats   gpu.Stats
+	// OpsSplit reports how many operators the framework had to split to
+	// fit the device (0 when everything fit).
+	OpsSplit int
+}
+
+// FindEdges implements the paper's edge-detection template API:
+//
+//	edge_map = find_edges(Image, Kernel, num_orientations, Combine_op)
+//
+// kernels must contain numOrientations/2 square filters (the remaining
+// orientations are derived by remapping, as in §4.1.1). The computation is
+// compiled for and executed on the given device.
+func FindEdges(device gpu.Spec, image *tensor.Tensor, kernels []*tensor.Tensor,
+	numOrientations int, combine templates.CombineOp) (*Result, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("recognition: at least one kernel required")
+	}
+	k := kernels[0].Rows()
+	for i, kt := range kernels {
+		if kt.Rows() != k || kt.Cols() != k {
+			return nil, fmt.Errorf("recognition: kernel %d is %dx%d, want %dx%d",
+				i, kt.Rows(), kt.Cols(), k, k)
+		}
+	}
+	if len(kernels) != numOrientations/2 {
+		return nil, fmt.Errorf("recognition: %d kernels for %d orientations (need %d)",
+			len(kernels), numOrientations, numOrientations/2)
+	}
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: image.Rows(), ImageW: image.Cols(),
+		KernelSize: k, Orientations: numOrientations, Combine: combine,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := exec.Inputs{bufs.Image.ID: image}
+	for i, kb := range bufs.Kernels {
+		in[kb.ID] = kernels[i]
+	}
+	eng := core.NewEngine(core.Config{Device: device})
+	compiled, err := eng.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := compiled.Execute(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Outputs:  []*tensor.Tensor{rep.Outputs[bufs.EdgeMap.Root.ID]},
+		Stats:    rep.Stats,
+		OpsSplit: compiled.Split.SplitNodes,
+	}, nil
+}
+
+// CNNForward runs a forward pass of a CNN template on the device: inputs
+// are the image planes, params the kernels and biases in the order the
+// template declares them (see templates.CNNBuffers.Params).
+func CNNForward(device gpu.Spec, cfg templates.CNNConfig,
+	inputs, params []*tensor.Tensor) (*Result, error) {
+	g, bufs, err := templates.CNN(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(inputs) != len(bufs.Inputs) {
+		return nil, fmt.Errorf("recognition: %d input planes, template wants %d",
+			len(inputs), len(bufs.Inputs))
+	}
+	if len(params) != len(bufs.Params) {
+		return nil, fmt.Errorf("recognition: %d parameter tensors, template wants %d",
+			len(params), len(bufs.Params))
+	}
+	in := exec.Inputs{}
+	for i, b := range bufs.Inputs {
+		in[b.ID] = inputs[i]
+	}
+	for i, b := range bufs.Params {
+		in[b.ID] = params[i]
+	}
+	eng := core.NewEngine(core.Config{Device: device})
+	compiled, err := eng.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := compiled.Execute(in)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stats: rep.Stats, OpsSplit: compiled.Split.SplitNodes}
+	for _, b := range bufs.Outputs {
+		res.Outputs = append(res.Outputs, rep.Outputs[b.Root.ID])
+	}
+	return res, nil
+}

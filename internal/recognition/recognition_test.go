@@ -1,0 +1,129 @@
+package recognition
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/templates"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func TestFindEdgesAPI(t *testing.T) {
+	img := workload.Image(1, 96, 64)
+	kernels := []*tensor.Tensor{
+		workload.EdgeKernel(7, 0),
+		workload.EdgeKernel(7, math.Pi/4),
+	}
+	res, err := FindEdges(gpu.TeslaC870(), img, kernels, 4, templates.CombineMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 {
+		t.Fatalf("outputs = %d", len(res.Outputs))
+	}
+	edge := res.Outputs[0]
+	if edge.Rows() != 96 || edge.Cols() != 64 {
+		t.Fatalf("edge map %v", edge)
+	}
+	if res.Stats.KernelLaunches == 0 || res.Stats.TotalFloats() == 0 {
+		t.Fatal("stats missing")
+	}
+	// The API's result must equal the hand-built pipeline's.
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 96, ImageW: 64, KernelSize: 7, Orientations: 4, Combine: templates.CombineMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := exec.Inputs{bufs.Image.ID: img, bufs.Kernels[0].ID: kernels[0], bufs.Kernels[1].ID: kernels[1]}
+	want, err := exec.RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range want {
+		if !edge.AlmostEqual(w, 1e-3) {
+			t.Fatal("API result differs from reference pipeline")
+		}
+	}
+}
+
+// Performance portability (§2): the SAME FindEdges call works on a device
+// whose memory cannot hold the template — the framework splits invisibly.
+func TestFindEdgesRetargetsToTinyDevice(t *testing.T) {
+	img := workload.Image(2, 96, 64)
+	kernels := []*tensor.Tensor{workload.EdgeKernel(7, 0), workload.EdgeKernel(7, 1)}
+
+	big, err := FindEdges(gpu.TeslaC870(), img, kernels, 4, templates.CombineMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, err := FindEdges(gpu.Custom("tiny", 64<<10), img, kernels, 4, templates.CombineMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.OpsSplit == 0 || big.OpsSplit != 0 {
+		t.Fatalf("split counts: tiny=%d big=%d", tiny.OpsSplit, big.OpsSplit)
+	}
+	if !tiny.Outputs[0].AlmostEqual(big.Outputs[0], 1e-3) {
+		t.Fatal("results differ across devices")
+	}
+}
+
+func TestFindEdgesValidation(t *testing.T) {
+	img := workload.Image(1, 32, 32)
+	if _, err := FindEdges(gpu.TeslaC870(), img, nil, 4, templates.CombineMax); err == nil {
+		t.Fatal("no kernels must error")
+	}
+	bad := []*tensor.Tensor{tensor.New(3, 4)}
+	if _, err := FindEdges(gpu.TeslaC870(), img, bad, 2, templates.CombineMax); err == nil {
+		t.Fatal("non-square kernel must error")
+	}
+	one := []*tensor.Tensor{tensor.New(3, 3)}
+	if _, err := FindEdges(gpu.TeslaC870(), img, one, 6, templates.CombineMax); err == nil {
+		t.Fatal("kernel count mismatch must error")
+	}
+}
+
+func TestCNNForwardAPI(t *testing.T) {
+	cfg := templates.CNNConfig{
+		Name: "api", ImageH: 16, ImageW: 12, InPlanes: 2,
+		Layers: []templates.CNNLayer{
+			{Kind: templates.LayerConv, OutPlanes: 3, KernelSize: 3},
+			{Kind: templates.LayerTanh},
+			{Kind: templates.LayerSubsample, Factor: 2},
+		},
+	}
+	// Build the template once just to learn the parameter shapes.
+	_, bufs, err := templates.CNN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs, params []*tensor.Tensor
+	for i, b := range bufs.Inputs {
+		inputs = append(inputs, workload.Image(int64(i), b.Shape().Rows, b.Shape().Cols))
+	}
+	for i, b := range bufs.Params {
+		params = append(params, workload.RandomTensor(int64(100+i), b.Shape().Rows, b.Shape().Cols, 0.1))
+	}
+	res, err := CNNForward(gpu.GeForce8800GTX(), cfg, inputs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 3 {
+		t.Fatalf("outputs = %d, want 3 planes", len(res.Outputs))
+	}
+	for _, o := range res.Outputs {
+		if o.Rows() != 8 || o.Cols() != 6 {
+			t.Fatalf("plane shape %v, want 8x6", o)
+		}
+	}
+	// Count mismatches rejected.
+	if _, err := CNNForward(gpu.TeslaC870(), cfg, inputs[:1], params); err == nil {
+		t.Fatal("input count mismatch must error")
+	}
+	if _, err := CNNForward(gpu.TeslaC870(), cfg, inputs, params[:2]); err == nil {
+		t.Fatal("param count mismatch must error")
+	}
+}

@@ -1,0 +1,134 @@
+// Package report renders the benchmark harness's tables and figure series
+// as aligned text and CSV, in the layout of the paper's Tables 1-2 and
+// Figures 1(c), 2, and 8.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing
+// commas are quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Int formats an integer with thousands separators, as the paper's
+// Table 1 prints float counts.
+func Int(v int64) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	s := fmt.Sprintf("%d", v)
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}
+
+// Seconds formats a duration in seconds with paper-style precision.
+func Seconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 0.1:
+		return fmt.Sprintf("%.4f", s)
+	case s < 10:
+		return fmt.Sprintf("%.2f", s)
+	default:
+		return fmt.Sprintf("%.1f", s)
+	}
+}
+
+// Ratio formats a speedup such as "3.2X".
+func Ratio(r float64) string { return fmt.Sprintf("%.1fX", r) }
+
+// Percent formats a fraction as a percentage.
+func Percent(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+
+// MB formats a float count as megabytes (4-byte floats).
+func MB(floats int64) string {
+	return fmt.Sprintf("%.1f MB", float64(floats*4)/(1<<20))
+}

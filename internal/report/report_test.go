@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := New("Title", "A", "LongHeader")
+	tb.Add("1", "2")
+	tb.Add("333", "4444")
+	s := tb.String()
+	if !strings.Contains(s, "Title") || !strings.Contains(s, "LongHeader") {
+		t.Fatalf("table missing parts:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x,y", `q"z`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"q""z"`) {
+		t.Fatalf("csv escaping wrong: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header wrong: %s", csv)
+	}
+}
+
+func TestInt(t *testing.T) {
+	cases := map[int64]string{
+		0:          "0",
+		999:        "999",
+		1000:       "1,000",
+		13000512:   "13,000,512",
+		-1234567:   "-1,234,567",
+		2000000512: "2,000,000,512",
+	}
+	for in, want := range cases {
+		if got := Int(in); got != want {
+			t.Fatalf("Int(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormats(t *testing.T) {
+	if Seconds(0) != "0" {
+		t.Fatal("Seconds(0)")
+	}
+	if Seconds(0.036) != "0.0360" {
+		t.Fatalf("Seconds small = %q", Seconds(0.036))
+	}
+	if Seconds(4.12) != "4.12" {
+		t.Fatalf("Seconds mid = %q", Seconds(4.12))
+	}
+	if Seconds(262.45) != "262.4" {
+		t.Fatalf("Seconds big = %q", Seconds(262.45))
+	}
+	if Ratio(7.83) != "7.8X" {
+		t.Fatal("Ratio")
+	}
+	if Percent(0.75) != "75%" {
+		t.Fatal("Percent")
+	}
+	if MB(1<<20) != "4.0 MB" {
+		t.Fatalf("MB = %q", MB(1<<20))
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Baseline produces the paper's comparison plan (§4): for each operator,
+// transfer its inputs to the GPU, execute, and copy the results back
+// immediately — no persistent device storage. It is the execution pattern
+// most manual GPU ports use and is suboptimal whenever data could have
+// stayed resident.
+func Baseline(g *graph.Graph, capacity int64) (*Plan, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Order: order}
+	for _, n := range order {
+		if fp := n.Footprint(); fp > capacity {
+			return nil, fmt.Errorf(
+				"sched: baseline infeasible: node %s footprint %d exceeds capacity %d",
+				n, fp, capacity)
+		}
+		var used int64
+		for _, b := range n.InputBuffers() {
+			plan.Steps = append(plan.Steps, Step{Kind: StepH2D, Buf: b})
+			used += b.Size()
+		}
+		for _, b := range n.OutputBuffers() {
+			used += b.Size()
+		}
+		if used > plan.PeakFloats {
+			plan.PeakFloats = used
+		}
+		plan.Steps = append(plan.Steps, Step{Kind: StepLaunch, Node: n})
+		plan.Steps = append(plan.Steps, Step{Kind: StepSync})
+		for _, b := range n.OutputBuffers() {
+			plan.Steps = append(plan.Steps, Step{Kind: StepD2H, Buf: b})
+		}
+		for _, b := range n.Buffers() {
+			plan.Steps = append(plan.Steps, Step{Kind: StepFree, Buf: b})
+		}
+	}
+	return plan, nil
+}
+
+// Heuristic runs the paper's full heuristic pipeline: depth-first operator
+// schedule, then latest-time-of-use transfer scheduling with eager
+// deletion (§3.3.1).
+func Heuristic(g *graph.Graph, capacity int64) (*Plan, error) {
+	order, err := DepthFirstOrder(g)
+	if err != nil {
+		return nil, err
+	}
+	return ScheduleTransfers(g, order, Options{Capacity: capacity})
+}

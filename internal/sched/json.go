@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+)
+
+// planJSON is the serialized form of a Plan: steps reference buffers and
+// nodes by their stable graph IDs, so a plan can be stored next to the
+// template parameters that regenerate its graph and replayed later (the
+// "execution plan" artifact of the paper's Fig. 4, made durable).
+type planJSON struct {
+	Steps []stepJSON `json:"steps"`
+	Order []int      `json:"order"`
+	Peak  int64      `json:"peak_floats"`
+}
+
+type stepJSON struct {
+	Kind string `json:"kind"`
+	Buf  *int   `json:"buf,omitempty"`
+	Node *int   `json:"node,omitempty"`
+}
+
+// WritePlan serializes the plan as JSON.
+func WritePlan(w io.Writer, plan *Plan) error {
+	out := planJSON{Peak: plan.PeakFloats}
+	for _, n := range plan.Order {
+		out.Order = append(out.Order, n.ID)
+	}
+	for _, s := range plan.Steps {
+		sj := stepJSON{Kind: s.Kind.String()}
+		if s.Buf != nil {
+			id := s.Buf.ID
+			sj.Buf = &id
+		}
+		if s.Node != nil {
+			id := s.Node.ID
+			sj.Node = &id
+		}
+		out.Steps = append(out.Steps, sj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadPlan deserializes a plan against the graph it was planned for
+// (buffer and node IDs must resolve; ReadPlan fails otherwise). Callers
+// should Verify the result before executing it — the file may not match
+// the graph or capacity it claims to.
+func ReadPlan(r io.Reader, g *graph.Graph) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("sched: decoding plan: %w", err)
+	}
+	nodeByID := map[int]*graph.Node{}
+	for _, n := range g.Nodes {
+		nodeByID[n.ID] = n
+	}
+	kinds := map[string]StepKind{
+		"H2D": StepH2D, "D2H": StepD2H, "FREE": StepFree,
+		"LAUNCH": StepLaunch, "SYNC": StepSync,
+	}
+	plan := &Plan{PeakFloats: in.Peak}
+	for _, id := range in.Order {
+		n, ok := nodeByID[id]
+		if !ok {
+			return nil, fmt.Errorf("sched: plan references unknown node %d", id)
+		}
+		plan.Order = append(plan.Order, n)
+	}
+	for i, sj := range in.Steps {
+		kind, ok := kinds[sj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("sched: step %d: unknown kind %q", i, sj.Kind)
+		}
+		s := Step{Kind: kind}
+		switch kind {
+		case StepH2D, StepD2H, StepFree:
+			if sj.Buf == nil {
+				return nil, fmt.Errorf("sched: step %d: %s without buffer", i, sj.Kind)
+			}
+			b := g.Buffer(*sj.Buf)
+			if b == nil {
+				return nil, fmt.Errorf("sched: step %d: unknown buffer %d", i, *sj.Buf)
+			}
+			s.Buf = b
+		case StepLaunch:
+			if sj.Node == nil {
+				return nil, fmt.Errorf("sched: step %d: launch without node", i)
+			}
+			n, ok := nodeByID[*sj.Node]
+			if !ok {
+				return nil, fmt.Errorf("sched: step %d: unknown node %d", i, *sj.Node)
+			}
+			s.Node = n
+		}
+		plan.Steps = append(plan.Steps, s)
+	}
+	return plan, nil
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// DepthFirstOrder computes the paper's heuristic operator schedule
+// (§3.3.1): a depth-first traversal that schedules the entire sub-tree
+// feeding one consumer before exploring its sibling, maximizing data reuse
+// between adjacent offloads. Implemented as a post-order DFS over the
+// dependency graph starting from the nodes that produce template outputs.
+func DepthFirstOrder(g *graph.Graph) ([]*graph.Node, error) {
+	deps := g.Deps()
+	var order []*graph.Node
+	state := make(map[int]int) // 0 unvisited, 1 visiting, 2 done
+
+	var visit func(n *graph.Node) error
+	visit = func(n *graph.Node) error {
+		switch state[n.ID] {
+		case 1:
+			return fmt.Errorf("sched: cycle at node %s", n)
+		case 2:
+			return nil
+		}
+		state[n.ID] = 1
+		ds := append([]*graph.Node(nil), deps[n.ID]...)
+		sort.Slice(ds, func(i, j int) bool { return ds[i].ID < ds[j].ID })
+		for _, d := range ds {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[n.ID] = 2
+		order = append(order, n)
+		return nil
+	}
+
+	roots := outputNodes(g)
+	for _, r := range roots {
+		if err := visit(r); err != nil {
+			return nil, err
+		}
+	}
+	// Nodes not reachable from outputs (dead computation) still run.
+	for _, n := range g.Nodes {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// outputNodes returns producers of template outputs, by node ID.
+func outputNodes(g *graph.Graph) []*graph.Node {
+	prod := g.Producer()
+	seen := make(map[int]bool)
+	var out []*graph.Node
+	for _, b := range g.OutputBuffers() {
+		if p, ok := prod[b.ID]; ok && !seen[p.ID] {
+			seen[p.ID] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// GreedyMemoryAwareOrder addresses the drawback the paper itself notes
+// about the depth-first schedule (§3.3.1: "the operator schedule does not
+// take into account the GPU memory limitations at all ... there is scope
+// for improvement"): it constructs the order greedily, always picking the
+// ready operator that minimizes immediate transfer-in volume minus the
+// volume its execution lets the scheduler free. Residency is approximated
+// without capacity eviction; the actual transfer schedule still comes from
+// ScheduleTransfers.
+func GreedyMemoryAwareOrder(g *graph.Graph) ([]*graph.Node, error) {
+	deps := g.Deps()
+	dependents := g.Dependents()
+	consumers := g.Consumers()
+	indeg := make(map[int]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(deps[n.ID])
+	}
+	remainingUses := map[int]int{}
+	for id, cs := range consumers {
+		remainingUses[id] = len(cs)
+	}
+	resident := map[int]bool{}
+
+	var ready []*graph.Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			ready = append(ready, n)
+		}
+	}
+
+	score := func(n *graph.Node) (int64, int64) {
+		var inCost, freed int64
+		for _, b := range n.InputBuffers() {
+			if !resident[b.ID] {
+				inCost += b.Size()
+			}
+			if remainingUses[b.ID] == 1 && !b.IsOutput {
+				freed += b.Size()
+			}
+		}
+		return inCost, freed
+	}
+
+	var order []*graph.Node
+	for len(ready) > 0 {
+		best := 0
+		bestIn, bestFreed := score(ready[0])
+		for i := 1; i < len(ready); i++ {
+			in, fr := score(ready[i])
+			// Primary: least net residency growth (transfer-in minus
+			// freed); secondary: most freed; tertiary: node ID.
+			cur, bst := in-fr, bestIn-bestFreed
+			if cur < bst || (cur == bst && (fr > bestFreed ||
+				(fr == bestFreed && ready[i].ID < ready[best].ID))) {
+				best, bestIn, bestFreed = i, in, fr
+			}
+		}
+		n := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, n)
+
+		for _, b := range n.InputBuffers() {
+			resident[b.ID] = true
+			remainingUses[b.ID]--
+			if remainingUses[b.ID] <= 0 && !b.IsOutput {
+				delete(resident, b.ID) // eagerly freed
+			}
+		}
+		for _, b := range n.OutputBuffers() {
+			resident[b.ID] = true
+		}
+		for _, m := range dependents[n.ID] {
+			indeg[m.ID]--
+			if indeg[m.ID] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("sched: cycle detected")
+	}
+	return order, nil
+}
+
+// BFSOrder is the breadth-first ablation order: Kahn's algorithm taking
+// all ready nodes level by level. It tends to keep many intermediate
+// buffers live at once, the opposite of the depth-first heuristic.
+func BFSOrder(g *graph.Graph) ([]*graph.Node, error) {
+	deps := g.Deps()
+	dependents := g.Dependents()
+	indeg := make(map[int]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(deps[n.ID])
+	}
+	var level []*graph.Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			level = append(level, n)
+		}
+	}
+	var order []*graph.Node
+	for len(level) > 0 {
+		sort.Slice(level, func(i, j int) bool { return level[i].ID < level[j].ID })
+		var next []*graph.Node
+		for _, n := range level {
+			order = append(order, n)
+			for _, m := range dependents[n.ID] {
+				indeg[m.ID]--
+				if indeg[m.ID] == 0 {
+					next = append(next, m)
+				}
+			}
+		}
+		level = next
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("sched: cycle detected")
+	}
+	return order, nil
+}
+
+// RandomTopoOrder returns a uniformly random topological order (ablation
+// baseline showing schedule sensitivity).
+func RandomTopoOrder(g *graph.Graph, seed int64) ([]*graph.Node, error) {
+	rng := rand.New(rand.NewSource(seed))
+	deps := g.Deps()
+	dependents := g.Dependents()
+	indeg := make(map[int]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n.ID] = len(deps[n.ID])
+	}
+	var ready []*graph.Node
+	for _, n := range g.Nodes {
+		if indeg[n.ID] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var order []*graph.Node
+	for len(ready) > 0 {
+		i := rng.Intn(len(ready))
+		n := ready[i]
+		ready[i] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, n)
+		for _, m := range dependents[n.ID] {
+			indeg[m.ID]--
+			if indeg[m.ID] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("sched: cycle detected")
+	}
+	return order, nil
+}

@@ -1,0 +1,151 @@
+// Package sched implements offload-unit and data-transfer scheduling
+// (paper §3.3): given a feasible (post-splitting) operator graph and a GPU
+// memory capacity, it produces an execution plan — the exact sequence of
+// GPU offload operations and host↔GPU data transfers. It provides the
+// paper's baseline (per-operator in/out copies, no persistent device
+// state), the depth-first + latest-time-of-use heuristic, and an
+// exhaustive order search used to cross-check the PB-optimal results on
+// small graphs.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// StepKind enumerates plan step types.
+type StepKind int
+
+// Plan step kinds.
+const (
+	StepH2D    StepKind = iota // copy buffer host -> GPU
+	StepD2H                    // copy buffer GPU -> host
+	StepFree                   // release buffer's GPU memory
+	StepLaunch                 // execute an operator on the GPU
+	StepSync                   // host-GPU synchronization at an offload-unit boundary
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepH2D:
+		return "H2D"
+	case StepD2H:
+		return "D2H"
+	case StepFree:
+		return "FREE"
+	case StepLaunch:
+		return "LAUNCH"
+	case StepSync:
+		return "SYNC"
+	}
+	return fmt.Sprintf("StepKind(%d)", int(k))
+}
+
+// Step is one entry of an execution plan.
+type Step struct {
+	Kind StepKind
+	Buf  *graph.Buffer // for H2D/D2H/Free
+	Node *graph.Node   // for Launch
+}
+
+func (s Step) String() string {
+	switch s.Kind {
+	case StepLaunch:
+		return fmt.Sprintf("%-6s %s", s.Kind, s.Node)
+	case StepSync:
+		return "SYNC"
+	}
+	return fmt.Sprintf("%-6s %s", s.Kind, s.Buf)
+}
+
+// Plan is an executable schedule: operator order plus inferred transfers.
+type Plan struct {
+	Steps []Step
+	Order []*graph.Node
+	// PeakFloats is the maximum simultaneous GPU residency the plan
+	// requires, in floats.
+	PeakFloats int64
+}
+
+// TransferFloats returns the host→device and device→host float volumes of
+// the plan, the paper's optimization objective.
+func (p *Plan) TransferFloats() (h2d, d2h int64) {
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepH2D:
+			h2d += s.Buf.Size()
+		case StepD2H:
+			d2h += s.Buf.Size()
+		}
+	}
+	return h2d, d2h
+}
+
+// TotalTransferFloats returns h2d+d2h.
+func (p *Plan) TotalTransferFloats() int64 {
+	h, d := p.TransferFloats()
+	return h + d
+}
+
+// Counts returns the number of steps of each kind (syncs excluded; see
+// SyncCount).
+func (p *Plan) Counts() (h2d, d2h, free, launch int) {
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepH2D:
+			h2d++
+		case StepD2H:
+			d2h++
+		case StepFree:
+			free++
+		case StepLaunch:
+			launch++
+		}
+	}
+	return
+}
+
+// SyncCount returns the number of host-GPU synchronizations (one per
+// offload unit).
+func (p *Plan) SyncCount() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.Kind == StepSync {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Plan) String() string {
+	var b strings.Builder
+	h, d := p.TransferFloats()
+	fmt.Fprintf(&b, "plan: %d steps, %d ops, transfers H2D=%d D2H=%d floats, peak=%d\n",
+		len(p.Steps), len(p.Order), h, d, p.PeakFloats)
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "%4d: %s\n", i, s)
+	}
+	return b.String()
+}
+
+// LowerBound returns the unavoidable transfer volume for the graph: every
+// template input root copied in once plus every output buffer copied out
+// once ("I/O transfers only" in Table 1). Split graphs count each input
+// root once (regardless of how many region children reference it) and sum
+// the partitioned output children.
+func LowerBound(g *graph.Graph) int64 {
+	var total int64
+	seenRoot := make(map[int]bool)
+	for _, b := range g.LiveBuffers() {
+		if b.Root.IsInput && !seenRoot[b.Root.ID] {
+			seenRoot[b.Root.ID] = true
+			total += b.Root.Size()
+		}
+		if b.IsOutput {
+			total += b.Size()
+		}
+	}
+	return total
+}

@@ -1,0 +1,299 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// EvictPolicy selects the victim when GPU memory must be reclaimed.
+type EvictPolicy int
+
+// Eviction policies. Belady is the paper's "latest time of use" rule
+// (§3.3.1), provably optimal for equal-size buffers consumed once; LRU and
+// FIFO are ablation baselines.
+const (
+	Belady EvictPolicy = iota
+	LRU
+	FIFO
+)
+
+func (p EvictPolicy) String() string {
+	switch p {
+	case Belady:
+		return "latest-time-of-use"
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("EvictPolicy(%d)", int(p))
+}
+
+// Options configures transfer scheduling.
+type Options struct {
+	// Capacity is the GPU memory available to the plan, in floats.
+	Capacity int64
+	// Policy is the eviction rule (default Belady).
+	Policy EvictPolicy
+	// NoEagerFree disables the paper's step 3 ("remove data eagerly...
+	// delete them immediately after they become unnecessary"); used by the
+	// eager-free ablation.
+	NoEagerFree bool
+}
+
+// ScheduleTransfers infers a minimal set of host↔GPU data transfers for
+// executing the nodes in the given operator order within opt.Capacity
+// floats of device memory (paper §3.3.1, second stage), with each operator
+// as its own offload unit (the paper's implementation choice, §3.1). It
+// returns an error if some node's own footprint exceeds the capacity (the
+// operator splitting pass must run first) or if the order is not
+// topological.
+func ScheduleTransfers(g *graph.Graph, order []*graph.Node, opt Options) (*Plan, error) {
+	units := make([][]*graph.Node, len(order))
+	for i, n := range order {
+		units[i] = []*graph.Node{n}
+	}
+	return ScheduleUnits(g, units, opt)
+}
+
+// ScheduleUnits schedules transfers for coarser-grained offload units:
+// each unit's operators execute back to back with a single host
+// synchronization at the unit boundary, and data produced and consumed
+// entirely within a unit never crosses the bus (though it still occupies
+// device memory for the unit's duration, which is why coarser units have
+// larger footprints — the trade-off §3.1 describes).
+func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, error) {
+	var order []*graph.Node
+	for _, u := range units {
+		order = append(order, u...)
+	}
+	if !g.IsTopoOrder(order) {
+		return nil, fmt.Errorf("sched: unit sequence is not a topological order of the graph")
+	}
+	if opt.Capacity <= 0 {
+		return nil, fmt.Errorf("sched: capacity must be positive")
+	}
+
+	// Static use positions per buffer, at unit granularity ("latest time
+	// of use" is computable statically once the schedule is known).
+	usePos := make(map[int][]int)
+	for t, u := range units {
+		seen := map[int]bool{}
+		for _, n := range u {
+			for _, b := range n.InputBuffers() {
+				if !seen[b.ID] {
+					seen[b.ID] = true
+					usePos[b.ID] = append(usePos[b.ID], t)
+				}
+			}
+		}
+	}
+	nextUse := func(id, t int) int {
+		for _, p := range usePos[id] {
+			if p > t {
+				return p
+			}
+		}
+		return math.MaxInt
+	}
+
+	resident := make(map[int]*res)
+	validHost := make(map[int]bool)
+	for _, b := range g.LiveBuffers() {
+		if b.IsInput || b.Root.IsInput {
+			validHost[b.ID] = true
+		}
+	}
+
+	plan := &Plan{Order: order}
+	var used int64
+	emit := func(k StepKind, b *graph.Buffer, n *graph.Node) {
+		plan.Steps = append(plan.Steps, Step{Kind: k, Buf: b, Node: n})
+	}
+	free := func(r *res) {
+		used -= r.buf.Size()
+		delete(resident, r.buf.ID)
+		emit(StepFree, r.buf, nil)
+	}
+	evict := func(r *res, t int) {
+		liveLater := nextUse(r.buf.ID, t) != math.MaxInt || r.buf.IsOutput
+		if r.dirty && liveLater && !validHost[r.buf.ID] {
+			emit(StepD2H, r.buf, nil)
+			validHost[r.buf.ID] = true
+		}
+		free(r)
+	}
+
+	for t, unit := range units {
+		// The unit's operand sets: everything any member touches is pinned
+		// for the unit's duration; buffers produced within the unit need
+		// space but no inbound transfer.
+		pinned := make(map[int]bool)
+		producedHere := make(map[int]bool)
+		var unitBufs []*graph.Buffer
+		var ins []*graph.Buffer
+		for _, n := range unit {
+			for _, b := range n.OutputBuffers() {
+				producedHere[b.ID] = true
+			}
+		}
+		for _, n := range unit {
+			for _, b := range n.Buffers() {
+				if !pinned[b.ID] {
+					pinned[b.ID] = true
+					unitBufs = append(unitBufs, b)
+				}
+			}
+			for _, b := range n.InputBuffers() {
+				if !producedHere[b.ID] {
+					ins = append(ins, b)
+				}
+			}
+		}
+		var need int64
+		for _, b := range unitBufs {
+			if _, ok := resident[b.ID]; !ok {
+				need += b.Size()
+			}
+		}
+
+		// Reclaim space: free dead residents first, then evict by policy.
+		for used+need > opt.Capacity {
+			var victim, dead *res
+			for _, r := range resident {
+				if pinned[r.buf.ID] {
+					continue
+				}
+				if nextUse(r.buf.ID, t) == math.MaxInt && !r.buf.IsOutput {
+					if dead == nil || r.buf.ID < dead.buf.ID {
+						dead = r // dead: free without copy
+					}
+					continue
+				}
+				if victim == nil || betterVictim(opt.Policy, r, victim, t, nextUse) {
+					victim = r
+				}
+			}
+			if dead != nil {
+				victim = dead
+			}
+			if victim == nil {
+				return nil, fmt.Errorf(
+					"sched: offload unit %d needs %d floats with %d resident and capacity %d; run the split pass",
+					t, need, used, opt.Capacity)
+			}
+			evict(victim, t)
+		}
+
+		seenIn := map[int]bool{}
+		for _, b := range ins {
+			if seenIn[b.ID] {
+				continue
+			}
+			seenIn[b.ID] = true
+			if r, ok := resident[b.ID]; ok {
+				r.usedAt = t
+				continue
+			}
+			if producedHere[b.ID] {
+				continue
+			}
+			if !validHost[b.ID] {
+				return nil, fmt.Errorf("sched: unit %d input %s is on neither host nor GPU", t, b)
+			}
+			emit(StepH2D, b, nil)
+			used += b.Size()
+			resident[b.ID] = &res{buf: b, loadedAt: t, usedAt: t}
+		}
+		for _, b := range unitBufs {
+			if producedHere[b.ID] {
+				used += b.Size()
+				resident[b.ID] = &res{buf: b, dirty: true, loadedAt: t, usedAt: t}
+				validHost[b.ID] = false // GPU will hold the only valid copy
+			}
+		}
+		if used > plan.PeakFloats {
+			plan.PeakFloats = used
+		}
+		for _, n := range unit {
+			emit(StepLaunch, nil, n)
+		}
+		emit(StepSync, nil, nil)
+
+		if !opt.NoEagerFree {
+			for _, b := range unitBufs {
+				r, ok := resident[b.ID]
+				if !ok {
+					continue
+				}
+				if nextUse(b.ID, t) != math.MaxInt {
+					continue
+				}
+				if b.IsOutput {
+					// Template output with no further consumer: ship it to
+					// the host now and release the space.
+					emit(StepD2H, b, nil)
+					validHost[b.ID] = true
+					free(r)
+					continue
+				}
+				free(r)
+			}
+		}
+	}
+
+	// Drain: outputs still on the GPU go home; everything is freed.
+	for _, b := range g.LiveBuffers() {
+		r, ok := resident[b.ID]
+		if !ok {
+			continue
+		}
+		if b.IsOutput && !validHost[b.ID] {
+			emit(StepD2H, b, nil)
+			validHost[b.ID] = true
+		}
+		free(r)
+	}
+	for _, b := range g.OutputBuffers() {
+		if !validHost[b.ID] {
+			return nil, fmt.Errorf("sched: template output %s never reached the host", b)
+		}
+	}
+	return plan, nil
+}
+
+// res tracks one GPU-resident buffer during plan simulation.
+type res struct {
+	buf      *graph.Buffer
+	dirty    bool // device copy newer than host
+	loadedAt int  // step index when brought to GPU (FIFO)
+	usedAt   int  // last touch (LRU)
+}
+
+// betterVictim reports whether a is a better eviction victim than b under
+// the policy: Belady prefers the furthest next use; when next uses tie,
+// the larger buffer goes first to free the most space per copy. All
+// policies break remaining ties by buffer ID so plans are deterministic.
+func betterVictim(p EvictPolicy, a, b *res, t int, nextUse func(id, t int) int) bool {
+	switch p {
+	case LRU:
+		if a.usedAt != b.usedAt {
+			return a.usedAt < b.usedAt
+		}
+	case FIFO:
+		if a.loadedAt != b.loadedAt {
+			return a.loadedAt < b.loadedAt
+		}
+	default: // Belady
+		na, nb := nextUse(a.buf.ID, t), nextUse(b.buf.ID, t)
+		if na != nb {
+			return na > nb
+		}
+		if a.buf.Size() != b.buf.Size() {
+			return a.buf.Size() > b.buf.Size()
+		}
+	}
+	return a.buf.ID < b.buf.ID
+}

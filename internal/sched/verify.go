@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Verify statically checks that a plan is executable on a device with the
+// given capacity (floats): every transfer has a valid source, every
+// launch's operands are resident, residency never exceeds the capacity,
+// each operator launches exactly once in dependency order, and every
+// template output reaches the host. It is the executor's rule set without
+// a device, usable on plans from any source (heuristic, PB, prefetched,
+// hand-written).
+func Verify(g *graph.Graph, plan *Plan, capacity int64) error {
+	resident := map[int]bool{}
+	validHost := map[int]bool{}
+	launched := map[int]bool{}
+	for _, b := range g.LiveBuffers() {
+		if b.IsInput || b.Root.IsInput {
+			validHost[b.ID] = true
+		}
+	}
+	prod := g.Producer()
+	deps := g.Deps()
+	var used int64
+
+	for si, s := range plan.Steps {
+		switch s.Kind {
+		case StepH2D:
+			b := s.Buf
+			if resident[b.ID] {
+				return fmt.Errorf("sched: step %d: H2D of already-resident %s", si, b)
+			}
+			if !validHost[b.ID] {
+				return fmt.Errorf("sched: step %d: H2D of %s without a valid host copy", si, b)
+			}
+			resident[b.ID] = true
+			used += b.Size()
+		case StepD2H:
+			b := s.Buf
+			if !resident[b.ID] {
+				return fmt.Errorf("sched: step %d: D2H of non-resident %s", si, b)
+			}
+			// The device copy is only meaningful if the producer ran (or
+			// the buffer was loaded from the host).
+			if p, ok := prod[b.ID]; ok && !launched[p.ID] {
+				return fmt.Errorf("sched: step %d: D2H of %s before its producer %s", si, b, p)
+			}
+			validHost[b.ID] = true
+		case StepFree:
+			b := s.Buf
+			if !resident[b.ID] {
+				return fmt.Errorf("sched: step %d: free of non-resident %s", si, b)
+			}
+			delete(resident, b.ID)
+			used -= b.Size()
+		case StepLaunch:
+			n := s.Node
+			if launched[n.ID] {
+				return fmt.Errorf("sched: step %d: node %s launched twice", si, n)
+			}
+			for _, d := range deps[n.ID] {
+				if !launched[d.ID] {
+					return fmt.Errorf("sched: step %d: node %s before its dependency %s", si, n, d)
+				}
+			}
+			for _, b := range n.InputBuffers() {
+				if !resident[b.ID] {
+					return fmt.Errorf("sched: step %d: launch %s with non-resident input %s", si, n, b)
+				}
+			}
+			for _, b := range n.OutputBuffers() {
+				if !resident[b.ID] {
+					resident[b.ID] = true
+					used += b.Size()
+				}
+				validHost[b.ID] = false
+			}
+			launched[n.ID] = true
+		case StepSync:
+			// no state
+		default:
+			return fmt.Errorf("sched: step %d: unknown step kind %v", si, s.Kind)
+		}
+		if used > capacity {
+			return fmt.Errorf("sched: step %d: residency %d exceeds capacity %d", si, used, capacity)
+		}
+	}
+
+	for _, n := range g.Nodes {
+		if !launched[n.ID] {
+			return fmt.Errorf("sched: node %s never launched", n)
+		}
+	}
+	for _, b := range g.OutputBuffers() {
+		if !validHost[b.ID] {
+			return fmt.Errorf("sched: template output %s never reached the host", b)
+		}
+	}
+	if len(resident) != 0 {
+		return fmt.Errorf("sched: %d buffers left resident at plan end", len(resident))
+	}
+	return nil
+}

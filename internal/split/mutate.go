@@ -1,0 +1,281 @@
+package split
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// splitNode replaces n with k part nodes, creating child buffers and
+// rewiring n's producers and the other consumers of partitioned buffers.
+// It returns the number of parts created.
+func splitNode(g *graph.Graph, n *graph.Node, opt Options) (int, error) {
+	k, err := chooseParts(n, opt)
+	if err != nil {
+		return 0, err
+	}
+	outRegs, plans, err := partGeometry(n, k)
+	if err != nil {
+		return 0, err
+	}
+
+	outArgs, err := partitionOutput(g, n, outRegs)
+	if err != nil {
+		return 0, err
+	}
+
+	inArgs := make([][]graph.Arg, k)
+	for pi := 0; pi < k; pi++ {
+		inArgs[pi] = make([]graph.Arg, len(n.In))
+	}
+	for ii := range n.In {
+		args, err := partitionInput(g, n, ii, plans)
+		if err != nil {
+			return 0, err
+		}
+		for pi := 0; pi < k; pi++ {
+			inArgs[pi][ii] = args[pi]
+		}
+	}
+
+	for pi := 0; pi < k; pi++ {
+		name := fmt.Sprintf("%s.%d", n.Name, pi+1)
+		if _, err := g.AddNode(name, n.Op, inArgs[pi], outArgs[pi]); err != nil {
+			return 0, fmt.Errorf("building part %d: %w", pi+1, err)
+		}
+	}
+	g.RemoveNode(n)
+	return k, nil
+}
+
+// partitionOutput creates (or groups) the output buffers for each part and
+// rewires every other consumer of a partitioned parent buffer to read the
+// children instead.
+func partitionOutput(g *graph.Graph, n *graph.Node, outRegs []graph.Region) ([]graph.Arg, error) {
+	arg := n.Out
+	if freshOutput(n) {
+		parent := primaryBuffers(arg.Bufs)[0]
+		children := make([]*graph.Buffer, len(outRegs))
+		for i, r := range outRegs {
+			c := g.NewChild(fmt.Sprintf("%s.%d", parent.Name, i+1), parent.Root, r)
+			c.IsOutput = parent.IsOutput
+			c.IsInput = parent.IsInput
+			children[i] = c
+		}
+		replaceInConsumers(g, n, parent, children)
+		args := make([]graph.Arg, len(outRegs))
+		for i := range outRegs {
+			args[i] = graph.Arg{Region: outRegs[i], Bufs: []*graph.Buffer{children[i]}}
+		}
+		// Strip buffers accompanying the primary stay with the part whose
+		// chunk contains them (the part writes chunk + duplicated strip).
+		for _, b := range arg.Bufs {
+			if b == parent {
+				continue
+			}
+			placed := false
+			for i := range outRegs {
+				if outRegs[i].Contains(b.Region) {
+					args[i].Bufs = append(args[i].Bufs, b)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("strip buffer %s straddles part boundaries", b)
+			}
+		}
+		return args, nil
+	}
+	// Already-partitioned output: group existing buffers by the chunk
+	// regions (each buffer must fall entirely inside one chunk; the
+	// geometry pass aligns chunks to buffer boundaries via groupChunks).
+	args := make([]graph.Arg, len(outRegs))
+	for i, r := range outRegs {
+		for _, b := range arg.Bufs {
+			if r.Contains(b.Region) {
+				args[i].Bufs = append(args[i].Bufs, b)
+			} else if _, overlap := r.Intersect(b.Region); overlap {
+				return nil, fmt.Errorf("output buffer %s straddles chunk %v", b, r)
+			}
+		}
+		args[i].Region = r
+		if !args[i].Covered() {
+			return nil, fmt.Errorf("output chunk %v not covered by existing buffers", r)
+		}
+	}
+	return args, nil
+}
+
+// partitionInput builds, for input ii of n, the per-part input Args. It
+// creates child buffers (and halo strips) as needed and rewires the
+// producer of a partitioned buffer plus its other consumers.
+func partitionInput(g *graph.Graph, n *graph.Node, ii int, plans [][]inputPlan) ([]graph.Arg, error) {
+	arg := n.In[ii]
+	k := len(plans)
+	args := make([]graph.Arg, k)
+
+	if plans[0][ii].replicate {
+		for pi := 0; pi < k; pi++ {
+			args[pi] = arg
+		}
+		return args, nil
+	}
+
+	regs := make([]graph.Region, k)
+	for pi := 0; pi < k; pi++ {
+		regs[pi] = plans[pi][ii].region
+	}
+
+	if len(arg.Bufs) > 1 || arg.Bufs[0].Region != arg.Region {
+		// Input already composed of several buffers: reference covering
+		// subsets without creating anything new.
+		for pi := 0; pi < k; pi++ {
+			sub, err := coveringSubset(arg.Bufs, regs[pi])
+			if err != nil {
+				return nil, fmt.Errorf("input %d part %d: %w", ii, pi+1, err)
+			}
+			args[pi] = graph.Arg{Region: regs[pi], Bufs: sub}
+		}
+		return args, nil
+	}
+
+	parent := arg.Bufs[0]
+	overlapping := false
+	for pi := 0; pi+1 < k; pi++ {
+		if regs[pi].Row+regs[pi].Rows > regs[pi+1].Row {
+			overlapping = true
+		}
+		if regs[pi].Row >= regs[pi+1].Row {
+			return nil, fmt.Errorf("input %d part regions not strictly increasing", ii)
+		}
+	}
+	if regs[0].Row != arg.Region.Row || regs[k-1].Row+regs[k-1].Rows != arg.Region.Row+arg.Region.Rows {
+		return nil, fmt.Errorf("input %d part regions do not span arg region", ii)
+	}
+
+	producer := g.Producer()[parent.ID]
+
+	if !overlapping {
+		// Exact partition: children tile the arg region.
+		children := make([]*graph.Buffer, k)
+		for pi := 0; pi < k; pi++ {
+			c := g.NewChild(fmt.Sprintf("%s.%d", parent.Name, pi+1), parent.Root, regs[pi])
+			c.IsOutput = parent.IsOutput
+			children[pi] = c
+			args[pi] = graph.Arg{Region: regs[pi], Bufs: []*graph.Buffer{c}}
+		}
+		if producer != nil {
+			replaceInProducer(producer, parent, children)
+		}
+		replaceInConsumers(g, n, parent, children)
+		return args, nil
+	}
+
+	if producer == nil {
+		// Halo partition of a template input: overlapping children are
+		// copied from the host independently; no producer to rewire.
+		// Children are deduplicated across consumers — two convolutions
+		// split the same way read the same image chunk, so the transfer
+		// scheduler can load it once for both.
+		for pi := 0; pi < k; pi++ {
+			c := findInputChild(g, parent.Root, regs[pi])
+			if c == nil {
+				c = g.NewChild(fmt.Sprintf("%s.h%d", parent.Name, pi+1), parent.Root, regs[pi])
+			}
+			args[pi] = graph.Arg{Region: regs[pi], Bufs: []*graph.Buffer{c}}
+		}
+		return args, nil
+	}
+
+	// Halo partition of a produced buffer: exact chunks X_i at the part
+	// boundaries plus boundary strips S_i so each part sees its halo rows
+	// while the producer still writes an exact (chunk) cover plus small
+	// duplicated strips.
+	bounds := make([]int, k+1)
+	for pi := 0; pi < k; pi++ {
+		bounds[pi] = regs[pi].Row
+	}
+	bounds[k] = arg.Region.Row + arg.Region.Rows
+	chunks := make([]*graph.Buffer, k)
+	for pi := 0; pi < k; pi++ {
+		r := graph.Region{Row: bounds[pi], Col: regs[pi].Col, Rows: bounds[pi+1] - bounds[pi], Cols: regs[pi].Cols}
+		c := g.NewChild(fmt.Sprintf("%s.%d", parent.Name, pi+1), parent.Root, r)
+		c.IsOutput = parent.IsOutput
+		chunks[pi] = c
+	}
+	var strips []*graph.Buffer
+	for pi := 0; pi < k; pi++ {
+		bufs := []*graph.Buffer{chunks[pi]}
+		end := regs[pi].Row + regs[pi].Rows
+		if end > bounds[pi+1] {
+			if pi+2 <= k && end > bounds[min(pi+2, k)] {
+				return nil, fmt.Errorf("input %d halo (%d rows) exceeds chunk size; increase parts limit or chunk rows",
+					ii, end-bounds[pi+1])
+			}
+			s := g.NewChild(fmt.Sprintf("%s.s%d", parent.Name, pi+1), parent.Root,
+				graph.Region{Row: bounds[pi+1], Col: regs[pi].Col, Rows: end - bounds[pi+1], Cols: regs[pi].Cols})
+			strips = append(strips, s)
+			bufs = append(bufs, s)
+		}
+		args[pi] = graph.Arg{Region: regs[pi], Bufs: bufs}
+	}
+	replaceInProducer(producer, parent, append(append([]*graph.Buffer(nil), chunks...), strips...))
+	replaceInConsumers(g, n, parent, chunks)
+	return args, nil
+}
+
+// findInputChild returns an existing producer-less child of the given
+// input root covering exactly reg, or nil.
+func findInputChild(g *graph.Graph, root *graph.Buffer, reg graph.Region) *graph.Buffer {
+	prod := g.Producer()
+	for _, b := range g.Buffers() {
+		if b.Root == root && !b.IsRoot() && b.Region == reg && prod[b.ID] == nil {
+			return b
+		}
+	}
+	return nil
+}
+
+// replaceInProducer swaps parent for children in the producer node's
+// output buffer list.
+func replaceInProducer(p *graph.Node, parent *graph.Buffer, children []*graph.Buffer) {
+	var out []*graph.Buffer
+	for _, b := range p.Out.Bufs {
+		if b != parent {
+			out = append(out, b)
+		}
+	}
+	out = append(out, children...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Region.Row < out[j].Region.Row })
+	p.Out.Bufs = out
+}
+
+// replaceInConsumers swaps parent for children in the input args of every
+// node except the one being split.
+func replaceInConsumers(g *graph.Graph, except *graph.Node, parent *graph.Buffer, children []*graph.Buffer) {
+	for _, node := range g.Nodes {
+		if node == except {
+			continue
+		}
+		for ai := range node.In {
+			a := &node.In[ai]
+			found := false
+			var bufs []*graph.Buffer
+			for _, b := range a.Bufs {
+				if b == parent {
+					found = true
+					continue
+				}
+				bufs = append(bufs, b)
+			}
+			if !found {
+				continue
+			}
+			bufs = append(bufs, children...)
+			sort.Slice(bufs, func(i, j int) bool { return bufs[i].Region.Row < bufs[j].Region.Row })
+			a.Bufs = bufs
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/templates"
+)
+
+func TestImageDeterministic(t *testing.T) {
+	a := Image(7, 20, 30)
+	b := Image(7, 20, 30)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same image")
+	}
+	c := Image(8, 20, 30)
+	if a.Equal(c) {
+		t.Fatal("different seeds should differ")
+	}
+	if a.Rows() != 20 || a.Cols() != 30 {
+		t.Fatal("shape wrong")
+	}
+}
+
+func TestEdgeKernelProperties(t *testing.T) {
+	k := EdgeKernel(5, 0)
+	if k.Rows() != 5 || k.Cols() != 5 {
+		t.Fatal("shape wrong")
+	}
+	// A derivative filter sums to ~zero.
+	if s := k.Sum(); s > 1e-4 || s < -1e-4 {
+		t.Fatalf("kernel sum = %v, want ~0", s)
+	}
+	// Different orientations differ.
+	if k.Equal(EdgeKernel(5, 1.2)) {
+		t.Fatal("rotated kernels should differ")
+	}
+	// Horizontal-gradient filter is antisymmetric in columns.
+	if k.At(2, 0)*k.At(2, 4) >= 0 {
+		t.Fatal("expected opposite signs across the center column")
+	}
+}
+
+func TestEdgeInputsComplete(t *testing.T) {
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 16, ImageW: 16, KernelSize: 5, Orientations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := EdgeInputs(bufs, 3)
+	if _, err := exec.RunReference(g, in); err != nil {
+		t.Fatalf("edge inputs incomplete: %v", err)
+	}
+}
+
+func TestCNNInputsComplete(t *testing.T) {
+	g, bufs, err := templates.CNN(templates.CNNConfig{
+		Name: "t", ImageH: 8, ImageW: 8, InPlanes: 2,
+		Layers: []templates.CNNLayer{
+			{Kind: templates.LayerConv, OutPlanes: 2, KernelSize: 3},
+			{Kind: templates.LayerTanh},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := CNNInputs(bufs, 4)
+	if _, err := exec.RunReference(g, in); err != nil {
+		t.Fatalf("CNN inputs incomplete: %v", err)
+	}
+}
+
+func TestRandomTensorScale(t *testing.T) {
+	r := RandomTensor(1, 10, 10, 0.1)
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if v := r.At(i, j); v > 0.1 || v < -0.1 {
+				t.Fatalf("value %v out of scale", v)
+			}
+		}
+	}
+}
