@@ -23,14 +23,16 @@ import (
 )
 
 var (
-	dim      = flag.Int("dim", 1024, "square image dimension")
-	kernel   = flag.Int("kernel", 16, "edge filter size")
-	orient   = flag.Int("orient", 4, "number of orientations (even)")
-	device   = flag.String("device", "c870", "GPU: c870, 8800, or mem=<bytes>")
-	planner  = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb")
-	simulate = flag.Bool("simulate", false, "accounting mode only (no data; any size)")
-	emitCUDA = flag.String("emit-cuda", "", "write generated CUDA source to this file")
-	verify   = flag.Bool("verify", false, "check results against the CPU reference")
+	dim       = flag.Int("dim", 1024, "square image dimension")
+	kernel    = flag.Int("kernel", 16, "edge filter size")
+	orient    = flag.Int("orient", 4, "number of orientations (even)")
+	device    = flag.String("device", "c870", "GPU: c870, 8800, or mem=<bytes>")
+	planner   = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb")
+	simulate  = flag.Bool("simulate", false, "accounting mode only (no data; any size)")
+	emitCUDA  = flag.String("emit-cuda", "", "write generated CUDA source to this file")
+	verify    = flag.Bool("verify", false, "check results against the CPU reference")
+	faults    = flag.Float64("faults", 0, "per-call transient fault probability; runs the resilient executor")
+	faultSeed = flag.Int64("fault-seed", 1, "fault injection seed")
 )
 
 func pickDevice(name string) gpu.Spec {
@@ -102,12 +104,28 @@ func main() {
 		fmt.Printf("wrote CUDA source to %s (+ kernel stubs %s)\n", *emitCUDA, stubs)
 	}
 
+	var inj *gpu.Injector
+	if *faults > 0 {
+		inj = gpu.NewInjector(*faultSeed).
+			SetRate(gpu.FaultH2D, *faults, gpu.Transient).
+			SetRate(gpu.FaultD2H, *faults, gpu.Transient).
+			SetRate(gpu.FaultLaunch, *faults, gpu.Transient)
+	}
+
 	var rep *exec.Report
 	if *simulate {
-		rep, err = compiled.Simulate()
+		if inj != nil {
+			rep, err = compiled.SimulateResilient(inj)
+		} else {
+			rep, err = compiled.Simulate()
+		}
 	} else {
 		in := workload.EdgeInputs(bufs, 42)
-		rep, err = compiled.Execute(in)
+		if inj != nil {
+			rep, err = compiled.ExecuteResilient(in, inj)
+		} else {
+			rep, err = compiled.Execute(in)
+		}
 		if err == nil && *verify {
 			want, rerr := exec.RunReference(g, in)
 			if rerr != nil {
@@ -130,4 +148,13 @@ func main() {
 	fmt.Printf("simulated time: %s (%s transfer, %s compute; transfer share %s)\n",
 		report.Seconds(rep.Stats.TotalTime()), report.Seconds(rep.Stats.TransferTime),
 		report.Seconds(rep.Stats.ComputeTime), report.Percent(rep.Stats.TransferShare()))
+	if rec := rep.Recovery; rec != nil {
+		fmt.Println(rec)
+		for _, e := range rec.Events {
+			fmt.Printf("  %s\n", e)
+		}
+		if rep.Stats.RecoveryTime > 0 {
+			fmt.Printf("recovery time: %s\n", report.Seconds(rep.Stats.RecoveryTime))
+		}
+	}
 }

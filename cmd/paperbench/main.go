@@ -26,7 +26,7 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap or faults")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 )
@@ -119,6 +119,26 @@ func extOverlap() error {
 	emit(t)
 	fmt.Println("The paper's hardware could not overlap (§3.3.2); this models the")
 	fmt.Println("stated extension on the next-generation part.")
+	return nil
+}
+
+func extFaults() error {
+	rates := []float64{0.001, 0.005, 0.01, 0.02, 0.05}
+	rows, err := experiments.Chaos(16000, rates, gpu.TeslaC870(), 2009)
+	if err != nil {
+		return err
+	}
+	t := report.New("Extension: resilient execution under injected transient faults (Tesla C870, edge 16000²)",
+		"Fault rate", "Device calls", "Retries", "Backoff (s)", "Clean (s)", "Faulty (s)", "Overhead")
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("%.1f%%", r.Rate*100), fmt.Sprint(r.Calls), fmt.Sprint(r.Retries),
+			report.Seconds(r.BackoffSeconds), report.Seconds(r.CleanTime),
+			report.Seconds(r.FaultyTime), fmt.Sprintf("%.2f%%", r.OverheadPct))
+	}
+	emit(t)
+	fmt.Println("Each transfer and kernel launch fails with the given probability;")
+	fmt.Println("the resilient executor retries with capped exponential backoff,")
+	fmt.Println("charging the backoff to the simulated clock.")
 	return nil
 }
 
@@ -246,6 +266,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "overlap" {
 		run("overlap", extOverlap)
+		did = true
+	}
+	if *allFlag || *extFlag == "faults" {
+		run("faults", extFaults)
 		did = true
 	}
 	if !did {

@@ -32,6 +32,7 @@ var (
 	overlap   = flag.Bool("overlap", false, "enable async transfer overlap (c1060 only)")
 	savePlan  = flag.String("save-plan", "", "write the plan as JSON to this file")
 	loadPlan  = flag.String("load-plan", "", "load a JSON plan instead of scheduling, verify, and use it")
+	verify    = flag.Bool("verify", false, "run the static verifier on the plan and report the result")
 )
 
 func main() {
@@ -113,6 +114,13 @@ func main() {
 		}
 		fh.Close()
 		fmt.Printf("wrote plan to %s\n", *savePlan)
+	}
+	if *verify {
+		if err := sched.Verify(g, compiled.Plan, eng.Capacity()); err != nil {
+			log.Fatalf("plan failed verification: %v", err)
+		}
+		fmt.Printf("plan verified: %d steps satisfy every executor invariant at capacity %s\n",
+			len(compiled.Plan.Steps), report.MB(eng.Capacity()))
 	}
 	if *dot {
 		fmt.Println(g.DOT(*tmpl))

@@ -97,6 +97,10 @@ type Compiled struct {
 	Plan   *sched.Plan
 	Split  split.Result
 	Device gpu.Spec
+	// Capacity is the planner memory budget (floats) the plan was
+	// compiled against; the resilient executor's degradation ladder
+	// replans relative to it.
+	Capacity int64
 	// PBStatus is set when the PB planner was used.
 	PBStatus pb.Result
 	// Overlap records that the plan was prefetch-reordered for
@@ -147,7 +151,7 @@ func (e *Engine) compileAt(g *graph.Graph, capacity int64) (*Compiled, error) {
 // compileSplitTarget splits the graph to fit splitTarget floats per
 // operator, then schedules against the (possibly larger) planner capacity.
 func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
-	c := &Compiled{Graph: g, Device: e.cfg.Device}
+	c := &Compiled{Graph: g, Device: e.cfg.Device, Capacity: capacity}
 
 	res, err := split.Apply(g, split.Options{Capacity: splitTarget, MaxParts: e.cfg.SplitMaxParts})
 	if err != nil {
@@ -209,6 +213,33 @@ func (c *Compiled) Execute(in exec.Inputs) (*exec.Report, error) {
 	dev := gpu.New(c.Device)
 	return exec.Run(c.Graph, c.Plan, in,
 		exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap})
+}
+
+// ExecuteResilient runs the compiled plan with real data on a fresh
+// simulated device under the resilient executor: transient faults are
+// retried, device loss restarts from the last offload-unit checkpoint,
+// and persistent OOM triggers the degradation ladder (replan at reduced
+// budgets, then the CPU reference). inj may be nil for a fault-free run.
+func (c *Compiled) ExecuteResilient(in exec.Inputs, inj *gpu.Injector) (*exec.Report, error) {
+	dev := gpu.New(c.Device)
+	dev.SetInjector(inj)
+	return exec.RunResilient(c.Graph, c.Plan, in, exec.ResilientOptions{
+		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap},
+		Capacity: c.Capacity,
+	})
+}
+
+// SimulateResilient replays the compiled plan in accounting mode under
+// the resilient executor, with optional fault injection. The CPU
+// fallback rung is unavailable without materialized data; every other
+// recovery mechanism (retry, checkpoint/restart, replanning) applies.
+func (c *Compiled) SimulateResilient(inj *gpu.Injector) (*exec.Report, error) {
+	dev := gpu.New(c.Device)
+	dev.SetInjector(inj)
+	return exec.RunResilient(c.Graph, c.Plan, nil, exec.ResilientOptions{
+		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap},
+		Capacity: c.Capacity,
+	})
 }
 
 // Simulate replays the compiled plan in accounting mode: byte-exact

@@ -58,6 +58,10 @@ type Report struct {
 	// host's main memory — the condition under which the paper reports
 	// "inconsistent results (due to thrashing)" in Table 2.
 	Thrashing bool
+	// Recovery documents the failure-recovery actions a resilient
+	// execution took (nil for plain Run; non-nil and Clean() for a
+	// resilient run that saw no faults).
+	Recovery *Recovery
 }
 
 type devBuf struct {
@@ -65,24 +69,55 @@ type devBuf struct {
 	data *tensor.Tensor // nil in accounting mode
 }
 
-// Run executes the plan on the simulated GPU. It enforces every memory
-// and data-validity constraint: transfers of data that is not valid at
-// the source, launches with missing operands, and device out-of-memory
-// conditions are errors — so a plan that "passes" is proven feasible for
-// the device.
-func Run(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+// executor is the plan step machine: all state needed to execute one step
+// at a time, so that a resilient driver can retry individual steps,
+// snapshot the state at offload-unit boundaries, and restore it after a
+// device loss. Plain Run drives it straight through.
+type executor struct {
+	g    *graph.Graph
+	plan *sched.Plan
+	opt  Options
+	dev  *gpu.Device
+	rep  *Report
+
+	host      map[int]*tensor.Tensor // root arrays (materialized mode)
+	hostValid map[int]bool
+	resident  map[int]*devBuf
+
+	// Overlapped-execution timelines: the DMA engine and the compute
+	// engine advance independently; ready[id] is the simulated time at
+	// which a buffer's device copy becomes available (transfer complete
+	// or producing kernel finished).
+	overlap           bool
+	dmaFree, compFree float64
+	ready             map[int]float64
+}
+
+// newExecutor validates the options and prepares host state. The device
+// must be pristine: stale allocations from a prior failed run would
+// silently corrupt the feasibility accounting.
+func newExecutor(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*executor, error) {
 	dev := opt.Device
 	if dev == nil {
 		return nil, fmt.Errorf("exec: no device")
 	}
-	rep := &Report{}
-
-	// Host state: root arrays (materialized) and per-buffer validity.
-	host := make(map[int]*tensor.Tensor)
-	hostValid := make(map[int]bool)
+	if used := dev.Allocator().UsedBytes(); used != 0 {
+		return nil, fmt.Errorf(
+			"exec: device %s not pristine: %d bytes still allocated (Reset or Recover it first)",
+			dev.Spec.Name, used)
+	}
+	e := &executor{
+		g: g, plan: plan, opt: opt, dev: dev,
+		rep:       &Report{},
+		host:      make(map[int]*tensor.Tensor),
+		hostValid: make(map[int]bool),
+		resident:  make(map[int]*devBuf),
+		overlap:   opt.Overlap && dev.Spec.AsyncTransfer,
+		ready:     make(map[int]float64),
+	}
 	for _, b := range g.LiveBuffers() {
 		if b.Root.IsInput || b.IsInput {
-			hostValid[b.ID] = true
+			e.hostValid[b.ID] = true
 		}
 	}
 	if opt.Mode == Materialized {
@@ -98,199 +133,254 @@ func Run(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, err
 				if t.Rows() != b.Region.Rows || t.Cols() != b.Region.Cols {
 					return nil, fmt.Errorf("exec: input %s shape %v, want %v", b, t, b.Shape())
 				}
-				host[b.ID] = t.Clone()
+				e.host[b.ID] = t.Clone()
 			} else {
-				host[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
+				e.host[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
 			}
 		}
 	}
+	return e, nil
+}
 
-	resident := make(map[int]*devBuf)
-
-	// Overlapped-execution timelines: the DMA engine and the compute
-	// engine advance independently; ready[id] is the simulated time at
-	// which a buffer's device copy becomes available (transfer complete or
-	// producing kernel finished).
-	overlap := opt.Overlap && dev.Spec.AsyncTransfer
-	var dmaFree, compFree float64
-	ready := make(map[int]float64)
-
-	rec := func(kind gpu.EventKind, label, engine string, start, end float64) {
-		if opt.Trace != nil {
-			opt.Trace.Add(gpu.Event{Kind: kind, Label: label, Engine: engine, Start: start, End: end})
-		}
+func (e *executor) rec(kind gpu.EventKind, label, engine string, start, end float64) {
+	if e.opt.Trace != nil {
+		e.opt.Trace.Add(gpu.Event{Kind: kind, Label: label, Engine: engine, Start: start, End: end})
 	}
+}
 
-	for si, step := range plan.Steps {
-		switch step.Kind {
-		case sched.StepH2D:
-			b := step.Buf
-			if _, ok := resident[b.ID]; ok {
-				return nil, fmt.Errorf("exec: step %d: H2D of already-resident %s", si, b)
+// stall pushes both engine timelines forward by t seconds (retry backoff
+// in overlapped mode: the whole device idles).
+func (e *executor) stall(t float64) {
+	e.dmaFree += t
+	e.compFree += t
+}
+
+// step executes plan step si. Steps are atomic with respect to device
+// faults: when a step returns an injected-fault error, no device time has
+// been charged and any partial allocations have been rolled back, so the
+// same step can simply be executed again.
+func (e *executor) step(si int, step sched.Step) error {
+	dev := e.dev
+	switch step.Kind {
+	case sched.StepH2D:
+		b := step.Buf
+		if _, ok := e.resident[b.ID]; ok {
+			return fmt.Errorf("exec: step %d: H2D of already-resident %s", si, b)
+		}
+		if !e.hostValid[b.ID] {
+			return fmt.Errorf("exec: step %d: H2D of %s but host copy is invalid", si, b)
+		}
+		off, err := dev.Malloc(b.Bytes())
+		if err != nil {
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		t0 := dev.Clock()
+		if err := dev.CopyToDevice(b.Size()); err != nil {
+			_ = dev.FreeMem(off) // roll back so a retry re-executes cleanly
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		if e.overlap {
+			start := e.dmaFree
+			e.dmaFree = start + dev.H2DDuration(b.Size())
+			e.ready[b.ID] = e.dmaFree
+			e.rec(gpu.EventH2D, b.Name, "dma", start, e.dmaFree)
+		} else {
+			e.rec(gpu.EventH2D, b.Name, "dma", t0, dev.Clock())
+		}
+		db := &devBuf{off: off}
+		if e.opt.Mode == Materialized {
+			root := e.host[b.Root.ID]
+			db.data = root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).Clone()
+		}
+		e.resident[b.ID] = db
+
+	case sched.StepD2H:
+		b := step.Buf
+		db, ok := e.resident[b.ID]
+		if !ok {
+			return fmt.Errorf("exec: step %d: D2H of non-resident %s", si, b)
+		}
+		t0 := dev.Clock()
+		if err := dev.CopyToHost(b.Size()); err != nil {
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		if e.overlap {
+			start := e.dmaFree
+			if r, ok := e.ready[b.ID]; ok && r > start {
+				start = r
 			}
-			if !hostValid[b.ID] {
-				return nil, fmt.Errorf("exec: step %d: H2D of %s but host copy is invalid", si, b)
+			e.dmaFree = start + dev.D2HDuration(b.Size())
+			e.rec(gpu.EventD2H, b.Name, "dma", start, e.dmaFree)
+		} else {
+			e.rec(gpu.EventD2H, b.Name, "dma", t0, dev.Clock())
+		}
+		if e.opt.Mode == Materialized {
+			root := e.host[b.Root.ID]
+			root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).CopyFrom(db.data)
+		}
+		e.hostValid[b.ID] = true
+
+	case sched.StepFree:
+		b := step.Buf
+		db, ok := e.resident[b.ID]
+		if !ok {
+			return fmt.Errorf("exec: step %d: free of non-resident %s", si, b)
+		}
+		if err := e.dev.FreeMem(db.off); err != nil {
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		delete(e.resident, b.ID)
+
+	case sched.StepLaunch:
+		n := step.Node
+		// Outputs may need fresh allocations (plans allocate outputs
+		// implicitly at launch). Track them so a faulted launch can roll
+		// back to a retryable state.
+		var fresh []int
+		rollback := func() {
+			for _, id := range fresh {
+				_ = dev.FreeMem(e.resident[id].off)
+				delete(e.resident, id)
+			}
+		}
+		for _, b := range n.OutputBuffers() {
+			if _, ok := e.resident[b.ID]; ok {
+				continue
 			}
 			off, err := dev.Malloc(b.Bytes())
 			if err != nil {
-				return nil, fmt.Errorf("exec: step %d: %w", si, err)
-			}
-			t0 := dev.Clock()
-			dev.CopyToDevice(b.Size())
-			if overlap {
-				start := dmaFree
-				dmaFree = start + dev.H2DDuration(b.Size())
-				ready[b.ID] = dmaFree
-				rec(gpu.EventH2D, b.Name, "dma", start, dmaFree)
-			} else {
-				rec(gpu.EventH2D, b.Name, "dma", t0, dev.Clock())
+				rollback()
+				return fmt.Errorf("exec: step %d (%s): output %s: %w", si, n, b, err)
 			}
 			db := &devBuf{off: off}
-			if opt.Mode == Materialized {
-				root := host[b.Root.ID]
-				db.data = root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).Clone()
+			if e.opt.Mode == Materialized {
+				db.data = tensor.New(b.Region.Rows, b.Region.Cols)
 			}
-			resident[b.ID] = db
-
-		case sched.StepD2H:
-			b := step.Buf
-			db, ok := resident[b.ID]
-			if !ok {
-				return nil, fmt.Errorf("exec: step %d: D2H of non-resident %s", si, b)
+			e.resident[b.ID] = db
+			fresh = append(fresh, b.ID)
+		}
+		var bytes int64
+		for _, b := range n.Buffers() {
+			if _, ok := e.resident[b.ID]; !ok {
+				rollback()
+				return fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, b)
 			}
-			t0 := dev.Clock()
-			dev.CopyToHost(b.Size())
-			if overlap {
-				start := dmaFree
-				if r, ok := ready[b.ID]; ok && r > start {
+			bytes += b.Bytes()
+		}
+		inShapes := make([]graph.Shape, len(n.In))
+		for i, a := range n.In {
+			inShapes[i] = a.Shape()
+		}
+		flops := n.Op.FLOPs(inShapes, n.Out.Shape())
+		t0 := dev.Clock()
+		if err := dev.Launch(flops, n.Out.Region.Size(), bytes); err != nil {
+			rollback()
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		if e.opt.Mode == Materialized {
+			if err := launchMaterialized(n, e.resident); err != nil {
+				return fmt.Errorf("exec: step %d: %w", si, err)
+			}
+		}
+		if e.overlap {
+			start := e.compFree
+			for _, b := range n.InputBuffers() {
+				if r, ok := e.ready[b.ID]; ok && r > start {
 					start = r
 				}
-				dmaFree = start + dev.D2HDuration(b.Size())
-				rec(gpu.EventD2H, b.Name, "dma", start, dmaFree)
-			} else {
-				rec(gpu.EventD2H, b.Name, "dma", t0, dev.Clock())
 			}
-			if opt.Mode == Materialized {
-				root := host[b.Root.ID]
-				root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).CopyFrom(db.data)
-			}
-			hostValid[b.ID] = true
-
-		case sched.StepFree:
-			b := step.Buf
-			db, ok := resident[b.ID]
-			if !ok {
-				return nil, fmt.Errorf("exec: step %d: free of non-resident %s", si, b)
-			}
-			if err := dev.FreeMem(db.off); err != nil {
-				return nil, fmt.Errorf("exec: step %d: %w", si, err)
-			}
-			delete(resident, b.ID)
-
-		case sched.StepLaunch:
-			n := step.Node
-			// Outputs may need fresh allocations (plans allocate outputs
-			// implicitly at launch).
+			e.compFree = start + dev.KernelTime(flops, n.Out.Region.Size(), bytes)
 			for _, b := range n.OutputBuffers() {
-				if _, ok := resident[b.ID]; ok {
-					continue
-				}
-				off, err := dev.Malloc(b.Bytes())
-				if err != nil {
-					return nil, fmt.Errorf("exec: step %d (%s): output %s: %w", si, n, b, err)
-				}
-				db := &devBuf{off: off}
-				if opt.Mode == Materialized {
-					db.data = tensor.New(b.Region.Rows, b.Region.Cols)
-				}
-				resident[b.ID] = db
+				e.ready[b.ID] = e.compFree
 			}
-			var bytes int64
-			for _, b := range n.Buffers() {
-				if _, ok := resident[b.ID]; !ok {
-					return nil, fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, b)
-				}
-				bytes += b.Bytes()
-			}
-			if opt.Mode == Materialized {
-				if err := launchMaterialized(n, resident); err != nil {
-					return nil, fmt.Errorf("exec: step %d: %w", si, err)
-				}
-			}
-			inShapes := make([]graph.Shape, len(n.In))
-			for i, a := range n.In {
-				inShapes[i] = a.Shape()
-			}
-			flops := n.Op.FLOPs(inShapes, n.Out.Shape())
-			t0 := dev.Clock()
-			dev.Launch(flops, n.Out.Region.Size(), bytes)
-			if overlap {
-				start := compFree
-				for _, b := range n.InputBuffers() {
-					if r, ok := ready[b.ID]; ok && r > start {
-						start = r
-					}
-				}
-				compFree = start + dev.KernelTime(flops, n.Out.Region.Size(), bytes)
-				for _, b := range n.OutputBuffers() {
-					ready[b.ID] = compFree
-				}
-				rec(gpu.EventKernel, n.Name, "compute", start, compFree)
-			} else {
-				rec(gpu.EventKernel, n.Name, "compute", t0, dev.Clock())
-			}
-			for _, b := range n.OutputBuffers() {
-				hostValid[b.ID] = false // GPU now holds the only valid copy
-			}
-
-		case sched.StepSync:
-			t0 := dev.Clock()
-			dev.Sync()
-			if overlap {
-				// Asynchronous streams do not join the host at unit
-				// boundaries: the sync degenerates to a stream-ordered
-				// event, charged on the compute timeline only. Cross-engine
-				// ordering is still enforced through the ready times.
-				rec(gpu.EventSync, "", "compute", compFree, compFree+dev.Spec.SyncOverhead)
-				compFree += dev.Spec.SyncOverhead
-			} else {
-				rec(gpu.EventSync, "", "compute", t0, dev.Clock())
-			}
-
-		default:
-			return nil, fmt.Errorf("exec: step %d: unknown kind %v", si, step.Kind)
+			e.rec(gpu.EventKernel, n.Name, "compute", start, e.compFree)
+		} else {
+			e.rec(gpu.EventKernel, n.Name, "compute", t0, dev.Clock())
 		}
-		if used := dev.Allocator().UsedBytes(); used > rep.PeakResidentBytes {
-			rep.PeakResidentBytes = used
+		for _, b := range n.OutputBuffers() {
+			e.hostValid[b.ID] = false // GPU now holds the only valid copy
+		}
+
+	case sched.StepSync:
+		t0 := dev.Clock()
+		dev.Sync()
+		if e.overlap {
+			// Asynchronous streams do not join the host at unit
+			// boundaries: the sync degenerates to a stream-ordered
+			// event, charged on the compute timeline only. Cross-engine
+			// ordering is still enforced through the ready times.
+			e.rec(gpu.EventSync, "", "compute", e.compFree, e.compFree+dev.Spec.SyncOverhead)
+			e.compFree += dev.Spec.SyncOverhead
+		} else {
+			e.rec(gpu.EventSync, "", "compute", t0, dev.Clock())
+		}
+
+	default:
+		return fmt.Errorf("exec: step %d: unknown kind %v", si, step.Kind)
+	}
+	if used := e.dev.Allocator().UsedBytes(); used > e.rep.PeakResidentBytes {
+		e.rep.PeakResidentBytes = used
+	}
+	return nil
+}
+
+// capture fills the report with the statistics accumulated so far; used
+// both at successful completion and to produce the partial report
+// returned alongside an execution error.
+func (e *executor) capture() *Report {
+	e.rep.Stats = e.dev.Stats()
+	if hm := e.dev.Spec.HostMemoryBytes; hm > 0 && e.rep.Stats.TotalFloats()*4 > hm {
+		e.rep.Thrashing = true
+	}
+	return e.rep
+}
+
+// finish runs the end-of-plan invariant checks and seals the report.
+func (e *executor) finish() (*Report, error) {
+	for _, b := range e.g.OutputBuffers() {
+		if !e.hostValid[b.ID] {
+			return e.capture(), fmt.Errorf("exec: template output %s did not reach the host", b)
 		}
 	}
-
-	for _, b := range g.OutputBuffers() {
-		if !hostValid[b.ID] {
-			return nil, fmt.Errorf("exec: template output %s did not reach the host", b)
-		}
+	if len(e.resident) != 0 {
+		return e.capture(), fmt.Errorf("exec: %d buffers leaked on the device", len(e.resident))
 	}
-	if len(resident) != 0 {
-		return nil, fmt.Errorf("exec: %d buffers leaked on the device", len(resident))
+	if e.overlap {
+		e.dev.SetWallTime(max(e.dmaFree, e.compFree))
 	}
-
-	if overlap {
-		dev.SetWallTime(max(dmaFree, compFree))
-	}
-	rep.Stats = dev.Stats()
-	if hm := dev.Spec.HostMemoryBytes; hm > 0 && rep.Stats.TotalFloats()*4 > hm {
-		rep.Thrashing = true
-	}
-	if opt.Mode == Materialized {
-		rep.Outputs = make(Outputs)
-		for _, b := range g.OutputBuffers() {
+	e.capture()
+	if e.opt.Mode == Materialized {
+		e.rep.Outputs = make(Outputs)
+		for _, b := range e.g.OutputBuffers() {
 			root := b.Root
-			if _, ok := rep.Outputs[root.ID]; !ok {
-				rep.Outputs[root.ID] = host[root.ID]
+			if _, ok := e.rep.Outputs[root.ID]; !ok {
+				e.rep.Outputs[root.ID] = e.host[root.ID]
 			}
 		}
 	}
-	return rep, nil
+	return e.rep, nil
+}
+
+// Run executes the plan on the simulated GPU. It enforces every memory
+// and data-validity constraint: transfers of data that is not valid at
+// the source, launches with missing operands, and device out-of-memory
+// conditions are errors — so a plan that "passes" is proven feasible for
+// the device. The device must be pristine (no live allocations).
+//
+// On error the returned *Report is non-nil and carries the statistics and
+// peak residency accumulated up to the failure, for diagnosability; only
+// a nil report means execution never started.
+func Run(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	e, err := newExecutor(g, plan, in, opt)
+	if err != nil {
+		return nil, err
+	}
+	for si, step := range plan.Steps {
+		if err := e.step(si, step); err != nil {
+			return e.capture(), err
+		}
+	}
+	return e.finish()
 }
 
 // launchMaterialized assembles the node's logical argument tensors from

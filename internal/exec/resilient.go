@@ -1,0 +1,422 @@
+// Resilient plan execution: retry with exponential backoff for transient
+// faults, checkpoint/restart at offload-unit boundaries for device loss,
+// and a graceful-degradation ladder (replanning with a shrinking memory
+// budget, final fallback to the pure-CPU reference) for persistent
+// out-of-memory. With fault injection disabled the resilient executor is
+// byte- and stat-identical to plain Run: checkpoints are bookkeeping-only
+// snapshots and charge no simulated time.
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/split"
+	"repro/internal/tensor"
+)
+
+// RetryPolicy caps the transient-fault retry loop. Backoff is charged to
+// the simulated clock (Stats.RecoveryTime) so recovery cost shows up in
+// the timing results.
+type RetryPolicy struct {
+	// MaxRetries per step (0 → 4).
+	MaxRetries int
+	// BaseBackoff is the first retry delay in simulated seconds, doubled
+	// each subsequent retry (0 → 1ms).
+	BaseBackoff float64
+	// MaxBackoff caps a single delay (0 → 100ms).
+	MaxBackoff float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 4
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 1e-3
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 100e-3
+	}
+	return p
+}
+
+func (p RetryPolicy) backoff(attempt int) float64 {
+	d := p.BaseBackoff
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	return d
+}
+
+// ResilientOptions configures RunResilient.
+type ResilientOptions struct {
+	Options
+	Retry RetryPolicy
+	// Capacity is the planner memory budget in floats used when the
+	// degradation ladder replans (0 → the device's PlannerCapacity).
+	Capacity int64
+	// Budgets are the shrinking capacity fractions the degradation ladder
+	// replans with on persistent OOM (nil → 0.95, 0.80, 0.60).
+	Budgets []float64
+	// MaxReplays bounds checkpoint restarts per plan attempt (0 → 3).
+	MaxReplays int
+	// DisableCPUFallback turns off the final pure-CPU fallback rung.
+	DisableCPUFallback bool
+}
+
+// Recovery documents every recovery action a resilient execution took.
+type Recovery struct {
+	// Retries counts step re-executions after transient faults.
+	Retries int
+	// BackoffSeconds is the total simulated retry backoff charged.
+	BackoffSeconds float64
+	// Replays counts checkpoint restarts (device loss or a persistent
+	// kernel/transfer fault).
+	Replays int
+	// ReplayedFloats is the H2D volume re-transferred restoring
+	// checkpointed residency after device loss.
+	ReplayedFloats int64
+	// Replans counts degradation-ladder replans after persistent OOM.
+	Replans int
+	// ReplanBudgets lists the capacity (floats) of each replan attempt.
+	ReplanBudgets []int64
+	// CPUFallback is set when the final rung — the pure-CPU reference
+	// executor — produced the outputs.
+	CPUFallback bool
+	// Events is a human-readable audit log of every recovery action.
+	Events []string
+}
+
+// Clean reports whether the execution needed no recovery at all.
+func (r *Recovery) Clean() bool {
+	return r.Retries == 0 && r.Replays == 0 && r.Replans == 0 && !r.CPUFallback
+}
+
+func (r *Recovery) String() string {
+	if r.Clean() {
+		return "recovery: clean (no faults)"
+	}
+	s := fmt.Sprintf("recovery: %d retries (%.3fs backoff), %d replays (%d floats re-transferred), %d replans",
+		r.Retries, r.BackoffSeconds, r.Replays, r.ReplayedFloats, r.Replans)
+	if r.CPUFallback {
+		s += ", CPU fallback"
+	}
+	return s
+}
+
+func (r *Recovery) logf(format string, args ...interface{}) {
+	r.Events = append(r.Events, fmt.Sprintf(format, args...))
+}
+
+// checkpoint is a restart point taken at a StepSync offload-unit
+// boundary: the executor state needed to resume from the following step.
+// Snapshots are host-side bookkeeping and charge no simulated time; the
+// recovery path pays the full H2D replay cost when a checkpoint is
+// restored (see DESIGN.md, "Failure model & recovery").
+type checkpoint struct {
+	next      int   // index of the first step after the sync
+	resident  []int // buffer IDs resident at the boundary, ascending
+	data      map[int]*tensor.Tensor
+	hostValid map[int]bool
+	dmaFree   float64
+	compFree  float64
+	ready     map[int]float64
+}
+
+// snapshot captures a checkpoint after step si completed.
+func (e *executor) snapshot(next int) *checkpoint {
+	cp := &checkpoint{
+		next:      next,
+		data:      make(map[int]*tensor.Tensor, len(e.resident)),
+		hostValid: make(map[int]bool, len(e.hostValid)),
+		dmaFree:   e.dmaFree,
+		compFree:  e.compFree,
+		ready:     make(map[int]float64, len(e.ready)),
+	}
+	for id, db := range e.resident {
+		cp.resident = append(cp.resident, id)
+		if db.data != nil {
+			cp.data[id] = db.data.Clone()
+		}
+	}
+	sort.Ints(cp.resident)
+	for id, v := range e.hostValid {
+		cp.hostValid[id] = v
+	}
+	for id, t := range e.ready {
+		cp.ready[id] = t
+	}
+	return cp
+}
+
+// restore recovers the device and rebuilds the checkpointed residency,
+// charging a full H2D replay for every restored buffer. It returns the
+// floats re-transferred (even on error, for accounting) and is idempotent:
+// a failed restore can simply be run again.
+func (e *executor) restore(cp *checkpoint) (int64, error) {
+	e.dev.Recover()
+	e.resident = make(map[int]*devBuf)
+	e.hostValid = make(map[int]bool, len(cp.hostValid))
+	for id, v := range cp.hostValid {
+		e.hostValid[id] = v
+	}
+	e.dmaFree, e.compFree = cp.dmaFree, cp.compFree
+	e.ready = make(map[int]float64, len(cp.ready))
+	for id, t := range cp.ready {
+		e.ready[id] = t
+	}
+	bufs := e.g.Buffers()
+	byID := make(map[int]*graph.Buffer, len(bufs))
+	for _, b := range bufs {
+		byID[b.ID] = b
+	}
+	var floats int64
+	for _, id := range cp.resident {
+		b, ok := byID[id]
+		if !ok {
+			return floats, fmt.Errorf("exec: restore: unknown buffer %d", id)
+		}
+		off, err := e.dev.Malloc(b.Bytes())
+		if err != nil {
+			return floats, fmt.Errorf("exec: restore %s: %w", b, err)
+		}
+		if err := e.dev.CopyToDevice(b.Size()); err != nil {
+			_ = e.dev.FreeMem(off)
+			return floats, fmt.Errorf("exec: restore %s: %w", b, err)
+		}
+		floats += b.Size()
+		db := &devBuf{off: off}
+		if t, ok := cp.data[id]; ok {
+			db.data = t.Clone()
+		}
+		e.resident[id] = db
+		if e.overlap {
+			e.dmaFree += e.dev.H2DDuration(b.Size())
+			e.ready[id] = e.dmaFree
+		}
+	}
+	if used := e.dev.Allocator().UsedBytes(); used > e.rep.PeakResidentBytes {
+		e.rep.PeakResidentBytes = used
+	}
+	return floats, nil
+}
+
+// RunResilient executes the plan like Run but survives injected and real
+// runtime faults:
+//
+//   - transient transfer/kernel/malloc faults are retried with capped
+//     exponential backoff, charged to the simulated clock;
+//   - on device loss (and on persistent non-OOM faults, which are handled
+//     as a device-level reset) the device is recovered and execution
+//     restarts from the last StepSync checkpoint, replaying the H2D of
+//     the buffers live at that boundary;
+//   - on persistent out-of-memory the degradation ladder replans the
+//     graph via split+sched against a shrinking memory budget, and as a
+//     last resort falls back to the pure-CPU reference executor.
+//
+// With no faults the result is bit- and stat-identical to Run. The
+// returned Report always carries a non-nil Recovery section.
+func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
+	dev := opt.Device
+	if dev == nil {
+		return nil, fmt.Errorf("exec: no device")
+	}
+	opt.Retry = opt.Retry.withDefaults()
+	if opt.MaxReplays == 0 {
+		opt.MaxReplays = 3
+	}
+	if opt.Capacity == 0 {
+		opt.Capacity = dev.Spec.PlannerCapacity()
+	}
+	budgets := opt.Budgets
+	if budgets == nil {
+		budgets = []float64{0.95, 0.80, 0.60}
+	}
+
+	rec := &Recovery{}
+	rep, err := runAttempt(g, plan, in, opt, rec)
+	if err == nil {
+		rep.Recovery = rec
+		return rep, nil
+	}
+
+	// Degradation ladder: persistent OOM means the plan's residency does
+	// not fit the device as-is — replan with a shrinking budget. The
+	// graph is re-split from a clone so buffer IDs (and therefore the
+	// caller's Inputs/Outputs keys) are preserved.
+	for _, frac := range budgets {
+		if !gpu.IsOOM(err) {
+			break
+		}
+		target := int64(float64(opt.Capacity) * frac)
+		if target <= 0 {
+			break
+		}
+		rec.logf("persistent OOM (%v): replanning with budget %d floats (%.0f%% of capacity)",
+			err, target, frac*100)
+		g2, plan2, perr := replan(g, target)
+		if perr != nil {
+			rec.logf("replan at %d floats failed: %v", target, perr)
+			err = fmt.Errorf("%w (replan at %d floats: %v)", err, target, perr)
+			continue
+		}
+		rec.Replans++
+		rec.ReplanBudgets = append(rec.ReplanBudgets, target)
+		dev.Recover() // drop the failed attempt's allocations, keep clock/stats
+		rep, err = runAttempt(g2, plan2, in, opt, rec)
+		if err == nil {
+			rep.Recovery = rec
+			return rep, nil
+		}
+	}
+
+	// Final rung: pure-CPU reference execution. Only meaningful when data
+	// is materialized; accounting mode has nothing to compute.
+	if !opt.DisableCPUFallback && opt.Mode == Materialized {
+		rec.logf("degradation ladder exhausted (%v): falling back to CPU reference", err)
+		outs, rerr := RunReference(g, in)
+		if rerr != nil {
+			return rep, fmt.Errorf("exec: CPU fallback failed: %v (after %w)", rerr, err)
+		}
+		rec.CPUFallback = true
+		if rep == nil {
+			rep = &Report{}
+		}
+		rep.Stats = dev.Stats()
+		rep.Outputs = outs
+		rep.Recovery = rec
+		return rep, nil
+	}
+	if rep != nil {
+		rep.Recovery = rec
+	}
+	return rep, err
+}
+
+// replan re-derives a feasible plan for a fresh clone of the graph under
+// the given memory budget (floats): split until every operator fits, then
+// schedule with the paper's heuristic. The plan must pass the static
+// verifier before it is allowed near the device.
+func replan(g *graph.Graph, budget int64) (*graph.Graph, *sched.Plan, error) {
+	g2 := g.Clone()
+	if _, err := split.Apply(g2, split.Options{Capacity: budget}); err != nil {
+		return nil, nil, fmt.Errorf("split: %w", err)
+	}
+	if err := g2.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("split graph invalid: %w", err)
+	}
+	plan, err := sched.Heuristic(g2, budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("schedule: %w", err)
+	}
+	if err := sched.Verify(g2, plan, budget); err != nil {
+		return nil, nil, fmt.Errorf("verify: %w", err)
+	}
+	return g2, plan, nil
+}
+
+// runAttempt drives one plan to completion with step-level retry and
+// checkpoint restart. It returns the partial report alongside any error
+// it cannot absorb (persistent OOM for the ladder, plan bugs).
+func runAttempt(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions, rec *Recovery) (*Report, error) {
+	e, err := newExecutor(g, plan, in, opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	cp := e.snapshot(0) // restart point before the first step
+	replays := 0
+	si := 0
+	for si < len(plan.Steps) {
+		step := plan.Steps[si]
+		err := e.stepWithRetry(si, step, opt, rec)
+		if err == nil {
+			if step.Kind == sched.StepSync {
+				cp = e.snapshot(si + 1)
+			}
+			si++
+			continue
+		}
+		switch {
+		case gpu.IsOOM(err):
+			// Persistent allocation failure: the ladder replans.
+			return e.capture(), err
+		case gpu.IsDeviceLost(err) || isPersistentFault(err):
+			// Device loss, or a persistent kernel/transfer fault treated
+			// as a device-level reset: restore the last checkpoint and
+			// replay from there.
+			if replays >= opt.MaxReplays {
+				rec.logf("step %d: %v: replay budget (%d) exhausted", si, err, opt.MaxReplays)
+				return e.capture(), err
+			}
+			replays++
+			rec.Replays++
+			rec.logf("step %d: %v: restoring checkpoint at step %d (replay %d/%d)",
+				si, err, cp.next, replays, opt.MaxReplays)
+			if rerr := e.restoreWithRetry(cp, opt, rec); rerr != nil {
+				return e.capture(), rerr
+			}
+			si = cp.next
+		default:
+			// Plan bug or operator error: not recoverable by rerunning.
+			return e.capture(), err
+		}
+	}
+	return e.finish()
+}
+
+// stepWithRetry executes one step, retrying transient faults with capped
+// exponential backoff charged to the simulated clock.
+func (e *executor) stepWithRetry(si int, step sched.Step, opt ResilientOptions, rec *Recovery) error {
+	err := e.step(si, step)
+	for attempt := 0; err != nil && gpu.IsTransient(err) && attempt < opt.Retry.MaxRetries; attempt++ {
+		b := opt.Retry.backoff(attempt)
+		e.dev.ChargeRecovery(b)
+		if e.overlap {
+			e.stall(b)
+		}
+		rec.Retries++
+		rec.BackoffSeconds += b
+		rec.logf("step %d (%s): transient fault (%v): retry %d after %.1fms",
+			si, step.Kind, err, attempt+1, b*1e3)
+		err = e.step(si, step)
+	}
+	return err
+}
+
+// restoreWithRetry restores a checkpoint, absorbing transient faults and
+// repeated device losses during the replay itself (restore is idempotent).
+func (e *executor) restoreWithRetry(cp *checkpoint, opt ResilientOptions, rec *Recovery) error {
+	floats, err := e.restore(cp)
+	rec.ReplayedFloats += floats
+	for attempt := 0; err != nil && attempt < opt.Retry.MaxRetries; attempt++ {
+		if !(gpu.IsTransient(err) || gpu.IsDeviceLost(err)) {
+			return err
+		}
+		b := opt.Retry.backoff(attempt)
+		e.dev.ChargeRecovery(b)
+		if e.overlap {
+			e.stall(b)
+		}
+		rec.Retries++
+		rec.BackoffSeconds += b
+		rec.logf("checkpoint restore failed (%v): retry %d after %.1fms", err, attempt+1, b*1e3)
+		floats, err = e.restore(cp)
+		rec.ReplayedFloats += floats
+	}
+	return err
+}
+
+// isPersistentFault reports an injected persistent fault that is not an
+// OOM (those go to the degradation ladder instead).
+func isPersistentFault(err error) bool {
+	var fe *gpu.FaultError
+	return errors.As(err, &fe) && fe.Class == gpu.Persistent && !gpu.IsOOM(err)
+}

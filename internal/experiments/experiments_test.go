@@ -300,3 +300,42 @@ func mustFind(specs []TemplateSpec, name, input string) TemplateSpec {
 	}
 	panic("workload not found: " + name + " " + input)
 }
+
+func TestChaosSweep(t *testing.T) {
+	// A small device forces eviction traffic (many fallible calls) so
+	// even modest rates fire deterministically under seed 42.
+	spec := gpu.Custom("chaos-test", 1<<20)
+	rates := []float64{0, 0.05, 0.10, 0.20}
+	rows, err := Chaos(512, rates, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(rates))
+	}
+	if rows[0].Retries != 0 || rows[0].FaultyTime != rows[0].CleanTime {
+		t.Fatalf("rate 0 must match the clean run: %+v", rows[0])
+	}
+	for i, row := range rows[1:] {
+		if row.Retries == 0 {
+			t.Fatalf("rate %g produced no retries", row.Rate)
+		}
+		if row.FaultyTime <= row.CleanTime {
+			t.Fatalf("recovery must cost simulated time: %+v", row)
+		}
+		if row.Retries <= rows[i].Retries {
+			t.Fatalf("higher rate must retry more: %+v vs %+v", row, rows[i])
+		}
+	}
+	// Determinism: the sweep is seeded.
+	again, err := Chaos(512, rates, spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Fatalf("sweep not deterministic at rate %g: %+v vs %+v",
+				rates[i], rows[i], again[i])
+		}
+	}
+}

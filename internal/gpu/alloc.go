@@ -44,8 +44,8 @@ func (a *Allocator) Alloc(n int64) (int64, error) {
 			return off, nil
 		}
 	}
-	return 0, fmt.Errorf("gpu: cannot allocate %d bytes (free %d in %d spans, largest %d)",
-		n, a.FreeBytes(), len(a.free), a.LargestFree())
+	return 0, fmt.Errorf("gpu: cannot allocate %d bytes (free %d in %d spans, largest %d): %w",
+		n, a.FreeBytes(), len(a.free), a.LargestFree(), ErrOOM)
 }
 
 // Free releases the allocation at off, coalescing adjacent free spans.

@@ -12,6 +12,8 @@ type Device struct {
 	alloc *Allocator
 	clock float64
 	stats Stats
+	inj   *Injector
+	lost  bool
 }
 
 // Stats accumulates the measurements the paper reports: transfer volumes
@@ -25,6 +27,9 @@ type Stats struct {
 	TransferTime         float64 // seconds of simulated DMA time
 	ComputeTime          float64 // seconds of simulated kernel time
 	SyncTime             float64 // seconds of host-GPU synchronization
+	// RecoveryTime is simulated time spent in failure recovery (retry
+	// backoff charged by a resilient executor); zero on healthy runs.
+	RecoveryTime float64
 	// WallTime, when non-zero, is the overlapped-execution makespan set
 	// by an executor running with asynchronous transfers; otherwise the
 	// engines serialize and TotalTime is the sum of the buckets.
@@ -40,7 +45,7 @@ func (s Stats) TotalTime() float64 {
 	if s.WallTime > 0 {
 		return s.WallTime
 	}
-	return s.TransferTime + s.ComputeTime + s.SyncTime
+	return s.TransferTime + s.ComputeTime + s.SyncTime + s.RecoveryTime
 }
 
 // TransferShare returns the fraction of simulated time spent in DMA,
@@ -58,11 +63,52 @@ func New(spec Spec) *Device {
 	return &Device{Spec: spec, alloc: NewAllocator(spec.MemoryBytes)}
 }
 
-// Reset clears memory, clock, and statistics.
+// Reset clears memory, clock, statistics, and any lost-device state.
 func (d *Device) Reset() {
 	d.alloc = NewAllocator(d.Spec.MemoryBytes)
 	d.clock = 0
 	d.stats = Stats{}
+	d.lost = false
+}
+
+// Recover reinitializes the device after a failure: memory is emptied and
+// the lost flag cleared, but the simulated clock and accumulated
+// statistics are preserved so that the cost of recovery stays visible in
+// Stats. This models a driver-level device reset mid-application.
+func (d *Device) Recover() {
+	d.alloc = NewAllocator(d.Spec.MemoryBytes)
+	d.lost = false
+}
+
+// SetInjector attaches a fault injector; nil disables injection.
+func (d *Device) SetInjector(in *Injector) { d.inj = in }
+
+// Injector returns the attached fault injector (nil when none).
+func (d *Device) Injector() *Injector { return d.inj }
+
+// Lost reports whether the device is lost and must be Recovered.
+func (d *Device) Lost() bool { return d.lost }
+
+// fault gates every fallible operation: a lost device fails everything,
+// and the injector may fail this call. A device-loss fault latches.
+func (d *Device) fault(kind FaultKind) error {
+	if d.lost {
+		return fmt.Errorf("device %s: %w", d.Spec.Name, ErrDeviceLost)
+	}
+	if fe := d.inj.check(kind, d.Spec.Name); fe != nil {
+		if fe.Kind == FaultDeviceLost {
+			d.lost = true
+		}
+		return fe
+	}
+	return nil
+}
+
+// ChargeRecovery advances the simulated clock by t seconds of recovery
+// work (retry backoff, reset latency), accounted separately in Stats.
+func (d *Device) ChargeRecovery(t float64) {
+	d.clock += t
+	d.stats.RecoveryTime += t
 }
 
 // Clock returns the simulated time in seconds.
@@ -76,6 +122,9 @@ func (d *Device) Allocator() *Allocator { return d.alloc }
 
 // Malloc reserves n bytes of device memory.
 func (d *Device) Malloc(n int64) (int64, error) {
+	if err := d.fault(FaultMalloc); err != nil {
+		return 0, err
+	}
 	off, err := d.alloc.Alloc(n)
 	if err != nil {
 		return 0, fmt.Errorf("device %s: %w", d.Spec.Name, err)
@@ -96,22 +145,31 @@ func (d *Device) D2HDuration(floats int64) float64 {
 	return d.Spec.TransferLatency + float64(floats*4)/d.Spec.D2HBandwidth
 }
 
-// CopyToDevice accounts a host→device DMA of the given float count.
-func (d *Device) CopyToDevice(floats int64) {
+// CopyToDevice accounts a host→device DMA of the given float count. A
+// faulted transfer charges nothing: the retry (if any) pays in full.
+func (d *Device) CopyToDevice(floats int64) error {
+	if err := d.fault(FaultH2D); err != nil {
+		return err
+	}
 	t := d.H2DDuration(floats)
 	d.clock += t
 	d.stats.TransferTime += t
 	d.stats.H2DFloats += floats
 	d.stats.H2DCalls++
+	return nil
 }
 
 // CopyToHost accounts a device→host DMA of the given float count.
-func (d *Device) CopyToHost(floats int64) {
+func (d *Device) CopyToHost(floats int64) error {
+	if err := d.fault(FaultD2H); err != nil {
+		return err
+	}
 	t := d.D2HDuration(floats)
 	d.clock += t
 	d.stats.TransferTime += t
 	d.stats.D2HFloats += floats
 	d.stats.D2HCalls++
+	return nil
 }
 
 // Sync accounts a host-GPU synchronization at an offload-unit boundary.
@@ -148,9 +206,13 @@ func (d *Device) KernelTime(flops, elements, bytes int64) float64 {
 }
 
 // Launch accounts one kernel execution.
-func (d *Device) Launch(flops, elements, bytes int64) {
+func (d *Device) Launch(flops, elements, bytes int64) error {
+	if err := d.fault(FaultLaunch); err != nil {
+		return err
+	}
 	t := d.KernelTime(flops, elements, bytes)
 	d.clock += t
 	d.stats.ComputeTime += t
 	d.stats.KernelLaunches++
+	return nil
 }

@@ -573,3 +573,60 @@ func TestPlanJSONAcrossClone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVerifyHardenedGuards(t *testing.T) {
+	g := fig3(t)
+	plan, err := Heuristic(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(nil, plan, 5); err == nil {
+		t.Fatal("nil graph must be rejected")
+	}
+	if err := Verify(g, nil, 5); err == nil {
+		t.Fatal("nil plan must be rejected")
+	}
+	if err := Verify(g, plan, 0); err == nil {
+		t.Fatal("zero capacity must be rejected")
+	}
+	if err := Verify(g, plan, -5); err == nil {
+		t.Fatal("negative capacity must be rejected")
+	}
+	corrupt := func(mut func(steps []Step) []Step) *Plan {
+		return &Plan{Steps: mut(append([]Step(nil), plan.Steps...)), Order: plan.Order}
+	}
+	if err := Verify(g, corrupt(func(s []Step) []Step {
+		return append([]Step{{Kind: StepH2D}}, s...)
+	}), 5); err == nil {
+		t.Fatal("nil transfer buffer must be rejected")
+	}
+	if err := Verify(g, corrupt(func(s []Step) []Step {
+		return append([]Step{{Kind: StepLaunch}}, s...)
+	}), 5); err == nil {
+		t.Fatal("nil launch node must be rejected")
+	}
+	// A plan referencing buffers or nodes outside this graph is not
+	// executable against it, even if the step sequence looks legal.
+	if err := Verify(g, corrupt(func(s []Step) []Step {
+		for i := range s {
+			if s[i].Kind == StepH2D {
+				s[i].Buf = &graph.Buffer{ID: 9999, Name: "foreign"}
+				break
+			}
+		}
+		return s
+	}), 5); err == nil {
+		t.Fatal("foreign buffer must be rejected")
+	}
+	if err := Verify(g, corrupt(func(s []Step) []Step {
+		for i := range s {
+			if s[i].Kind == StepLaunch {
+				s[i].Node = &graph.Node{ID: 9999, Name: "foreign"}
+				break
+			}
+		}
+		return s
+	}), 5); err == nil {
+		t.Fatal("foreign node must be rejected")
+	}
+}

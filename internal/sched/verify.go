@@ -14,19 +14,53 @@ import (
 // a device, usable on plans from any source (heuristic, PB, prefetched,
 // hand-written).
 func Verify(g *graph.Graph, plan *Plan, capacity int64) error {
+	if g == nil {
+		return fmt.Errorf("sched: verify: nil graph")
+	}
+	if plan == nil {
+		return fmt.Errorf("sched: verify: nil plan")
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("sched: verify: capacity %d must be positive", capacity)
+	}
 	resident := map[int]bool{}
 	validHost := map[int]bool{}
 	launched := map[int]bool{}
+	live := map[int]bool{}
 	for _, b := range g.LiveBuffers() {
+		live[b.ID] = true
 		if b.IsInput || b.Root.IsInput {
 			validHost[b.ID] = true
 		}
+	}
+	nodes := map[int]bool{}
+	for _, n := range g.Nodes {
+		nodes[n.ID] = true
 	}
 	prod := g.Producer()
 	deps := g.Deps()
 	var used int64
 
 	for si, s := range plan.Steps {
+		// Buffer and node references must point into this graph: a plan
+		// built for (or corrupted with) a different graph is not
+		// executable against it.
+		switch s.Kind {
+		case StepH2D, StepD2H, StepFree:
+			if s.Buf == nil {
+				return fmt.Errorf("sched: step %d: %s with nil buffer", si, s.Kind)
+			}
+			if !live[s.Buf.ID] {
+				return fmt.Errorf("sched: step %d: %s of %s not in the graph", si, s.Kind, s.Buf)
+			}
+		case StepLaunch:
+			if s.Node == nil {
+				return fmt.Errorf("sched: step %d: launch with nil node", si)
+			}
+			if !nodes[s.Node.ID] {
+				return fmt.Errorf("sched: step %d: launch of %s not in the graph", si, s.Node)
+			}
+		}
 		switch s.Kind {
 		case StepH2D:
 			b := s.Buf

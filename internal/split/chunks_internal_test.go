@@ -1,0 +1,17 @@
+package split
+
+import "testing"
+
+func TestRowChunks(t *testing.T) {
+
+	got := rowChunks(10, 3)
+	want := [][2]int{{0, 4}, {4, 3}, {7, 3}}
+	if len(got) != 3 {
+		t.Fatalf("chunks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chunks = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package split
+package split_test
 
 import (
 	"math/rand"
@@ -9,6 +9,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/ops"
+	"repro/internal/split"
 	"repro/internal/tensor"
 )
 
@@ -48,7 +49,7 @@ func checkEquivalent(t *testing.T, g *graph.Graph, in exec.Inputs, want exec.Out
 }
 
 func TestApplyRejectsBadCapacity(t *testing.T) {
-	if _, err := Apply(graph.New(), Options{Capacity: 0}); err == nil {
+	if _, err := split.Apply(graph.New(), split.Options{Capacity: 0}); err == nil {
 		t.Fatal("zero capacity must error")
 	}
 }
@@ -60,18 +61,18 @@ func TestFeasibleNoSplitNeeded(t *testing.T) {
 	out := g.NewBuffer("out", graph.Shape{Rows: 4, Cols: 4})
 	out.IsOutput = true
 	g.MustAddNode("t", ops.NewTanh(), []graph.Arg{graph.SingleArg(in)}, graph.SingleArg(out))
-	res, err := Apply(g, Options{Capacity: 1000})
+	res, err := split.Apply(g, split.Options{Capacity: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SplitNodes != 0 || len(g.Nodes) != 1 {
 		t.Fatalf("unexpected splitting: %+v", res)
 	}
-	if !Feasible(g, 1000) || Feasible(g, 10) {
-		t.Fatal("Feasible wrong")
+	if !split.Feasible(g, 1000) || split.Feasible(g, 10) {
+		t.Fatal("split.Feasible wrong")
 	}
-	if len(Oversized(g, 10)) != 1 {
-		t.Fatal("Oversized wrong")
+	if len(split.Oversized(g, 10)) != 1 {
+		t.Fatal("split.Oversized wrong")
 	}
 }
 
@@ -92,14 +93,14 @@ func TestSplitElementwiseChain(t *testing.T) {
 	}
 
 	// Each node footprint is 64; capacity 40 forces k=2 splits.
-	res, err := Apply(g, Options{Capacity: 40})
+	res, err := split.Apply(g, split.Options{Capacity: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SplitNodes != 2 {
 		t.Fatalf("SplitNodes = %d, want 2", res.SplitNodes)
 	}
-	if !Feasible(g, 40) {
+	if !split.Feasible(g, 40) {
 		t.Fatal("graph still infeasible")
 	}
 	if len(g.Nodes) != 4 {
@@ -125,7 +126,7 @@ func TestSplitConvTemplateInputHalo(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := Apply(g, Options{Capacity: 80})
+	res, err := split.Apply(g, split.Options{Capacity: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestSplitConvProducedInputCreatesStrips(t *testing.T) {
 
 	// conv footprint = 84 + 9 + 48 = 141; capacity 100 forces a split of
 	// conv only (tanh footprint 168 > 100 too, so both split).
-	res, err := Apply(g, Options{Capacity: 100})
+	res, err := split.Apply(g, split.Options{Capacity: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestSplitRewiresUnsplitProducerLikeFig3(t *testing.T) {
 	// R1 (k=2: 12+12=24) but not C1 (64 > 45!). Use capacity 70 so only R1
 	// splits: R1 = 48... both fit. Make R1 bigger than C1 impossible with
 	// equal shapes, so split both but verify C1 part count.
-	res, err := Apply(g, Options{Capacity: 45})
+	res, err := split.Apply(g, split.Options{Capacity: 45})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestSplitUnsplitProducerStaysWhole(t *testing.T) {
 	// once) + 12 out = 24. Pick capacity 30: R1 fits (24), C1 doesn't
 	// (36)... swap: make capacity 25 => C1 needs split but conv of 5 rows
 	// splittable. Instead verify with capacity 30 that only C1 splits.
-	res, err := Apply(g, Options{Capacity: 30})
+	res, err := split.Apply(g, split.Options{Capacity: 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,14 +315,14 @@ func TestSplitAlreadyPartitionedOutputGroups(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Apply(g, Options{Capacity: 16})
+	res, err := split.Apply(g, split.Options{Capacity: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SplitNodes != 2 {
 		t.Fatalf("SplitNodes = %d, want 2", res.SplitNodes)
 	}
-	if !Feasible(g, 16) {
+	if !split.Feasible(g, 16) {
 		t.Fatal("still infeasible")
 	}
 	checkEquivalent(t, g, inputs, want)
@@ -344,7 +345,7 @@ func TestSplitMatMulReplicatesB(t *testing.T) {
 		t.Fatal(err)
 	}
 	// footprint = 32+24+48 = 104; capacity 70 -> k=2 (16+24+24 = 64).
-	res, err := Apply(g, Options{Capacity: 70})
+	res, err := split.Apply(g, split.Options{Capacity: 70})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestUnsplittableOperatorError(t *testing.T) {
 	out := g.NewBuffer("out", graph.Shape{Rows: 8, Cols: 8})
 	out.IsOutput = true
 	g.MustAddNode("u", &unsplittableOp{ops.NewTanh()}, []graph.Arg{graph.SingleArg(in)}, graph.SingleArg(out))
-	if _, err := Apply(g, Options{Capacity: 16}); err == nil ||
+	if _, err := split.Apply(g, split.Options{Capacity: 16}); err == nil ||
 		!strings.Contains(err.Error(), "not splittable") {
 		t.Fatalf("want not-splittable error, got %v", err)
 	}
@@ -383,11 +384,11 @@ func TestMaxPartsLimit(t *testing.T) {
 	g.MustAddNode("t", ops.NewTanh(), []graph.Arg{graph.SingleArg(in)}, graph.SingleArg(out))
 	// Needs k=40 (footprint 400, capacity 10); MaxParts=4 caps each split
 	// factor, so the pass must converge through repeated rounds instead.
-	res, err := Apply(g, Options{Capacity: 10, MaxParts: 4})
+	res, err := split.Apply(g, split.Options{Capacity: 10, MaxParts: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !Feasible(g, 10) {
+	if !split.Feasible(g, 10) {
 		t.Fatal("graph still infeasible after iterated splitting")
 	}
 	if res.SplitNodes < 2 {
@@ -406,21 +407,8 @@ func TestSplitTrulyInfeasible(t *testing.T) {
 	out := g.NewBuffer("out", graph.Shape{Rows: 1, Cols: 100})
 	out.IsOutput = true
 	g.MustAddNode("t", ops.NewTanh(), []graph.Arg{graph.SingleArg(in)}, graph.SingleArg(out))
-	if _, err := Apply(g, Options{Capacity: 10}); err == nil {
+	if _, err := split.Apply(g, split.Options{Capacity: 10}); err == nil {
 		t.Fatal("single-row output should be unsplittable")
-	}
-}
-
-func TestRowChunks(t *testing.T) {
-	got := rowChunks(10, 3)
-	want := [][2]int{{0, 4}, {4, 3}, {7, 3}}
-	if len(got) != 3 {
-		t.Fatalf("chunks = %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("chunks = %v, want %v", got, want)
-		}
 	}
 }
 
@@ -454,10 +442,10 @@ func TestSplitEquivalenceProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if _, err := Apply(g, Options{Capacity: capacity}); err != nil {
+		if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
 			return false
 		}
-		if !Feasible(g, capacity) {
+		if !split.Feasible(g, capacity) {
 			return false
 		}
 		if err := g.Validate(); err != nil {
@@ -506,14 +494,14 @@ func TestSplitSubsampleConvChain(t *testing.T) {
 	}
 	// conv footprint = 192+9+192 = 393; pool = 192+48 = 240; capacity 220
 	// splits conv and pool but leaves tanh (96) whole.
-	res, err := Apply(g, Options{Capacity: 220})
+	res, err := split.Apply(g, split.Options{Capacity: 220})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.SplitNodes < 2 {
 		t.Fatalf("expected conv and pool to split: %+v", res)
 	}
-	if !Feasible(g, 220) {
+	if !split.Feasible(g, 220) {
 		t.Fatal("still infeasible")
 	}
 	checkEquivalent(t, g, inputs, want)
@@ -544,10 +532,10 @@ func TestSplitRepeatedTightening(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Apply(g, Options{Capacity: capacity}); err != nil {
+		if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
 			t.Fatalf("capacity %d: %v", capacity, err)
 		}
-		if !Feasible(g, capacity) {
+		if !split.Feasible(g, capacity) {
 			t.Fatalf("capacity %d: infeasible", capacity)
 		}
 		checkEquivalent(t, g, inputs, want)
