@@ -9,10 +9,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/templates"
 	"repro/internal/workload"
@@ -25,6 +27,8 @@ var (
 	device   = flag.String("device", "c870", "GPU: c870 or 8800")
 	simulate = flag.Bool("simulate", false, "accounting mode (no data; any size)")
 	baseline = flag.Bool("baseline", false, "use the baseline planner")
+	traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the compile + run to this file")
+	metricsF = flag.Bool("metrics", false, "print the metrics registry and residency breakdown after the run")
 )
 
 func main() {
@@ -43,7 +47,15 @@ func main() {
 		spec = gpu.GeForce8800GTX()
 	}
 
+	var o *obs.Observer
+	if *traceOut != "" || *metricsF {
+		o = obs.New()
+	}
+
+	sp := o.T().Begin("template:build", "compile").
+		SetArg("net", cfg.Name).SetArgf("input", "%dx%d", *height, *width)
 	g, bufs, err := templates.CNN(cfg)
+	sp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,7 +68,7 @@ func main() {
 	if *baseline {
 		planner = core.BaselinePlanner
 	}
-	eng := core.NewEngine(core.Config{Device: spec, Planner: planner})
+	eng := core.NewEngine(core.Config{Device: spec, Planner: planner, Obs: o})
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		log.Fatal(err)
@@ -79,9 +91,24 @@ func main() {
 		rep.Stats.KernelLaunches, report.Seconds(rep.Stats.TotalTime()),
 		report.Seconds(rep.Stats.TransferTime), report.Seconds(rep.Stats.ComputeTime))
 	if !*simulate {
-		for id, o := range rep.Outputs {
+		for id, out := range rep.Outputs {
 			fmt.Printf("output root %d: %dx%d, mean activation %.4f\n",
-				id, o.Rows(), o.Cols(), o.Sum()/float64(o.Len()))
+				id, out.Rows(), out.Cols(), out.Sum()/float64(out.Len()))
 		}
+	}
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.T().WriteChrome(fh); err != nil {
+			log.Fatal(err)
+		}
+		fh.Close()
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *metricsF {
+		o.M().WriteText(os.Stdout)
+		fmt.Print(o.R().Breakdown(5))
 	}
 }

@@ -6,6 +6,7 @@
 //	edgedetect -dim 1024 -kernel 16 -orient 4 -device c870
 //	edgedetect -dim 4096 -device 8800 -planner baseline
 //	edgedetect -dim 512 -emit-cuda plan.cu
+//	edgedetect -dim 512 -trace out.json   # open out.json in Perfetto
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/templates"
 	"repro/internal/workload"
@@ -33,6 +35,8 @@ var (
 	verify    = flag.Bool("verify", false, "check results against the CPU reference")
 	faults    = flag.Float64("faults", 0, "per-call transient fault probability; runs the resilient executor")
 	faultSeed = flag.Int64("fault-seed", 1, "fault injection seed")
+	traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the compile + run to this file")
+	metricsF  = flag.Bool("metrics", false, "print the metrics registry and residency breakdown after the run")
 )
 
 func pickDevice(name string) gpu.Spec {
@@ -68,9 +72,17 @@ func main() {
 	flag.Parse()
 	spec := pickDevice(*device)
 
+	var o *obs.Observer
+	if *traceOut != "" || *metricsF {
+		o = obs.New()
+	}
+
+	sp := o.T().Begin("template:build", "compile").
+		SetArgf("dim", "%d", *dim).SetArgf("orientations", "%d", *orient)
 	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
 		ImageH: *dim, ImageW: *dim, KernelSize: *kernel, Orientations: *orient,
 	})
+	sp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +93,7 @@ func main() {
 		stats.Operators, stats.DataStructures, report.MB(stats.TotalFloats), report.MB(stats.MaxFootprint))
 
 	eng := core.NewEngine(core.Config{Device: spec, Planner: pickPlanner(*planner),
-		PBMaxConflicts: 2_000_000})
+		PBMaxConflicts: 2_000_000, Obs: o})
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		log.Fatal(err)
@@ -156,5 +168,20 @@ func main() {
 		if rep.Stats.RecoveryTime > 0 {
 			fmt.Printf("recovery time: %s\n", report.Seconds(rep.Stats.RecoveryTime))
 		}
+	}
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.T().WriteChrome(fh); err != nil {
+			log.Fatal(err)
+		}
+		fh.Close()
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
+	}
+	if *metricsF {
+		o.M().WriteText(os.Stdout)
+		fmt.Print(o.R().Breakdown(5))
 	}
 }

@@ -11,24 +11,38 @@
 //	paperbench -fig 8          # Fig. 8 scalability sweep
 //
 // Add -csv to emit comma-separated values instead of aligned text.
+//
+// The observability smoke run compiles and simulates a small edge
+// workload under full instrumentation, optionally exporting the Chrome
+// trace (-trace) and appending a metrics snapshot to a benchmark log
+// (-benchout):
+//
+//	paperbench -ext smoke -trace /tmp/t.json -benchout BENCH_obs.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/templates"
 )
 
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap or faults")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, or smoke")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
+	benchOut  = flag.String("benchout", "", "smoke run: append a metrics snapshot to this JSON file")
 )
 
 func emit(t *report.Table) {
@@ -139,6 +153,77 @@ func extFaults() error {
 	fmt.Println("Each transfer and kernel launch fails with the given probability;")
 	fmt.Println("the resilient executor retries with capped exponential backoff,")
 	fmt.Println("charging the backoff to the simulated clock.")
+	return nil
+}
+
+// benchRecord is one appended entry of the -benchout metrics log: the
+// full gpu.Stats and metrics snapshot of an instrumented smoke run.
+type benchRecord struct {
+	Date     string       `json:"date"`
+	Workload string       `json:"workload"`
+	Stats    gpu.Stats    `json:"stats"`
+	Peak     obs.Peak     `json:"peak_residency"`
+	Metrics  obs.Snapshot `json:"metrics"`
+}
+
+func extSmoke() error {
+	o := obs.New()
+	sp := o.T().Begin("template:build", "compile")
+	g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 512, ImageW: 512, KernelSize: 16, Orientations: 4})
+	sp.End()
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(core.Config{Device: gpu.TeslaC870(), Obs: o})
+	compiled, err := eng.Compile(g)
+	if err != nil {
+		return err
+	}
+	rep, err := compiled.Simulate()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: edge 512² on %s: %d steps, %d launches, simulated %s\n",
+		gpu.TeslaC870(), len(compiled.Plan.Steps), rep.Stats.KernelLaunches,
+		report.Seconds(rep.Stats.TotalTime()))
+	fmt.Print(o.R().Breakdown(3))
+	if *traceFlag != "" {
+		fh, err := os.Create(*traceFlag)
+		if err != nil {
+			return err
+		}
+		if err := o.T().WriteChrome(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		fh.Close()
+		fmt.Printf("wrote Chrome trace to %s\n", *traceFlag)
+	}
+	if *benchOut != "" {
+		rec := benchRecord{
+			Date:     time.Now().UTC().Format(time.RFC3339),
+			Workload: "edge-512-c870-heuristic",
+			Stats:    rep.Stats,
+			Peak:     o.R().Peak(),
+			Metrics:  o.M().Snapshot(),
+		}
+		var log []benchRecord
+		if data, err := os.ReadFile(*benchOut); err == nil {
+			if err := json.Unmarshal(data, &log); err != nil {
+				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
+			}
+		}
+		log = append(log, rec)
+		data, err := json.MarshalIndent(log, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended metrics snapshot %d to %s\n", len(log), *benchOut)
+	}
 	return nil
 }
 
@@ -270,6 +355,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "faults" {
 		run("faults", extFaults)
+		did = true
+	}
+	if *allFlag || *extFlag == "smoke" {
+		run("smoke", extSmoke)
 		did = true
 	}
 	if !did {

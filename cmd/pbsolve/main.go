@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/templates"
 )
@@ -25,6 +26,8 @@ var (
 	budget     = flag.Int64("budget", 0, "conflict budget per solve (0 = unlimited)")
 	exportFig3 = flag.Int64("export-fig3", 0, "print the Fig. 3 scheduling instance for the given capacity (units) and exit")
 	stats      = flag.Bool("stats", false, "print solver statistics to stderr")
+	traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON of the parse + solve to this file")
+	metricsF   = flag.Bool("metrics", false, "print the metrics registry to stderr after solving")
 )
 
 func main() {
@@ -45,6 +48,11 @@ func main() {
 		return
 	}
 
+	var o *obs.Observer
+	if *traceOut != "" || *metricsF {
+		o = obs.New()
+	}
+
 	var r io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		fh, err := os.Open(flag.Arg(0))
@@ -54,7 +62,9 @@ func main() {
 		defer fh.Close()
 		r = fh
 	}
+	sp := o.T().Begin("pb:parse", "compile")
 	ins, err := pb.ParseOPB(r)
+	sp.End()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +76,9 @@ func main() {
 
 	var model []bool
 	status := "UNKNOWN"
+	sp = o.T().Begin("pb:solve", "compile").
+		SetArgf("vars", "%d", ins.NVars).
+		SetArgf("constraints", "%d", len(ins.Constraints))
 	if len(ins.Objective) > 0 {
 		res, err := pb.Minimize(s, ins.Objective)
 		if err != nil {
@@ -93,6 +106,15 @@ func main() {
 			status = "UNSATISFIABLE"
 		}
 	}
+	sp.SetArg("status", status).
+		SetArgf("conflicts", "%d", s.Conflicts).End()
+	if o != nil {
+		m := o.M()
+		m.Counter("pb.conflicts").Add(s.Conflicts)
+		m.Counter("pb.decisions").Add(s.Decisions)
+		m.Counter("pb.propagations").Add(s.Propagations)
+		m.Gauge("pb.vars").Set(float64(s.NVars()))
+	}
 	fmt.Printf("s %s\n", status)
 	if model != nil {
 		var b strings.Builder
@@ -109,6 +131,19 @@ func main() {
 	if *stats {
 		fmt.Fprintf(os.Stderr, "c conflicts=%d decisions=%d propagations=%d vars=%d\n",
 			s.Conflicts, s.Decisions, s.Propagations, s.NVars())
+	}
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := o.T().WriteChrome(fh); err != nil {
+			log.Fatal(err)
+		}
+		fh.Close()
+	}
+	if *metricsF {
+		o.M().WriteText(os.Stderr)
 	}
 	if status == "UNSATISFIABLE" {
 		os.Exit(20)

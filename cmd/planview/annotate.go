@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sched"
+)
+
+// annotations builds the DOT label notes that cross-reference the graph
+// with its execution plan: per node, footprint bytes and schedule
+// position (launch step / order index); per buffer, byte size and the
+// step of its first host→device transfer.
+func annotations(g *graph.Graph, plan *sched.Plan) *graph.DOTAnnotations {
+	ann := &graph.DOTAnnotations{
+		NodeNotes: make(map[int]string),
+		BufNotes:  make(map[int]string),
+	}
+	launchStep := make(map[int]int)
+	firstH2D := make(map[int]int)
+	for i, s := range plan.Steps {
+		switch s.Kind {
+		case sched.StepLaunch:
+			if _, ok := launchStep[s.Node.ID]; !ok {
+				launchStep[s.Node.ID] = i
+			}
+		case sched.StepH2D:
+			if _, ok := firstH2D[s.Buf.ID]; !ok {
+				firstH2D[s.Buf.ID] = i
+			}
+		}
+	}
+	orderPos := make(map[int]int)
+	for i, n := range plan.Order {
+		orderPos[n.ID] = i
+	}
+	for _, n := range g.Nodes {
+		note := fmt.Sprintf("%d B footprint", n.Footprint()*4)
+		if p, ok := orderPos[n.ID]; ok {
+			note += fmt.Sprintf("\\nsched #%d (step %d)", p, launchStep[n.ID])
+		} else {
+			note += "\\nunscheduled"
+		}
+		ann.NodeNotes[n.ID] = note
+	}
+	for _, b := range g.LiveBuffers() {
+		note := fmt.Sprintf("%d B", b.Bytes())
+		if s, ok := firstH2D[b.ID]; ok {
+			note += fmt.Sprintf("\\nH2D@step %d", s)
+		} else {
+			note += "\\ndevice-only"
+		}
+		ann.BufNotes[b.ID] = note
+	}
+	return ann
+}

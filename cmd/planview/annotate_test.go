@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/templates"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestAnnotatedDOTGoldenFig3(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []byte(g.DOTAnnotated("fig3", annotations(g, plan)))
+
+	golden := filepath.Join("testdata", "fig3_annotated.golden.dot")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("annotated DOT differs from %s (run with -update to regenerate)\ngot:\n%s", golden, got)
+	}
+
+	// Spot-check the annotations the golden encodes: every operator node
+	// carries a footprint and a schedule position, every transferred
+	// buffer its first H2D step.
+	s := string(got)
+	if !strings.Contains(s, "B footprint") || !strings.Contains(s, "sched #") {
+		t.Fatalf("node annotations missing:\n%s", s)
+	}
+	if !strings.Contains(s, "H2D@step") {
+		t.Fatalf("buffer H2D annotation missing:\n%s", s)
+	}
+}

@@ -1,10 +1,14 @@
 // Command planview inspects the framework's compilation pipeline for a
-// template: the operator graph (optionally as Graphviz dot), the result of
-// operator splitting for a device, and the execution plan step list.
+// template: the operator graph (optionally as Graphviz dot, annotated
+// with plan positions), the result of operator splitting for a device,
+// the execution plan step list, and the observability outputs (Chrome
+// trace export, metrics, memory-residency timeline).
 //
 //	planview -template edge -dim 256 -device mem=262144
 //	planview -template fig3 -dot
 //	planview -template cnn -plan | head -50
+//	planview -template edge -residency
+//	planview -checktrace out.json
 package main
 
 import (
@@ -17,26 +21,43 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/templates"
 )
 
 var (
-	tmpl      = flag.String("template", "edge", "template: edge, cnn, or fig3")
-	dim       = flag.Int("dim", 256, "edge image dimension / CNN height")
-	device    = flag.String("device", "c870", "GPU: c870, 8800, c1060, or mem=<bytes>")
-	dot       = flag.Bool("dot", false, "print the (split) graph in Graphviz dot")
-	showPlan  = flag.Bool("plan", false, "print the full plan step list")
-	showTrace = flag.Bool("trace", false, "replay the plan and print the device timeline")
-	overlap   = flag.Bool("overlap", false, "enable async transfer overlap (c1060 only)")
-	savePlan  = flag.String("save-plan", "", "write the plan as JSON to this file")
-	loadPlan  = flag.String("load-plan", "", "load a JSON plan instead of scheduling, verify, and use it")
-	verify    = flag.Bool("verify", false, "run the static verifier on the plan and report the result")
+	tmpl       = flag.String("template", "edge", "template: edge, cnn, or fig3")
+	dim        = flag.Int("dim", 256, "edge image dimension / CNN height")
+	device     = flag.String("device", "c870", "GPU: c870, 8800, c1060, or mem=<bytes>")
+	dot        = flag.Bool("dot", false, "print the (split) graph in Graphviz dot, annotated with plan positions")
+	showPlan   = flag.Bool("plan", false, "print the full plan step list")
+	showTrace  = flag.Bool("trace", false, "replay the plan and print the device timeline")
+	overlap    = flag.Bool("overlap", false, "enable async transfer overlap (c1060 only)")
+	savePlan   = flag.String("save-plan", "", "write the plan as JSON to this file")
+	loadPlan   = flag.String("load-plan", "", "load a JSON plan instead of scheduling, verify, and use it")
+	verify     = flag.Bool("verify", false, "run the static verifier on the plan and report the result")
+	traceJSON  = flag.String("tracejson", "", "replay the plan and write Chrome trace_event JSON to this file")
+	metricsF   = flag.Bool("metrics", false, "replay the plan and print the metrics registry")
+	residency  = flag.Bool("residency", false, "replay the plan and print the memory-residency timeline and peak breakdown")
+	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file and exit")
 )
 
 func main() {
 	flag.Parse()
+	if *checkTrace != "" {
+		data, err := os.ReadFile(*checkTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := obs.ValidateChrome(data)
+		if err != nil {
+			log.Fatalf("checktrace %s: %v", *checkTrace, err)
+		}
+		fmt.Printf("trace %s OK: %s\n", *checkTrace, c)
+		return
+	}
 	var g *graph.Graph
 	var err error
 	switch *tmpl {
@@ -71,8 +92,13 @@ func main() {
 		spec = gpu.Custom("custom", mem)
 	}
 
+	var o *obs.Observer
+	if *traceJSON != "" || *metricsF || *residency {
+		o = obs.New()
+	}
+
 	before := g.Stats()
-	eng := core.NewEngine(core.Config{Device: spec})
+	eng := core.NewEngine(core.Config{Device: spec, Obs: o})
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		log.Fatal(err)
@@ -123,7 +149,7 @@ func main() {
 			len(compiled.Plan.Steps), report.MB(eng.Capacity()))
 	}
 	if *dot {
-		fmt.Println(g.DOT(*tmpl))
+		fmt.Println(g.DOTAnnotated(*tmpl, annotations(g, compiled.Plan)))
 	}
 	if *showPlan {
 		fmt.Print(compiled.Plan.String())
@@ -141,5 +167,28 @@ func main() {
 		}
 		fmt.Print(tr.Gantt(100))
 		fmt.Print(tr.Summary())
+	}
+	if o != nil {
+		if _, err := compiled.Simulate(); err != nil {
+			log.Fatal(err)
+		}
+		if *traceJSON != "" {
+			fh, err := os.Create(*traceJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := o.T().WriteChrome(fh); err != nil {
+				log.Fatal(err)
+			}
+			fh.Close()
+			fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *traceJSON)
+		}
+		if *residency {
+			fmt.Print(o.R().Timeline(100, 8, 10))
+			fmt.Print(o.R().Breakdown(10))
+		}
+		if *metricsF {
+			o.M().WriteText(os.Stdout)
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/pb"
 	"repro/internal/sched"
 	"repro/internal/split"
@@ -64,6 +65,11 @@ type Config struct {
 	// early as memory allows and the executor runs the DMA and compute
 	// engines concurrently. Ignored on devices without AsyncTransfer.
 	Overlap bool
+	// Obs, when non-nil, threads the observability layer through the
+	// whole pipeline: compile phases become wall-clock spans, execution
+	// becomes simulated-clock engine tracks, and metrics/residency
+	// profiles accumulate across compile and execute. Nil is free.
+	Obs *obs.Observer
 	// AutoTuneSplit is an extension beyond the paper's §3.3.1 heuristic
 	// (which the paper itself notes "does not take into account the GPU
 	// memory limitations" and has "scope for improvement"): the engine
@@ -106,6 +112,9 @@ type Compiled struct {
 	// Overlap records that the plan was prefetch-reordered for
 	// asynchronous execution; Execute/Simulate then overlap the engines.
 	Overlap bool
+	// Obs carries the engine's observer into Execute/Simulate so one
+	// trace spans compile and execution.
+	Obs *obs.Observer
 }
 
 // Compile runs the compilation pipeline on the template graph. The graph
@@ -123,6 +132,8 @@ func (e *Engine) Compile(g *graph.Graph) (*Compiled, error) {
 // and keeps the plan with the smallest transfer volume. Scheduling always
 // uses the full capacity; only the split pass sees the reduced target.
 func (e *Engine) compileAutoTuned(g *graph.Graph) (*Compiled, error) {
+	sp := e.cfg.Obs.T().Begin("autotune", "compile")
+	defer sp.End()
 	capacity := e.Capacity()
 	best, err := e.compileAt(g, capacity)
 	if err != nil {
@@ -151,35 +162,59 @@ func (e *Engine) compileAt(g *graph.Graph, capacity int64) (*Compiled, error) {
 // compileSplitTarget splits the graph to fit splitTarget floats per
 // operator, then schedules against the (possibly larger) planner capacity.
 func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
-	c := &Compiled{Graph: g, Device: e.cfg.Device, Capacity: capacity}
+	o := e.cfg.Obs
+	csp := o.T().Begin("compile", "compile").
+		SetArgf("device", "%s", e.cfg.Device.Name).
+		SetArgf("planner", "%s", e.cfg.Planner).
+		SetArgf("capacity_floats", "%d", capacity)
+	defer csp.End()
+	c := &Compiled{Graph: g, Device: e.cfg.Device, Capacity: capacity, Obs: o}
 
-	res, err := split.Apply(g, split.Options{Capacity: splitTarget, MaxParts: e.cfg.SplitMaxParts})
+	sp := o.T().Begin("split", "compile").SetArgf("target_floats", "%d", splitTarget)
+	res, err := split.Apply(g, split.Options{
+		Capacity: splitTarget, MaxParts: e.cfg.SplitMaxParts, Obs: o})
+	sp.SetArgf("nodes_split", "%d", res.SplitNodes).
+		SetArgf("parts_created", "%d", res.PartsCreated).
+		End()
 	if err != nil {
 		return nil, fmt.Errorf("core: operator splitting: %w", err)
 	}
 	c.Split = res
-	if err := g.Validate(); err != nil {
+	sp = o.T().Begin("validate", "compile")
+	err = g.Validate()
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: split graph invalid: %w", err)
 	}
 
+	sp = o.T().Begin("schedule:"+e.cfg.Planner.String(), "compile")
 	switch e.cfg.Planner {
 	case BaselinePlanner:
 		plan, err := sched.Baseline(g, capacity)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: baseline scheduling: %w", err)
 		}
 		c.Plan = plan
 	case PBOptimalPlanner:
-		warm, err := sched.Heuristic(g, capacity)
+		wsp := o.T().Begin("pb:warm-start", "compile")
+		warm, err := sched.HeuristicWithOptions(g, sched.Options{Capacity: capacity, Obs: o})
+		wsp.End()
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: heuristic warm start: %w", err)
 		}
+		fsp := o.T().Begin("pb:formulate", "compile")
 		f, err := pb.Formulate(g, capacity)
+		fsp.End()
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: PB formulation: %w", err)
 		}
+		f.SetObserver(o)
 		res, err := f.Minimize(warm.TotalTransferFloats(), e.cfg.PBMaxConflicts)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: PB optimization: %w", err)
 		}
 		c.PBStatus = res.Status
@@ -189,19 +224,26 @@ func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64)
 			c.Plan = warm // budget ran out before beating the heuristic
 		}
 	default:
-		plan, err := sched.Heuristic(g, capacity)
+		plan, err := sched.HeuristicWithOptions(g, sched.Options{Capacity: capacity, Obs: o})
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: heuristic scheduling: %w", err)
 		}
 		c.Plan = plan
 	}
+	sp.End()
 	if e.cfg.Overlap && e.cfg.Device.AsyncTransfer {
 		// Keep a prefetch reserve: raising the residency high-watermark
 		// raises fragmentation pressure in the first-fit allocator.
+		sp = o.T().Begin("prefetch", "compile")
 		c.Plan = sched.PrefetchH2D(c.Plan, capacity*9/10)
+		sp.End()
 		c.Overlap = true
 	}
-	if err := sched.Verify(g, c.Plan, capacity); err != nil {
+	sp = o.T().Begin("verify", "compile")
+	err = sched.Verify(g, c.Plan, capacity)
+	sp.End()
+	if err != nil {
 		return nil, fmt.Errorf("core: plan verification: %w", err)
 	}
 	return c, nil
@@ -212,7 +254,7 @@ func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64)
 func (c *Compiled) Execute(in exec.Inputs) (*exec.Report, error) {
 	dev := gpu.New(c.Device)
 	return exec.Run(c.Graph, c.Plan, in,
-		exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap})
+		exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs})
 }
 
 // ExecuteResilient runs the compiled plan with real data on a fresh
@@ -224,7 +266,7 @@ func (c *Compiled) ExecuteResilient(in exec.Inputs, inj *gpu.Injector) (*exec.Re
 	dev := gpu.New(c.Device)
 	dev.SetInjector(inj)
 	return exec.RunResilient(c.Graph, c.Plan, in, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap},
+		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
 		Capacity: c.Capacity,
 	})
 }
@@ -237,7 +279,7 @@ func (c *Compiled) SimulateResilient(inj *gpu.Injector) (*exec.Report, error) {
 	dev := gpu.New(c.Device)
 	dev.SetInjector(inj)
 	return exec.RunResilient(c.Graph, c.Plan, nil, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap},
+		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
 		Capacity: c.Capacity,
 	})
 }
@@ -248,7 +290,7 @@ func (c *Compiled) SimulateResilient(inj *gpu.Injector) (*exec.Report, error) {
 func (c *Compiled) Simulate() (*exec.Report, error) {
 	dev := gpu.New(c.Device)
 	return exec.Run(c.Graph, c.Plan, nil,
-		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap})
+		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs})
 }
 
 // GenerateCUDA emits the hybrid CPU/GPU CUDA source for the plan.

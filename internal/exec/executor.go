@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tensor"
 )
@@ -46,6 +47,12 @@ type Options struct {
 	// timeline event (see gpu.Trace). Recording large plans is cheap but
 	// produces one event per step.
 	Trace *gpu.Trace
+	// Obs, when non-nil, receives execution spans (engine tracks on the
+	// simulated clock), metrics (transfer bytes by cause, kernel time by
+	// operator type, allocator fragmentation), and per-buffer residency
+	// intervals. Nil keeps the zero-overhead fast path: results and
+	// statistics are bit-identical with and without an observer.
+	Obs *obs.Observer
 }
 
 // Report is the result of executing a plan.
@@ -84,6 +91,13 @@ type executor struct {
 	hostValid map[int]bool
 	resident  map[int]*devBuf
 
+	// obs is opt.Obs; loaded marks buffers that have been device-resident
+	// once (transferred up or produced by a launch), distinguishing
+	// eviction-refetch from initial-load transfer volume in the metrics.
+	// Nil when no observer is attached.
+	obs    *obs.Observer
+	loaded map[int]bool
+
 	// Overlapped-execution timelines: the DMA engine and the compute
 	// engine advance independently; ready[id] is the simulated time at
 	// which a buffer's device copy becomes available (transfer complete
@@ -114,6 +128,10 @@ func newExecutor(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*exe
 		resident:  make(map[int]*devBuf),
 		overlap:   opt.Overlap && dev.Spec.AsyncTransfer,
 		ready:     make(map[int]float64),
+		obs:       opt.Obs,
+	}
+	if e.obs != nil {
+		e.loaded = make(map[int]bool)
 	}
 	for _, b := range g.LiveBuffers() {
 		if b.Root.IsInput || b.IsInput {
@@ -146,6 +164,50 @@ func (e *executor) rec(kind gpu.EventKind, label, engine string, start, end floa
 	if e.opt.Trace != nil {
 		e.opt.Trace.Add(gpu.Event{Kind: kind, Label: label, Engine: engine, Start: start, End: end})
 	}
+	e.obs.T().AddSim(engine, label, kind.String(), start, end)
+}
+
+// observe feeds the metrics registry and residency profiler after a step
+// completed. Residency timestamps use the device's serialized clock even
+// in overlapped mode, so the profile lines up with Stats' time buckets.
+func (e *executor) observe(si int, step sched.Step, t0 float64) {
+	m := e.obs.M()
+	dev := e.dev
+	switch step.Kind {
+	case sched.StepH2D:
+		b := step.Buf
+		cause := "initial_load"
+		if e.loaded[b.ID] {
+			cause = "eviction_refetch"
+		}
+		e.loaded[b.ID] = true
+		m.Counter("exec.h2d.bytes", "cause", cause).Add(b.Bytes())
+		m.Counter("exec.h2d.calls").Inc()
+		e.obs.R().Alloc(b.ID, b.Name, b.Bytes(), t0)
+	case sched.StepD2H:
+		m.Counter("exec.d2h.bytes").Add(step.Buf.Bytes())
+		m.Counter("exec.d2h.calls").Inc()
+	case sched.StepFree:
+		e.obs.R().Free(step.Buf.ID, dev.Clock())
+	case sched.StepLaunch:
+		n := step.Node
+		kind := n.Op.Kind()
+		m.Counter("exec.launches", "op", kind).Inc()
+		m.Histogram("exec.kernel.seconds", "op", kind).Observe(dev.Clock() - t0)
+		for _, b := range n.OutputBuffers() {
+			// Outputs the launch allocated open residency intervals here;
+			// already-resident operands are a no-op. Device-produced buffers
+			// count as loaded: transferring one up again is a refetch.
+			e.obs.R().Alloc(b.ID, b.Name, b.Bytes(), t0)
+			e.loaded[b.ID] = true
+		}
+	case sched.StepSync:
+		m.Counter("exec.syncs").Inc()
+	}
+	alloc := dev.Allocator()
+	m.Gauge("gpu.alloc.free_spans").Set(float64(alloc.FreeSpans()))
+	m.Gauge("gpu.alloc.free_spans_peak").SetMax(float64(alloc.FreeSpans()))
+	m.Gauge("exec.peak_resident_bytes").SetMax(float64(alloc.UsedBytes()))
 }
 
 // stall pushes both engine timelines forward by t seconds (retry backoff
@@ -161,6 +223,10 @@ func (e *executor) stall(t float64) {
 // same step can simply be executed again.
 func (e *executor) step(si int, step sched.Step) error {
 	dev := e.dev
+	var stepStart float64
+	if e.obs != nil {
+		stepStart = dev.Clock()
+	}
 	switch step.Kind {
 	case sched.StepH2D:
 		b := step.Buf
@@ -321,6 +387,9 @@ func (e *executor) step(si int, step sched.Step) error {
 	if used := e.dev.Allocator().UsedBytes(); used > e.rep.PeakResidentBytes {
 		e.rep.PeakResidentBytes = used
 	}
+	if e.obs != nil {
+		e.observe(si, step, stepStart)
+	}
 	return nil
 }
 
@@ -328,6 +397,7 @@ func (e *executor) step(si int, step sched.Step) error {
 // both at successful completion and to produce the partial report
 // returned alongside an execution error.
 func (e *executor) capture() *Report {
+	e.obs.R().CloseAll(e.dev.Clock())
 	e.rep.Stats = e.dev.Stats()
 	if hm := e.dev.Spec.HostMemoryBytes; hm > 0 && e.rep.Stats.TotalFloats()*4 > hm {
 		e.rep.Thrashing = true

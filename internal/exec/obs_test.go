@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// The zero-overhead guarantee: attaching an Observer must not change the
+// executor's outputs or device statistics in any way — observability is
+// read-only.
+func TestObserverDoesNotPerturbExecution(t *testing.T) {
+	g, in := edgeGraph(t, 64, 64, 8)
+	spec := gpu.Custom("t", 32<<10) // forces split + eviction traffic
+	capacity := spec.PlannerCapacity()
+	plan := compileFor(t, g, capacity)
+
+	plain, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	observed, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Stats, observed.Stats) {
+		t.Fatalf("stats diverge with observer:\nplain    %+v\nobserved %+v", plain.Stats, observed.Stats)
+	}
+	if plain.PeakResidentBytes != observed.PeakResidentBytes {
+		t.Fatalf("peak resident diverges: %d vs %d", plain.PeakResidentBytes, observed.PeakResidentBytes)
+	}
+	if len(plain.Outputs) != len(observed.Outputs) {
+		t.Fatalf("output count diverges: %d vs %d", len(plain.Outputs), len(observed.Outputs))
+	}
+	for id, w := range plain.Outputs {
+		if !observed.Outputs[id].Equal(w) {
+			t.Fatalf("output %d not bit-identical with observer attached", id)
+		}
+	}
+
+	// The observer must actually have seen the run.
+	if len(o.T().Spans()) == 0 {
+		t.Fatal("observer recorded no spans")
+	}
+	if o.M().Counter("exec.h2d.calls").Value() != int64(observed.Stats.H2DCalls) {
+		t.Fatalf("h2d calls metric = %d, stats = %d",
+			o.M().Counter("exec.h2d.calls").Value(), observed.Stats.H2DCalls)
+	}
+	// Residency profile agrees with the executor's own accounting.
+	if pk := o.R().Peak(); pk.Bytes != observed.PeakResidentBytes {
+		t.Fatalf("residency peak %d != executor peak %d", pk.Bytes, observed.PeakResidentBytes)
+	}
+}
+
+// Same invariance for the resilient executor under injected faults: the
+// recovery path (retry, checkpoint restore) is instrumented but must not
+// change its behaviour.
+func TestObserverDoesNotPerturbResilientExecution(t *testing.T) {
+	g, in := edgeGraph(t, 64, 64, 8)
+	spec := gpu.Custom("t", 32<<10)
+	capacity := spec.PlannerCapacity()
+	plan := compileFor(t, g, capacity)
+
+	inject := func() *gpu.Injector {
+		return gpu.NewInjector(3).
+			FailAt(gpu.FaultH2D, 1, gpu.Transient).
+			FailAt(gpu.FaultLaunch, 2, gpu.Transient)
+	}
+	run := func(o *obs.Observer) *Report {
+		dev := gpu.New(spec)
+		dev.SetInjector(inject())
+		rep, err := RunResilient(g, plan, in, ResilientOptions{
+			Options:  Options{Mode: Materialized, Device: dev, Obs: o},
+			Capacity: capacity,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	plain := run(nil)
+	o := obs.New()
+	observed := run(o)
+
+	if !reflect.DeepEqual(plain.Stats, observed.Stats) {
+		t.Fatalf("resilient stats diverge with observer:\nplain    %+v\nobserved %+v",
+			plain.Stats, observed.Stats)
+	}
+	if plain.Recovery.Retries != observed.Recovery.Retries {
+		t.Fatalf("retries diverge: %d vs %d", plain.Recovery.Retries, observed.Recovery.Retries)
+	}
+	for id, w := range plain.Outputs {
+		if !observed.Outputs[id].Equal(w) {
+			t.Fatalf("output %d not bit-identical with observer attached", id)
+		}
+	}
+
+	// Each injected fault must surface as a retry instant on the recovery
+	// track and in the retry counter, labelled by fault kind.
+	var recov int
+	for _, in := range o.T().Instants() {
+		if in.Track == obs.RecoveryTrack {
+			recov++
+		}
+	}
+	if recov != plain.Recovery.Retries {
+		t.Fatalf("recovery instants = %d, retries = %d", recov, plain.Recovery.Retries)
+	}
+	if n := o.M().Counter("exec.retry", "fault", "h2d").Value() +
+		o.M().Counter("exec.retry", "fault", "launch").Value(); n != int64(plain.Recovery.Retries) {
+		t.Fatalf("retry counters = %d, want %d", n, plain.Recovery.Retries)
+	}
+}

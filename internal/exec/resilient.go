@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/split"
 	"repro/internal/tensor"
@@ -162,6 +163,7 @@ func (e *executor) snapshot(next int) *checkpoint {
 // floats re-transferred (even on error, for accounting) and is idempotent:
 // a failed restore can simply be run again.
 func (e *executor) restore(cp *checkpoint) (int64, error) {
+	e.obs.R().CloseAll(e.dev.Clock()) // device reset drops all allocations
 	e.dev.Recover()
 	e.resident = make(map[int]*devBuf)
 	e.hostValid = make(map[int]bool, len(cp.hostValid))
@@ -184,6 +186,7 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 		if !ok {
 			return floats, fmt.Errorf("exec: restore: unknown buffer %d", id)
 		}
+		t0 := e.dev.Clock()
 		off, err := e.dev.Malloc(b.Bytes())
 		if err != nil {
 			return floats, fmt.Errorf("exec: restore %s: %w", b, err)
@@ -193,6 +196,11 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 			return floats, fmt.Errorf("exec: restore %s: %w", b, err)
 		}
 		floats += b.Size()
+		e.obs.M().Counter("exec.h2d.bytes", "cause", "checkpoint_replay").Add(b.Bytes())
+		e.obs.R().Alloc(b.ID, b.Name, b.Bytes(), t0)
+		if e.loaded != nil {
+			e.loaded[b.ID] = true
+		}
 		db := &devBuf{off: off}
 		if t, ok := cp.data[id]; ok {
 			db.data = t.Clone()
@@ -262,6 +270,11 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 		}
 		rec.logf("persistent OOM (%v): replanning with budget %d floats (%.0f%% of capacity)",
 			err, target, frac*100)
+		opt.Obs.M().Counter("exec.replans").Inc()
+		opt.Obs.T().MarkSim(obs.RecoveryTrack, "replan", "recovery", dev.Clock(), map[string]string{
+			"budget_floats": fmt.Sprint(target),
+			"fraction":      fmt.Sprintf("%.0f%%", frac*100),
+		})
 		g2, plan2, perr := replan(g, target)
 		if perr != nil {
 			rec.logf("replan at %d floats failed: %v", target, perr)
@@ -282,6 +295,8 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 	// is materialized; accounting mode has nothing to compute.
 	if !opt.DisableCPUFallback && opt.Mode == Materialized {
 		rec.logf("degradation ladder exhausted (%v): falling back to CPU reference", err)
+		opt.Obs.M().Counter("exec.cpu_fallback").Inc()
+		opt.Obs.T().MarkSim(obs.RecoveryTrack, "cpu_fallback", "recovery", dev.Clock(), nil)
 		outs, rerr := RunReference(g, in)
 		if rerr != nil {
 			return rep, fmt.Errorf("exec: CPU fallback failed: %v (after %w)", rerr, err)
@@ -360,6 +375,10 @@ func runAttempt(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOption
 			rec.Replays++
 			rec.logf("step %d: %v: restoring checkpoint at step %d (replay %d/%d)",
 				si, err, cp.next, replays, opt.MaxReplays)
+			e.observeFault("checkpoint_restore", si, step, err, map[string]string{
+				"resume_step": fmt.Sprint(cp.next),
+				"replay":      fmt.Sprintf("%d/%d", replays, opt.MaxReplays),
+			})
 			if rerr := e.restoreWithRetry(cp, opt, rec); rerr != nil {
 				return e.capture(), rerr
 			}
@@ -386,9 +405,34 @@ func (e *executor) stepWithRetry(si int, step sched.Step, opt ResilientOptions, 
 		rec.BackoffSeconds += b
 		rec.logf("step %d (%s): transient fault (%v): retry %d after %.1fms",
 			si, step.Kind, err, attempt+1, b*1e3)
+		e.observeFault("retry", si, step, err, map[string]string{
+			"attempt": fmt.Sprint(attempt + 1),
+			"backoff": fmt.Sprintf("%.3fms", b*1e3),
+		})
 		err = e.step(si, step)
 	}
 	return err
+}
+
+// observeFault records one recovery action: a counter labelled by fault
+// kind and an instant event on the recovery track at the current
+// simulated time. No-op without an observer.
+func (e *executor) observeFault(action string, si int, step sched.Step, err error, args map[string]string) {
+	if e.obs == nil {
+		return
+	}
+	kind := "unknown"
+	var fe *gpu.FaultError
+	if errors.As(err, &fe) {
+		kind = fe.Kind.String()
+	}
+	e.obs.M().Counter("exec."+action, "fault", kind).Inc()
+	if args == nil {
+		args = map[string]string{}
+	}
+	args["step"] = fmt.Sprintf("%d (%s)", si, step.Kind)
+	args["fault"] = kind
+	e.obs.T().MarkSim(obs.RecoveryTrack, action, "recovery", e.dev.Clock(), args)
 }
 
 // restoreWithRetry restores a checkpoint, absorbing transient faults and

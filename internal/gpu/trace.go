@@ -44,20 +44,32 @@ type Event struct {
 // events.
 type Trace struct {
 	Events []Event
+
+	// maxEnd caches the largest End seen by Add, making Span O(1); events
+	// appended to Events directly (nobody does) would bypass it.
+	maxEnd float64
 }
 
 // Add appends an event.
-func (t *Trace) Add(e Event) { t.Events = append(t.Events, e) }
+func (t *Trace) Add(e Event) {
+	t.Events = append(t.Events, e)
+	if e.End > t.maxEnd {
+		t.maxEnd = e.End
+	}
+}
 
-// Span returns the timeline's end time.
-func (t *Trace) Span() float64 {
-	var end float64
+// Span returns the timeline's end time, tracked incrementally by Add.
+func (t *Trace) Span() float64 { return t.maxEnd }
+
+// ByEngine returns the events recorded for the named engine, in order.
+func (t *Trace) ByEngine(engine string) []Event {
+	var out []Event
 	for _, e := range t.Events {
-		if e.End > end {
-			end = e.End
+		if e.Engine == engine {
+			out = append(out, e)
 		}
 	}
-	return end
+	return out
 }
 
 // BusyTime returns the total busy time of the named engine.

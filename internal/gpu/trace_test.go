@@ -1,0 +1,49 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTraceSpanTracksMaxEnd(t *testing.T) {
+	tr := &Trace{}
+	if tr.Span() != 0 {
+		t.Fatalf("empty trace span = %v, want 0", tr.Span())
+	}
+	// Out-of-order ends: the span must be the max End, not the last.
+	tr.Add(Event{Kind: EventH2D, Engine: "dma", Start: 0, End: 2})
+	tr.Add(Event{Kind: EventKernel, Engine: "compute", Start: 1, End: 5})
+	tr.Add(Event{Kind: EventD2H, Engine: "dma", Start: 2, End: 3})
+	if got := tr.Span(); got != 5 {
+		t.Fatalf("span = %v, want 5", got)
+	}
+	// Cross-check against a full scan.
+	var scan float64
+	for _, e := range tr.Events {
+		if e.End > scan {
+			scan = e.End
+		}
+	}
+	if tr.Span() != scan {
+		t.Fatalf("incremental span %v != scanned span %v", tr.Span(), scan)
+	}
+}
+
+func TestTraceByEngine(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Event{Kind: EventH2D, Engine: "dma", Start: 0, End: 1, Label: "a"})
+	tr.Add(Event{Kind: EventKernel, Engine: "compute", Start: 1, End: 2, Label: "b"})
+	tr.Add(Event{Kind: EventD2H, Engine: "dma", Start: 2, End: 3, Label: "c"})
+
+	dma := tr.ByEngine("dma")
+	if len(dma) != 2 || dma[0].Label != "a" || dma[1].Label != "c" {
+		t.Fatalf("ByEngine(dma) = %+v, want events a,c in order", dma)
+	}
+	comp := tr.ByEngine("compute")
+	if len(comp) != 1 || !reflect.DeepEqual(comp[0], tr.Events[1]) {
+		t.Fatalf("ByEngine(compute) = %+v", comp)
+	}
+	if got := tr.ByEngine("nope"); got != nil {
+		t.Fatalf("ByEngine(nope) = %+v, want nil", got)
+	}
+}

@@ -1,0 +1,92 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/templates"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tinyRun executes the paper's Fig. 3 graph at capacity 4 units under a
+// fresh observer and returns the observer plus the plan. The observer is
+// attached to the executor only — no compile-phase (wall clock) spans —
+// so the exported trace is fully deterministic and safe to golden.
+func tinyRun(t *testing.T) (*obs.Observer, *sched.Plan) {
+	t.Helper()
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	dev := gpu.New(gpu.TeslaC870())
+	if _, err := exec.Run(g, plan, nil, exec.Options{
+		Mode: exec.Accounting, Device: dev, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	return o, plan
+}
+
+func TestChromeExportGoldenFig3(t *testing.T) {
+	o, _ := tinyRun(t)
+	var buf bytes.Buffer
+	if err := o.T().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fig3_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome export differs from %s (run with -update to regenerate)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// Round-trip invariants: the exported trace validates, every plan step
+// that touches an engine (everything but FREE) appears as exactly one
+// simulated-clock span, and no interval ends before it starts (checked by
+// the validator via non-negative durations).
+func TestChromeExportRoundTrip(t *testing.T) {
+	o, plan := tinyRun(t)
+	var buf bytes.Buffer
+	if err := o.T().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c, err := obs.ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineSteps := 0
+	for _, s := range plan.Steps {
+		if s.Kind != sched.StepFree {
+			engineSteps++
+		}
+	}
+	if c.SimSpans != engineSteps {
+		t.Fatalf("trace has %d device spans, plan has %d non-free steps", c.SimSpans, engineSteps)
+	}
+	if c.WallSpans != 0 {
+		t.Fatalf("executor-only run leaked %d wall spans into the trace", c.WallSpans)
+	}
+	if c.Instants != 0 {
+		t.Fatalf("fault-free run recorded %d instants", c.Instants)
+	}
+}

@@ -1,0 +1,339 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds named counters, gauges, and histograms. Instruments are
+// created on first use and identified by name plus optional label pairs,
+// rendered canonically as name{k=v,...}. All methods are safe on a nil
+// *Registry: they return nil instruments, whose methods also do nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// metricKey renders name{k=v,...} with labels in given order (callers pass
+// literal pairs, so order is stable).
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// Add increments the counter by n. Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a last-write-wins float64.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// SetMax stores v only if it exceeds the current value (high-water marks).
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if v > g.v {
+		g.v = v
+	}
+	g.mu.Unlock()
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram accumulates a distribution: count, sum, min, max, and sparse
+// power-of-two buckets (bucket i counts observations in [2^i, 2^(i+1))).
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int]int64
+}
+
+// Observe records one sample. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.buckets == nil {
+		h.buckets = make(map[int]int64)
+	}
+	h.buckets[bucketOf(v)]++
+}
+
+// bucketOf maps v to its power-of-two bucket exponent; non-positive
+// values share a sentinel bucket below every real one.
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log2(v)))
+}
+
+// HistStat is an encodable histogram snapshot.
+type HistStat struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Min     float64          `json:"min"`
+	Max     float64          `json:"max"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets,omitempty"`
+}
+
+// Stat returns a snapshot (zero value for nil).
+func (h *Histogram) Stat() HistStat {
+	if h == nil {
+		return HistStat{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistStat{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	if len(h.buckets) > 0 {
+		s.Buckets = make(map[string]int64, len(h.buckets))
+		for e, n := range h.buckets {
+			if e == math.MinInt32 {
+				s.Buckets["le_0"] = n
+				continue
+			}
+			s.Buckets[fmt.Sprintf("lt_2^%+03d", e+1)] = n
+		}
+	}
+	return s
+}
+
+// Counter returns (creating if needed) the named counter. Nil registry
+// returns a nil counter, which absorbs Adds.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Snapshot is the encodable state of a registry.
+type Snapshot struct {
+	Counters   map[string]int64    `json:"counters,omitempty"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistStat, len(hists))
+		for k, h := range hists {
+			s.Histograms[k] = h.Stat()
+		}
+	}
+	return s
+}
+
+// WriteText renders every instrument, one per line, sorted by name within
+// each kind — the -metrics CLI output.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var keys []string
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "counter   %-48s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "gauge     %-48s %g\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	keys = keys[:0]
+	for k := range s.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "histogram %-48s count=%d sum=%g min=%g max=%g mean=%g\n",
+			k, h.Count, h.Sum, h.Min, h.Max, h.Mean); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON encodes the snapshot as indented JSON (map keys are sorted by
+// encoding/json, so output is deterministic for a deterministic run).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

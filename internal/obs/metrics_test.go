@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h2d.bytes", "cause", "initial_load").Add(100)
+	r.Counter("h2d.bytes", "cause", "initial_load").Add(50)
+	r.Counter("h2d.bytes", "cause", "eviction_refetch").Inc()
+	if v := r.Counter("h2d.bytes", "cause", "initial_load").Value(); v != 150 {
+		t.Fatalf("labeled counter = %d, want 150", v)
+	}
+	if v := r.Counter("h2d.bytes", "cause", "eviction_refetch").Value(); v != 1 {
+		t.Fatalf("other label leaked: %d", v)
+	}
+
+	g := r.Gauge("peak")
+	g.Set(5)
+	g.SetMax(3) // lower: ignored
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Fatalf("gauge = %v, want 9", g.Value())
+	}
+
+	h := r.Histogram("kernel.seconds", "op", "conv")
+	for _, v := range []float64{0.5, 1, 2, 4, 0} {
+		h.Observe(v)
+	}
+	s := h.Stat()
+	if s.Count != 5 || s.Min != 0 || s.Max != 4 || s.Sum != 7.5 {
+		t.Fatalf("hist stat = %+v", s)
+	}
+	if s.Buckets["le_0"] != 1 {
+		t.Fatalf("non-positive sample bucket = %+v", s.Buckets)
+	}
+}
+
+func TestMetricKey(t *testing.T) {
+	if k := metricKey("a", nil); k != "a" {
+		t.Fatalf("bare key = %q", k)
+	}
+	if k := metricKey("a", []string{"x", "1", "y", "2"}); k != "a{x=1,y=2}" {
+		t.Fatalf("labeled key = %q", k)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b").Add(2)
+		r.Counter("a").Add(1)
+		r.Gauge("g").Set(3.5)
+		r.Histogram("h").Observe(1)
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("WriteText not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// Counters sorted before gauges before histograms, each alphabetical.
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "counter   a") ||
+		!strings.HasPrefix(lines[1], "counter   b") ||
+		!strings.HasPrefix(lines[2], "gauge     g") ||
+		!strings.HasPrefix(lines[3], "histogram h") {
+		t.Fatalf("unexpected layout:\n%s", first)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "k", "v").Add(7)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(3)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &s); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if s.Counters["c{k=v}"] != 7 || s.Gauges["g"] != 1.5 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot round trip = %+v", s)
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Gauge("g").SetMax(1)
+	r.Histogram("h").Observe(1)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Stat().Count != 0 {
+		t.Fatal("nil registry instruments must read zero")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil WriteText: err=%v out=%q", err, b.String())
+	}
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package obs
+
+// Observer bundles the three observability facilities threaded through
+// the pipeline. A nil *Observer (and nil members) is the disabled state:
+// the accessors return nil, and every instrument method on a nil receiver
+// does nothing, so instrumented code needs no conditionals.
+type Observer struct {
+	Trace     *Tracer
+	Metrics   *Registry
+	Residency *ResidencyProfiler
+}
+
+// New returns an observer with all three facilities enabled.
+func New() *Observer {
+	return &Observer{
+		Trace:     NewTracer(),
+		Metrics:   NewRegistry(),
+		Residency: NewResidencyProfiler(),
+	}
+}
+
+// T returns the tracer (nil when disabled).
+func (o *Observer) T() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// M returns the metrics registry (nil when disabled).
+func (o *Observer) M() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// R returns the residency profiler (nil when disabled).
+func (o *Observer) R() *ResidencyProfiler {
+	if o == nil {
+		return nil
+	}
+	return o.Residency
+}

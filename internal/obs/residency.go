@@ -1,0 +1,356 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ResidencyInterval is one buffer's device lifetime: [Start, End) on the
+// simulated clock. A buffer evicted and re-fetched contributes several
+// intervals.
+type ResidencyInterval struct {
+	BufID int
+	Name  string
+	Bytes int64
+	Start float64
+	End   float64 // -1 while still resident
+}
+
+// ResidencyProfiler records per-buffer device-memory lifetime intervals
+// as the executor allocates and frees them, and answers "where did the
+// bytes go" questions: the residency high-water mark, which buffers were
+// live there, and an ASCII timeline. All methods are nil-safe.
+type ResidencyProfiler struct {
+	mu        sync.Mutex
+	intervals []ResidencyInterval
+	open      map[int]int // BufID -> index into intervals
+}
+
+// NewResidencyProfiler returns an empty profiler.
+func NewResidencyProfiler() *ResidencyProfiler {
+	return &ResidencyProfiler{open: make(map[int]int)}
+}
+
+// Alloc opens an interval for buffer id at simulated time t. Allocating
+// a buffer that is already resident is a no-op (its original interval
+// keeps running), so callers may report "ensure resident" sites freely.
+func (p *ResidencyProfiler) Alloc(id int, name string, bytes int64, t float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.open[id]; ok {
+		return
+	}
+	p.open[id] = len(p.intervals)
+	p.intervals = append(p.intervals, ResidencyInterval{
+		BufID: id, Name: name, Bytes: bytes, Start: t, End: -1,
+	})
+}
+
+// Free closes buffer id's open interval at time t.
+func (p *ResidencyProfiler) Free(id int, t float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i, ok := p.open[id]; ok {
+		p.intervals[i].End = t
+		delete(p.open, id)
+	}
+}
+
+// CloseAll closes every open interval at time t (device reset mid-run, or
+// sealing the profile at the end of execution).
+func (p *ResidencyProfiler) CloseAll(t float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, i := range p.open {
+		p.intervals[i].End = t
+		delete(p.open, id)
+	}
+}
+
+// Intervals returns a copy of the recorded intervals, open ones reported
+// with End == -1.
+func (p *ResidencyProfiler) Intervals() []ResidencyInterval {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ResidencyInterval, len(p.intervals))
+	copy(out, p.intervals)
+	return out
+}
+
+// Peak describes the residency high-water mark.
+type Peak struct {
+	Bytes int64   // resident bytes at the high-water mark
+	Time  float64 // earliest simulated time the mark is reached
+	// Top lists the buffers live at the mark, largest first (all of them;
+	// callers truncate to top-k for display).
+	Top []ResidencyInterval
+}
+
+// Peak computes the high-water mark by sweeping interval endpoints.
+// Intervals still open are treated as extending to the last recorded
+// endpoint.
+func (p *ResidencyProfiler) Peak() Peak {
+	ivs := p.Intervals()
+	if len(ivs) == 0 {
+		return Peak{}
+	}
+	maxT := 0.0
+	for _, iv := range ivs {
+		if iv.Start > maxT {
+			maxT = iv.Start
+		}
+		if iv.End > maxT {
+			maxT = iv.End
+		}
+	}
+	type ev struct {
+		t     float64
+		delta int64
+	}
+	evs := make([]ev, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		end := iv.End
+		if end < 0 {
+			end = maxT
+		}
+		evs = append(evs, ev{iv.Start, iv.Bytes}, ev{end, -iv.Bytes})
+	}
+	// Frees before allocs at the same instant: an interval closed at t and
+	// another opened at t never coexist.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	var cur, peak int64
+	var peakT float64
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+			peakT = e.t
+		}
+	}
+	out := Peak{Bytes: peak, Time: peakT}
+	for _, iv := range ivs {
+		end := iv.End
+		if end < 0 {
+			end = maxT
+		}
+		if iv.Start <= peakT && peakT < end {
+			out.Top = append(out.Top, iv)
+		}
+	}
+	sort.Slice(out.Top, func(i, j int) bool {
+		if out.Top[i].Bytes != out.Top[j].Bytes {
+			return out.Top[i].Bytes > out.Top[j].Bytes
+		}
+		return out.Top[i].BufID < out.Top[j].BufID
+	})
+	return out
+}
+
+// Breakdown renders the peak-residency report: the high-water mark and
+// the top-k buffers holding it.
+func (p *ResidencyProfiler) Breakdown(k int) string {
+	pk := p.Peak()
+	if pk.Bytes == 0 {
+		return "residency: no device allocations recorded\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "peak residency: %s at t=%.6fs (%d buffers live)\n",
+		fmtBytes(pk.Bytes), pk.Time, len(pk.Top))
+	top := pk.Top
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	for i, iv := range top {
+		fmt.Fprintf(&b, "  #%-2d %-24s %10s  %5.1f%%  resident [%.6fs, %s)\n",
+			i+1, iv.Name, fmtBytes(iv.Bytes), 100*float64(iv.Bytes)/float64(pk.Bytes),
+			iv.Start, fmtEnd(iv.End))
+	}
+	if len(pk.Top) > len(top) {
+		var rest int64
+		for _, iv := range pk.Top[len(top):] {
+			rest += iv.Bytes
+		}
+		fmt.Fprintf(&b, "  ... %d more buffers totalling %s\n", len(pk.Top)-len(top), fmtBytes(rest))
+	}
+	return b.String()
+}
+
+// Timeline renders an ASCII residency chart: an aggregate bytes-over-time
+// curve (rows high, width columns), then one lifetime lane per top-k
+// buffer at the peak. Columns are equal time buckets; the curve plots the
+// maximum residency inside each bucket.
+func (p *ResidencyProfiler) Timeline(width, rows, k int) string {
+	ivs := p.Intervals()
+	if len(ivs) == 0 {
+		return "(no residency data)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	if rows < 4 {
+		rows = 4
+	}
+	maxT := 0.0
+	for _, iv := range ivs {
+		if iv.End > maxT {
+			maxT = iv.End
+		}
+		if iv.Start > maxT {
+			maxT = iv.Start
+		}
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	// Per-column maximum residency, from the endpoint sweep restricted to
+	// the column's time range.
+	colMax := make([]int64, width)
+	type ev struct {
+		t     float64
+		delta int64
+	}
+	evs := make([]ev, 0, 2*len(ivs))
+	for _, iv := range ivs {
+		end := iv.End
+		if end < 0 {
+			end = maxT
+		}
+		evs = append(evs, ev{iv.Start, iv.Bytes}, ev{end, -iv.Bytes})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	var cur int64
+	for _, e := range evs {
+		cur += e.delta
+		col := int(e.t / maxT * float64(width))
+		if col >= width {
+			col = width - 1
+		}
+		if cur > colMax[col] {
+			colMax[col] = cur
+		}
+	}
+	// Carry residency through empty columns (no events inside them).
+	var running int64
+	ei := 0
+	for c := 0; c < width; c++ {
+		t1 := float64(c+1) / float64(width) * maxT
+		for ei < len(evs) && evs[ei].t < t1 {
+			running += evs[ei].delta
+			ei++
+		}
+		if running > colMax[c] {
+			colMax[c] = running
+		}
+	}
+	var peak int64
+	for _, v := range colMax {
+		if v > peak {
+			peak = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "device residency over simulated time (peak %s, span %.6fs)\n", fmtBytes(peak), maxT)
+	for r := rows; r >= 1; r-- {
+		thresh := int64(float64(peak) * float64(r-1) / float64(rows))
+		line := make([]byte, width)
+		for c := 0; c < width; c++ {
+			if colMax[c] > thresh && colMax[c] > 0 {
+				line[c] = '#'
+			} else {
+				line[c] = ' '
+			}
+		}
+		label := ""
+		if r == rows {
+			label = fmtBytes(peak)
+		} else if r == 1 {
+			label = "0"
+		}
+		fmt.Fprintf(&b, "%10s |%s|\n", label, line)
+	}
+	// Top-k buffer lanes.
+	pk := p.Peak()
+	top := pk.Top
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	if len(top) > 0 {
+		b.WriteString("top buffers at the high-water mark:\n")
+	}
+	for _, tiv := range top {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		// Every interval of this buffer, not just the peak-covering one.
+		for _, iv := range ivs {
+			if iv.BufID != tiv.BufID {
+				continue
+			}
+			end := iv.End
+			if end < 0 {
+				end = maxT
+			}
+			s := int(iv.Start / maxT * float64(width))
+			f := int(end / maxT * float64(width))
+			if f <= s {
+				f = s + 1
+			}
+			if f > width {
+				f = width
+			}
+			for i := s; i < f; i++ {
+				lane[i] = '='
+			}
+		}
+		name := tiv.Name
+		if len(name) > 10 {
+			name = name[:10]
+		}
+		fmt.Fprintf(&b, "%10s |%s| %s\n", name, lane, fmtBytes(tiv.Bytes))
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+func fmtEnd(t float64) string {
+	if t < 0 {
+		return "open"
+	}
+	return fmt.Sprintf("%.6fs", t)
+}

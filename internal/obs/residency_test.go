@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResidencyPeak(t *testing.T) {
+	p := NewResidencyProfiler()
+	p.Alloc(1, "A", 100, 0)
+	p.Alloc(2, "B", 200, 1)
+	p.Free(1, 2)
+	p.Alloc(3, "C", 50, 2) // A freed at t=2, C allocated at t=2: never coexist
+	p.Free(2, 3)
+	p.Free(3, 4)
+
+	pk := p.Peak()
+	if pk.Bytes != 300 || pk.Time != 1 {
+		t.Fatalf("peak = %+v, want 300 bytes at t=1", pk)
+	}
+	if len(pk.Top) != 2 || pk.Top[0].Name != "B" || pk.Top[1].Name != "A" {
+		t.Fatalf("top = %+v, want B then A (largest first)", pk.Top)
+	}
+}
+
+func TestResidencyDoubleAllocIsNoop(t *testing.T) {
+	p := NewResidencyProfiler()
+	p.Alloc(1, "A", 100, 0)
+	p.Alloc(1, "A", 100, 5) // already resident: interval keeps running
+	p.Free(1, 10)
+	ivs := p.Intervals()
+	if len(ivs) != 1 || ivs[0].Start != 0 || ivs[0].End != 10 {
+		t.Fatalf("intervals = %+v, want one [0,10)", ivs)
+	}
+}
+
+func TestResidencyRefetchMakesTwoIntervals(t *testing.T) {
+	p := NewResidencyProfiler()
+	p.Alloc(1, "A", 100, 0)
+	p.Free(1, 1) // evicted
+	p.Alloc(1, "A", 100, 2)
+	p.CloseAll(3)
+	ivs := p.Intervals()
+	if len(ivs) != 2 || ivs[1].Start != 2 || ivs[1].End != 3 {
+		t.Fatalf("intervals = %+v, want two with second [2,3)", ivs)
+	}
+}
+
+func TestResidencyBreakdownAndTimeline(t *testing.T) {
+	p := NewResidencyProfiler()
+	p.Alloc(1, "image", 1 << 20, 0)
+	p.Alloc(2, "edges", 2 << 20, 1)
+	p.CloseAll(4)
+
+	br := p.Breakdown(10)
+	if !strings.Contains(br, "peak residency: 3.00 MB") ||
+		!strings.Contains(br, "edges") || !strings.Contains(br, "image") {
+		t.Fatalf("breakdown:\n%s", br)
+	}
+	// Truncation note when k < buffers at peak.
+	if br1 := p.Breakdown(1); !strings.Contains(br1, "1 more buffer") {
+		t.Fatalf("truncated breakdown:\n%s", br1)
+	}
+
+	tl := p.Timeline(40, 4, 2)
+	if !strings.Contains(tl, "peak 3.00 MB") || !strings.Contains(tl, "#") ||
+		!strings.Contains(tl, "edges") || !strings.Contains(tl, "=") {
+		t.Fatalf("timeline:\n%s", tl)
+	}
+}
+
+func TestResidencyEmptyAndNil(t *testing.T) {
+	p := NewResidencyProfiler()
+	if pk := p.Peak(); pk.Bytes != 0 || pk.Top != nil {
+		t.Fatalf("empty peak = %+v", pk)
+	}
+	if got := p.Breakdown(5); !strings.Contains(got, "no device allocations") {
+		t.Fatalf("empty breakdown = %q", got)
+	}
+	if got := p.Timeline(40, 4, 2); !strings.Contains(got, "no residency data") {
+		t.Fatalf("empty timeline = %q", got)
+	}
+
+	var nilP *ResidencyProfiler
+	nilP.Alloc(1, "a", 1, 0)
+	nilP.Free(1, 1)
+	nilP.CloseAll(2)
+	if nilP.Intervals() != nil || nilP.Peak().Bytes != 0 {
+		t.Fatal("nil profiler must record nothing")
+	}
+	nilP.Breakdown(1)
+	nilP.Timeline(40, 4, 1)
+}

@@ -1,0 +1,224 @@
+// Package obs is the framework's observability layer: hierarchical span
+// tracing across the compile + execute pipeline, a metrics registry, and a
+// device memory-residency profiler. Every entry point is safe on a nil
+// receiver, so instrumented code pays a single pointer comparison when
+// observability is off — the zero-overhead guarantee the executor tests
+// assert (output and statistics are bit-identical with and without an
+// Observer attached).
+//
+// Two clocks coexist. Compile phases (template construction, operator
+// splitting, scheduling, PB optimization, plan verification) are measured
+// on the host wall clock. Execution spans (DMA transfers, kernel launches,
+// syncs, recovery actions) carry the device simulator's clock. The Chrome
+// trace exporter keeps the two in separate processes so a run opens
+// coherently in Perfetto or chrome://tracing.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Domain identifies the clock a span's timestamps belong to.
+type Domain int
+
+// Clock domains.
+const (
+	// Wall spans are measured on the host wall clock, in seconds since
+	// the tracer was created (compile phases).
+	Wall Domain = iota
+	// Sim spans carry the GPU simulator's clock (execution timeline).
+	Sim
+)
+
+func (d Domain) String() string {
+	if d == Sim {
+		return "sim"
+	}
+	return "wall"
+}
+
+// SpanRec is one completed span interval.
+type SpanRec struct {
+	Name  string
+	Cat   string
+	Track string // "pipeline" for wall spans; engine name for sim spans
+	Domain Domain
+	Start float64 // seconds (wall: since tracer epoch; sim: simulated)
+	End   float64
+	Depth int // nesting depth at Begin time (wall spans only)
+	Args  map[string]string
+}
+
+// Instant is a zero-duration event (recovery actions, split decisions).
+type Instant struct {
+	Name   string
+	Cat    string
+	Track  string
+	Domain Domain
+	TS     float64
+	Args   map[string]string
+}
+
+// Tracer records spans and instant events. All methods are safe on a nil
+// *Tracer and do nothing, which is the disabled fast path.
+type Tracer struct {
+	mu       sync.Mutex
+	epoch    time.Time
+	spans    []SpanRec
+	instants []Instant
+	stack    []int // indices of open wall spans, innermost last
+}
+
+// NewTracer returns a tracer whose wall clock starts at zero now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// WallTrack is the track name wall-clock (compile phase) spans land on.
+const WallTrack = "pipeline"
+
+// RecoveryTrack is the track name recovery instant events land on.
+const RecoveryTrack = "recovery"
+
+func (t *Tracer) now() float64 { return time.Since(t.epoch).Seconds() }
+
+// Span is a handle to an open wall-clock span returned by Begin. A nil
+// *Span is valid: End and SetArg do nothing.
+type Span struct {
+	t   *Tracer
+	idx int
+}
+
+// Begin opens a wall-clock span nested under any currently open span.
+// Close it with End. Safe on a nil tracer (returns a nil span).
+func (t *Tracer) Begin(name, cat string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := len(t.spans)
+	t.spans = append(t.spans, SpanRec{
+		Name: name, Cat: cat, Track: WallTrack, Domain: Wall,
+		Start: t.now(), End: -1, Depth: len(t.stack),
+	})
+	t.stack = append(t.stack, idx)
+	return &Span{t: t, idx: idx}
+}
+
+// SetArg attaches a key/value annotation to the span.
+func (s *Span) SetArg(key, value string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	sp := &s.t.spans[s.idx]
+	if sp.Args == nil {
+		sp.Args = make(map[string]string)
+	}
+	sp.Args[key] = value
+	return s
+}
+
+// SetArgf formats and attaches an annotation.
+func (s *Span) SetArgf(key, format string, args ...interface{}) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.SetArg(key, fmt.Sprintf(format, args...))
+}
+
+// End closes the span. Out-of-order Ends close every span opened after
+// this one as well (defensive; instrumentation should nest properly).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now()
+	for len(t.stack) > 0 {
+		top := t.stack[len(t.stack)-1]
+		t.stack = t.stack[:len(t.stack)-1]
+		if t.spans[top].End < 0 {
+			t.spans[top].End = end
+		}
+		if top == s.idx {
+			break
+		}
+	}
+}
+
+// AddSim records a completed simulated-clock span on the named engine
+// track ("dma", "compute"). name falls back to cat when empty (syncs).
+func (t *Tracer) AddSim(track, name, cat string, start, end float64) {
+	if t == nil {
+		return
+	}
+	if name == "" {
+		name = cat
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, SpanRec{
+		Name: name, Cat: cat, Track: track, Domain: Sim, Start: start, End: end,
+	})
+}
+
+// MarkSim records an instant event at simulated time ts on the given
+// track (recovery actions use RecoveryTrack).
+func (t *Tracer) MarkSim(track, name, cat string, ts float64, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.instants = append(t.instants, Instant{
+		Name: name, Cat: cat, Track: track, Domain: Sim, TS: ts, Args: args,
+	})
+}
+
+// MarkWall records an instant event at the current wall time.
+func (t *Tracer) MarkWall(name, cat string, args map[string]string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.instants = append(t.instants, Instant{
+		Name: name, Cat: cat, Track: WallTrack, Domain: Wall, TS: t.now(), Args: args,
+	})
+}
+
+// Spans returns a copy of the recorded spans, open wall spans closed at
+// the current time.
+func (t *Tracer) Spans() []SpanRec {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRec, len(t.spans))
+	copy(out, t.spans)
+	now := t.now()
+	for i := range out {
+		if out[i].Domain == Wall && out[i].End < 0 {
+			out[i].End = now
+		}
+	}
+	return out
+}
+
+// Instants returns a copy of the recorded instant events.
+func (t *Tracer) Instants() []Instant {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Instant, len(t.instants))
+	copy(out, t.instants)
+	return out
+}

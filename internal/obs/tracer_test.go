@@ -1,0 +1,92 @@
+package obs
+
+import "testing"
+
+func TestTracerNesting(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Begin("compile", "compile")
+	inner := tr.Begin("split", "compile").SetArg("parts", "3")
+	inner.End()
+	outer.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[0].Depth != 0 {
+		t.Fatalf("outer span = %+v", spans[0])
+	}
+	if spans[1].Name != "split" || spans[1].Depth != 1 {
+		t.Fatalf("inner span = %+v", spans[1])
+	}
+	if spans[1].Args["parts"] != "3" {
+		t.Fatalf("inner args = %v", spans[1].Args)
+	}
+	for i, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %d: End %v < Start %v", i, s.End, s.Start)
+		}
+		if s.Track != WallTrack || s.Domain != Wall {
+			t.Fatalf("span %d: track %q domain %v", i, s.Track, s.Domain)
+		}
+	}
+}
+
+func TestTracerOutOfOrderEnd(t *testing.T) {
+	tr := NewTracer()
+	outer := tr.Begin("outer", "compile")
+	tr.Begin("leaked", "compile") // never explicitly ended
+	outer.End()                   // must close the leaked child too
+	for _, s := range tr.Spans() {
+		if s.End < 0 {
+			t.Fatalf("span %q left open after outer End", s.Name)
+		}
+	}
+}
+
+func TestTracerSpansClosesOpenAtReadTime(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("open", "compile")
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].End < spans[0].Start {
+		t.Fatalf("open span not closed at read time: %+v", spans)
+	}
+}
+
+func TestTracerSimEvents(t *testing.T) {
+	tr := NewTracer()
+	tr.AddSim("dma", "H2D Im", "H2D", 0, 1.5)
+	tr.AddSim("compute", "", "SYNC", 1.5, 1.6) // empty name falls back to cat
+	tr.MarkSim(RecoveryTrack, "retry", "recovery", 2, map[string]string{"attempt": "1"})
+
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Domain != Sim || spans[1].Name != "SYNC" {
+		t.Fatalf("sim spans = %+v", spans)
+	}
+	ins := tr.Instants()
+	if len(ins) != 1 || ins[0].Track != RecoveryTrack || ins[0].TS != 2 {
+		t.Fatalf("instants = %+v", ins)
+	}
+}
+
+// The zero-overhead contract: every method is a no-op on nil receivers.
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Begin("x", "y")
+	sp.SetArg("a", "b").SetArgf("c", "%d", 1)
+	sp.End()
+	tr.AddSim("dma", "a", "b", 0, 1)
+	tr.MarkSim("dma", "a", "b", 0, nil)
+	tr.MarkWall("a", "b", nil)
+	if tr.Spans() != nil || tr.Instants() != nil {
+		t.Fatal("nil tracer must report no events")
+	}
+
+	var o *Observer
+	o.T().Begin("x", "y").End()
+	o.M().Counter("c").Inc()
+	o.R().Alloc(1, "b", 4, 0)
+	if o.T() != nil || o.M() != nil || o.R() != nil {
+		t.Fatal("nil observer accessors must return nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -37,7 +38,12 @@ type Formulation struct {
 
 	solver    *Solver
 	objective []Term
+	obs       *obs.Observer
 }
+
+// SetObserver attaches an observer: Minimize then records optimization
+// spans and solver metrics. Nil (the default) disables instrumentation.
+func (f *Formulation) SetObserver(o *obs.Observer) { f.obs = o }
 
 // Formulate builds the PB instance for the graph under the given GPU
 // memory capacity (floats). The graph must already be feasible per
@@ -353,6 +359,11 @@ type SolveResult struct {
 // plan's cost), which prunes without affecting optimality. maxConflicts
 // (0 = unlimited) bounds each Solve call.
 func (f *Formulation) Minimize(warmStart int64, maxConflicts int64) (SolveResult, error) {
+	sp := f.obs.T().Begin("pb:minimize", "compile").
+		SetArgf("vars", "%d", f.solver.NVars()).
+		SetArgf("warm_start", "%d", warmStart).
+		SetArgf("max_conflicts", "%d", maxConflicts)
+	defer sp.End()
 	if warmStart > 0 {
 		if err := f.solver.AddLE(f.objective, warmStart); err != nil {
 			return SolveResult{}, err
@@ -360,6 +371,17 @@ func (f *Formulation) Minimize(warmStart int64, maxConflicts int64) (SolveResult
 	}
 	f.solver.MaxConflicts = maxConflicts
 	res, err := Minimize(f.solver, f.objective)
+	if m := f.obs.M(); m != nil {
+		m.Counter("pb.solves").Add(int64(res.Solves))
+		m.Counter("pb.conflicts").Add(f.solver.Conflicts)
+		m.Counter("pb.decisions").Add(f.solver.Decisions)
+		m.Counter("pb.propagations").Add(f.solver.Propagations)
+		m.Gauge("pb.cost").Set(float64(res.Cost))
+	}
+	sp.SetArgf("status", "%v", res.Status).
+		SetArgf("cost", "%d", res.Cost).
+		SetArgf("solves", "%d", res.Solves).
+		SetArgf("conflicts", "%d", f.solver.Conflicts)
 	if err != nil {
 		return SolveResult{}, err
 	}

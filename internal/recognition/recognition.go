@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/templates"
 	"repro/internal/tensor"
 )
@@ -35,6 +36,18 @@ type Result struct {
 // compiled for and executed on the given device.
 func FindEdges(device gpu.Spec, image *tensor.Tensor, kernels []*tensor.Tensor,
 	numOrientations int, combine templates.CombineOp) (*Result, error) {
+	return FindEdgesObserved(device, nil, image, kernels, numOrientations, combine)
+}
+
+// FindEdgesObserved is FindEdges with an optional observer (nil disables
+// instrumentation): the whole API call is traced as a recognition-phase
+// span enclosing template construction, compilation, and execution.
+func FindEdgesObserved(device gpu.Spec, o *obs.Observer, image *tensor.Tensor,
+	kernels []*tensor.Tensor, numOrientations int, combine templates.CombineOp) (*Result, error) {
+	sp := o.T().Begin("recognition:find_edges", "compile").
+		SetArgf("image", "%dx%d", image.Rows(), image.Cols()).
+		SetArgf("orientations", "%d", numOrientations)
+	defer sp.End()
 	if len(kernels) == 0 {
 		return nil, fmt.Errorf("recognition: at least one kernel required")
 	}
@@ -60,7 +73,7 @@ func FindEdges(device gpu.Spec, image *tensor.Tensor, kernels []*tensor.Tensor,
 	for i, kb := range bufs.Kernels {
 		in[kb.ID] = kernels[i]
 	}
-	eng := core.NewEngine(core.Config{Device: device})
+	eng := core.NewEngine(core.Config{Device: device, Obs: o})
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		return nil, err
@@ -81,6 +94,15 @@ func FindEdges(device gpu.Spec, image *tensor.Tensor, kernels []*tensor.Tensor,
 // template declares them (see templates.CNNBuffers.Params).
 func CNNForward(device gpu.Spec, cfg templates.CNNConfig,
 	inputs, params []*tensor.Tensor) (*Result, error) {
+	return CNNForwardObserved(device, nil, cfg, inputs, params)
+}
+
+// CNNForwardObserved is CNNForward with an optional observer (nil
+// disables instrumentation).
+func CNNForwardObserved(device gpu.Spec, o *obs.Observer, cfg templates.CNNConfig,
+	inputs, params []*tensor.Tensor) (*Result, error) {
+	sp := o.T().Begin("recognition:cnn_forward", "compile").SetArg("net", cfg.Name)
+	defer sp.End()
 	g, bufs, err := templates.CNN(cfg)
 	if err != nil {
 		return nil, err
@@ -100,7 +122,7 @@ func CNNForward(device gpu.Spec, cfg templates.CNNConfig,
 	for i, b := range bufs.Params {
 		in[b.ID] = params[i]
 	}
-	eng := core.NewEngine(core.Config{Device: device})
+	eng := core.NewEngine(core.Config{Device: device, Obs: o})
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/templates"
 	"repro/internal/tensor"
 	"repro/internal/workload"
@@ -125,5 +126,41 @@ func TestCNNForwardAPI(t *testing.T) {
 	}
 	if _, err := CNNForward(gpu.TeslaC870(), cfg, inputs, params[:2]); err == nil {
 		t.Fatal("param count mismatch must error")
+	}
+}
+
+func TestFindEdgesObservedIsIdenticalAndTraced(t *testing.T) {
+	img := workload.Image(1, 96, 64)
+	kernels := []*tensor.Tensor{
+		workload.EdgeKernel(7, 0),
+		workload.EdgeKernel(7, math.Pi/4),
+	}
+	plain, err := FindEdges(gpu.TeslaC870(), img, kernels, 4, templates.CombineMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := obs.New()
+	observed, err := FindEdgesObserved(gpu.TeslaC870(), o, img, kernels, 4, templates.CombineMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats != observed.Stats {
+		t.Fatalf("stats diverge with observer:\nplain    %+v\nobserved %+v", plain.Stats, observed.Stats)
+	}
+	if !plain.Outputs[0].Equal(observed.Outputs[0]) {
+		t.Fatal("outputs not bit-identical with observer attached")
+	}
+	spans := o.T().Spans()
+	if len(spans) == 0 || spans[0].Name != "recognition:find_edges" {
+		t.Fatalf("spans = %+v, want recognition:find_edges first", spans)
+	}
+	var haveCompile bool
+	for _, s := range spans {
+		if s.Name == "compile" && s.Depth == 1 {
+			haveCompile = true
+		}
+	}
+	if !haveCompile {
+		t.Fatal("engine compile span not nested under the recognition span")
 	}
 }

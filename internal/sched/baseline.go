@@ -50,9 +50,17 @@ func Baseline(g *graph.Graph, capacity int64) (*Plan, error) {
 // schedule, then latest-time-of-use transfer scheduling with eager
 // deletion (§3.3.1).
 func Heuristic(g *graph.Graph, capacity int64) (*Plan, error) {
+	return HeuristicWithOptions(g, Options{Capacity: capacity})
+}
+
+// HeuristicWithOptions is Heuristic with full Options control (eviction
+// policy, eager-free ablation, observability).
+func HeuristicWithOptions(g *graph.Graph, opt Options) (*Plan, error) {
+	sp := opt.Obs.T().Begin("sched:order", "compile")
 	order, err := DepthFirstOrder(g)
+	sp.SetArgf("operators", "%d", len(order)).End()
 	if err != nil {
 		return nil, err
 	}
-	return ScheduleTransfers(g, order, Options{Capacity: capacity})
+	return ScheduleTransfers(g, order, opt)
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // EvictPolicy selects the victim when GPU memory must be reclaimed.
@@ -41,6 +42,10 @@ type Options struct {
 	// delete them immediately after they become unnecessary"); used by the
 	// eager-free ablation.
 	NoEagerFree bool
+	// Obs, when non-nil, receives compile-phase spans (unit analysis,
+	// transfer scheduling) and scheduling metrics (evictions, writebacks,
+	// eager frees). Nil disables instrumentation at zero cost.
+	Obs *obs.Observer
 }
 
 // ScheduleTransfers infers a minimal set of host↔GPU data transfers for
@@ -76,6 +81,10 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 		return nil, fmt.Errorf("sched: capacity must be positive")
 	}
 
+	sp := opt.Obs.T().Begin("sched:unit-analysis", "compile").
+		SetArgf("units", "%d", len(units)).
+		SetArgf("capacity_floats", "%d", opt.Capacity)
+
 	// Static use positions per buffer, at unit granularity ("latest time
 	// of use" is computable statically once the schedule is known).
 	usePos := make(map[int][]int)
@@ -106,6 +115,9 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 			validHost[b.ID] = true
 		}
 	}
+	sp.End()
+	sp = opt.Obs.T().Begin("sched:transfers", "compile")
+	m := opt.Obs.M()
 
 	plan := &Plan{Order: order}
 	var used int64
@@ -119,7 +131,13 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 	}
 	evict := func(r *res, t int) {
 		liveLater := nextUse(r.buf.ID, t) != math.MaxInt || r.buf.IsOutput
+		if liveLater {
+			// The buffer will be needed again: this eviction forces a
+			// future refetch, the cost the Belady rule minimizes.
+			m.Counter("sched.evictions").Inc()
+		}
 		if r.dirty && liveLater && !validHost[r.buf.ID] {
+			m.Counter("sched.writebacks").Inc()
 			emit(StepD2H, r.buf, nil)
 			validHost[r.buf.ID] = true
 		}
@@ -231,6 +249,7 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 				if nextUse(b.ID, t) != math.MaxInt {
 					continue
 				}
+				m.Counter("sched.eager_frees").Inc()
 				if b.IsOutput {
 					// Template output with no further consumer: ship it to
 					// the host now and release the space.
@@ -261,6 +280,12 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 			return nil, fmt.Errorf("sched: template output %s never reached the host", b)
 		}
 	}
+	h2d, d2h := plan.TransferFloats()
+	sp.SetArgf("steps", "%d", len(plan.Steps)).
+		SetArgf("h2d_floats", "%d", h2d).
+		SetArgf("d2h_floats", "%d", d2h).
+		SetArgf("peak_floats", "%d", plan.PeakFloats).
+		End()
 	return plan, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Options configures the split pass.
@@ -33,6 +34,9 @@ type Options struct {
 	MaxParts int
 	// MaxRounds bounds the number of node splits performed (0 = 1<<20).
 	MaxRounds int
+	// Obs, when non-nil, records one instant event per node split and the
+	// pass's metrics (nodes split, parts created, rounds).
+	Obs *obs.Observer
 }
 
 // Result reports what the pass did.
@@ -96,13 +100,23 @@ func Apply(g *graph.Graph, opt Options) (Result, error) {
 		if victim == nil {
 			return res, nil
 		}
+		footprint := victim.Footprint()
 		parts, err := splitNode(g, victim, opt)
 		if err != nil {
 			return res, fmt.Errorf("split: node %s (footprint %d > capacity %d): %w",
-				victim, victim.Footprint(), opt.Capacity, err)
+				victim, footprint, opt.Capacity, err)
 		}
 		res.SplitNodes++
 		res.PartsCreated += parts
+		opt.Obs.T().MarkWall("split:"+victim.Name, "compile", map[string]string{
+			"footprint_floats": fmt.Sprint(footprint),
+			"capacity_floats":  fmt.Sprint(opt.Capacity),
+			"parts":            fmt.Sprint(parts),
+		})
+		m := opt.Obs.M()
+		m.Counter("split.nodes").Inc()
+		m.Counter("split.parts").Add(int64(parts))
+		m.Gauge("split.rounds").Set(float64(res.Rounds))
 	}
 }
 
