@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -29,6 +30,7 @@ var (
 	baseline = flag.Bool("baseline", false, "use the baseline planner")
 	traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the compile + run to this file")
 	metricsF = flag.Bool("metrics", false, "print the metrics registry and residency breakdown after the run")
+	repeat   = flag.Int("repeat", 1, "run the compile+run cycle N times through a shared service; the plan cache amortizes every compile after the first")
 )
 
 func main() {
@@ -95,6 +97,31 @@ func main() {
 			fmt.Printf("output root %d: %dx%d, mean activation %.4f\n",
 				id, out.Rows(), out.Cols(), out.Sum()/float64(out.Len()))
 		}
+	}
+	if *repeat > 1 {
+		// Each round rebuilds the template graph from scratch; the service
+		// keys its plan cache on the canonical fingerprint, so every round
+		// after the first skips the compile passes entirely.
+		svc := core.NewService(core.Config{Device: spec, Planner: planner, Obs: o}, 0)
+		start := time.Now()
+		for i := 0; i < *repeat; i++ {
+			gg, bufsi, terr := templates.CNN(cfg)
+			if terr != nil {
+				log.Fatal(terr)
+			}
+			if *simulate {
+				_, err = svc.CompileAndSimulate(gg)
+			} else {
+				_, err = svc.CompileAndExecute(gg, workload.CNNInputs(bufsi, 7))
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := svc.CacheStats()
+		fmt.Printf("repeat: %d rounds in %s; plan cache %d compiles, %d hits (hit rate %s)\n",
+			*repeat, report.Seconds(time.Since(start).Seconds()),
+			st.Misses, st.Hits, report.Percent(st.HitRate()))
 	}
 	if *traceOut != "" {
 		fh, err := os.Create(*traceOut)

@@ -9,6 +9,7 @@
 //	planview -template cnn -plan | head -50
 //	planview -template edge -residency
 //	planview -checktrace out.json
+//	planview -device c1060 -planner pb -passes
 package main
 
 import (
@@ -42,7 +43,22 @@ var (
 	metricsF   = flag.Bool("metrics", false, "replay the plan and print the metrics registry")
 	residency  = flag.Bool("residency", false, "replay the plan and print the memory-residency timeline and peak breakdown")
 	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file and exit")
+	passes     = flag.Bool("passes", false, "print the compile pass pipeline for the chosen device/planner and exit")
+	plannerF   = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb")
 )
+
+func pickPlanner(name string) core.Planner {
+	switch name {
+	case "heuristic":
+		return core.HeuristicPlanner
+	case "baseline":
+		return core.BaselinePlanner
+	case "pb":
+		return core.PBOptimalPlanner
+	}
+	log.Fatalf("unknown planner %q", name)
+	return 0
+}
 
 func main() {
 	flag.Parse()
@@ -98,7 +114,18 @@ func main() {
 	}
 
 	before := g.Stats()
-	eng := core.NewEngine(core.Config{Device: spec, Obs: o})
+	eng := core.NewEngine(core.Config{Device: spec, Planner: pickPlanner(*plannerF), Obs: o})
+	if *passes {
+		// List with the -overlap flag applied so the prefetch pass shows
+		// on async-capable devices (the replay path applies it manually).
+		list := core.NewEngine(core.Config{
+			Device: spec, Planner: pickPlanner(*plannerF), Overlap: *overlap})
+		fmt.Printf("compile pipeline for %s (planner %s):\n", spec.Name, pickPlanner(*plannerF))
+		for i, name := range list.PassNames() {
+			fmt.Printf("  %2d. %s\n", i+1, name)
+		}
+		return
+	}
 	compiled, err := eng.Compile(g)
 	if err != nil {
 		log.Fatal(err)

@@ -39,27 +39,6 @@ func bufSym(b *graph.Buffer) string {
 	return fmt.Sprintf("%s_%d", sanitize(b.Name), b.ID)
 }
 
-// planBuffers returns the distinct buffers a plan touches, sorted by ID.
-func planBuffers(plan *sched.Plan) []*graph.Buffer {
-	seen := map[int]*graph.Buffer{}
-	for _, s := range plan.Steps {
-		if s.Buf != nil {
-			seen[s.Buf.ID] = s.Buf
-		}
-		if s.Node != nil {
-			for _, b := range s.Node.Buffers() {
-				seen[b.ID] = b
-			}
-		}
-	}
-	out := make([]*graph.Buffer, 0, len(seen))
-	for _, b := range seen {
-		out = append(out, b)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
 // CUDA renders the plan as a CUDA C hybrid host/device program: device
 // allocations, cudaMemcpy transfers, and one kernel invocation per offload
 // unit, in exactly the plan's order. Kernels are declared as externs
@@ -73,7 +52,7 @@ func CUDA(g *graph.Graph, plan *sched.Plan, templateName string) string {
 	b.WriteString("#define CUDA_CHECK(call) do { cudaError_t e = (call); \\\n")
 	b.WriteString("  if (e != cudaSuccess) { fprintf(stderr, \"%s\\n\", cudaGetErrorString(e)); return 1; } } while (0)\n\n")
 
-	bufs := planBuffers(plan)
+	bufs := plan.Buffers()
 	kinds := map[string]bool{}
 	for _, n := range plan.Order {
 		kinds[n.Op.Kind()] = true

@@ -1,0 +1,143 @@
+package compiler
+
+import (
+	"container/list"
+
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// DefaultCacheSize bounds a Cache built with size <= 0.
+const DefaultCacheSize = 128
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	Hits          int64 // completed entries served without compiling
+	Misses        int64 // computations started (single-flight leaders)
+	InflightWaits int64 // callers that waited on another goroutine's compile
+	Evictions     int64 // completed entries dropped by the LRU bound
+	Entries       int   // completed entries currently cached
+}
+
+// HitRate returns hits / (hits + misses + waits), the fraction of lookups
+// that did not compile. Zero when the cache is untouched.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.InflightWaits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.InflightWaits) / float64(total)
+}
+
+// Cache is a thread-safe memoizing store for compilation results with
+// single-flight semantics: when several goroutines ask for the same key
+// concurrently, exactly one runs the compile function and the rest block
+// until its result is ready — the work is done once. Completed entries
+// are LRU-bounded; in-flight entries are pinned until they resolve. A
+// leader's error is delivered to every waiter but never cached, so the
+// next lookup retries.
+//
+// When an observer is attached, the cache maintains the
+// compiler.cache.{hits,misses,inflight_waits,evictions} counters and the
+// compiler.cache.entries gauge in its metrics registry.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // completed *cacheEntry, most recent at front
+	entries map[string]*cacheEntry[V]
+	o       *obs.Observer
+	stats   CacheStats
+}
+
+type cacheEntry[V any] struct {
+	key   string
+	ready chan struct{} // closed once val/err are set
+	val   V
+	err   error
+	elem  *list.Element // nil while in flight
+}
+
+// NewCache returns a cache holding at most max completed entries
+// (DefaultCacheSize when max <= 0). o may be nil.
+func NewCache[V any](max int, o *obs.Observer) *Cache[V] {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache[V]{
+		max:     max,
+		lru:     list.New(),
+		entries: make(map[string]*cacheEntry[V]),
+		o:       o,
+	}
+}
+
+// GetOrCompute returns the cached value for key, computing it with fn on
+// a miss. The second result reports whether the value came from the cache
+// (true both for a completed entry and for joining another goroutine's
+// in-flight compile — in either case fn did not run here).
+func (c *Cache[V]) GetOrCompute(key string, fn func() (V, error)) (V, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.ready:
+			// Completed entry: a hit, unless the leader errored (errored
+			// entries are removed before ready closes, so this branch
+			// only sees successes).
+			c.lru.MoveToFront(e.elem)
+			c.stats.Hits++
+			c.mu.Unlock()
+			c.o.M().Counter("compiler.cache.hits").Inc()
+			return e.val, true, nil
+		default:
+			// In flight: join the leader.
+			c.stats.InflightWaits++
+			c.mu.Unlock()
+			c.o.M().Counter("compiler.cache.inflight_waits").Inc()
+			<-e.ready
+			if e.err != nil {
+				var zero V
+				return zero, true, e.err
+			}
+			return e.val, true, nil
+		}
+	}
+	e := &cacheEntry[V]{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+	c.o.M().Counter("compiler.cache.misses").Inc()
+
+	v, err := fn()
+
+	c.mu.Lock()
+	e.val, e.err = v, err
+	if err != nil {
+		delete(c.entries, key) // never cache failures; waiters still get err
+	} else {
+		e.elem = c.lru.PushFront(e)
+		for c.lru.Len() > c.max {
+			back := c.lru.Back()
+			victim := back.Value.(*cacheEntry[V])
+			c.lru.Remove(back)
+			delete(c.entries, victim.key)
+			c.stats.Evictions++
+			c.o.M().Counter("compiler.cache.evictions").Inc()
+		}
+	}
+	c.stats.Entries = c.lru.Len()
+	entries := c.stats.Entries
+	close(e.ready)
+	c.mu.Unlock()
+	c.o.M().Gauge("compiler.cache.entries").Set(float64(entries))
+	return v, false, err
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}

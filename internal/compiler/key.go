@@ -1,0 +1,22 @@
+package compiler
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Key derives the canonical cache key for one compilation: the graph's
+// canonical fingerprint combined with the full device spec and the
+// planner configuration. Two compilations share a key exactly when they
+// would produce identical plans — same template structure (shapes, op
+// kinds, op parameters, wiring), same device constants, same planner
+// settings. gpu.Spec is a flat struct of scalars, so its %+v rendering is
+// a stable total encoding.
+func Key(fingerprint string, device gpu.Spec, config string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "graph:%s\ndevice:%+v\nconfig:%s\n", fingerprint, device, config)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,158 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/pb"
+	"repro/internal/sched"
+	"repro/internal/split"
+)
+
+// SplitPass is the operator-splitting pass (paper §3.2): it rewrites the
+// graph in place until every operator's footprint fits c.SplitTarget.
+type SplitPass struct {
+	// MaxParts bounds a single operator's split factor (0 = none).
+	MaxParts int
+}
+
+// Name implements Pass.
+func (SplitPass) Name() string { return "split" }
+
+// Run implements Pass.
+func (p SplitPass) Run(c *Compilation, sp *obs.Span) error {
+	sp.SetArgf("target_floats", "%d", c.SplitTarget)
+	res, err := split.Apply(c.Graph, split.Options{
+		Capacity: c.SplitTarget, MaxParts: p.MaxParts, Obs: c.Obs})
+	sp.SetArgf("nodes_split", "%d", res.SplitNodes).
+		SetArgf("parts_created", "%d", res.PartsCreated)
+	if err != nil {
+		return fmt.Errorf("operator splitting: %w", err)
+	}
+	c.Split = res
+	c.Diagf("split: %d nodes split into %d parts (target %d floats)",
+		res.SplitNodes, res.PartsCreated, c.SplitTarget)
+	return nil
+}
+
+// ValidatePass re-validates the graph after splitting: region coverage,
+// dangling buffers, shape consistency.
+type ValidatePass struct{}
+
+// Name implements Pass.
+func (ValidatePass) Name() string { return "validate" }
+
+// Run implements Pass.
+func (ValidatePass) Run(c *Compilation, sp *obs.Span) error {
+	if err := c.Graph.Validate(); err != nil {
+		return fmt.Errorf("split graph invalid: %w", err)
+	}
+	return nil
+}
+
+// HeuristicPass is the paper's scalable default planner (§3.3.1):
+// depth-first operator schedule plus latest-time-of-use transfers.
+type HeuristicPass struct{}
+
+// Name implements Pass.
+func (HeuristicPass) Name() string { return "schedule:heuristic" }
+
+// Run implements Pass.
+func (HeuristicPass) Run(c *Compilation, sp *obs.Span) error {
+	plan, err := sched.HeuristicWithOptions(c.Graph, sched.Options{Capacity: c.Capacity, Obs: c.Obs})
+	if err != nil {
+		return fmt.Errorf("heuristic scheduling: %w", err)
+	}
+	c.Plan = plan
+	return nil
+}
+
+// BaselinePass reproduces the paper's comparison baseline: per operator,
+// copy inputs in, execute, copy outputs back.
+type BaselinePass struct{}
+
+// Name implements Pass.
+func (BaselinePass) Name() string { return "schedule:baseline" }
+
+// Run implements Pass.
+func (BaselinePass) Run(c *Compilation, sp *obs.Span) error {
+	plan, err := sched.Baseline(c.Graph, c.Capacity)
+	if err != nil {
+		return fmt.Errorf("baseline scheduling: %w", err)
+	}
+	c.Plan = plan
+	return nil
+}
+
+// PBPass solves the Fig. 5 pseudo-Boolean formulation exactly, warm-
+// started from the heuristic plan; feasible only for small templates.
+type PBPass struct {
+	// MaxConflicts bounds each solver call (0 = unlimited); on
+	// exhaustion the best plan found so far wins.
+	MaxConflicts int64
+}
+
+// Name implements Pass.
+func (PBPass) Name() string { return "schedule:pb-optimal" }
+
+// Run implements Pass.
+func (p PBPass) Run(c *Compilation, sp *obs.Span) error {
+	o := c.Obs
+	wsp := o.T().Begin("pb:warm-start", "compile")
+	warm, err := sched.HeuristicWithOptions(c.Graph, sched.Options{Capacity: c.Capacity, Obs: o})
+	wsp.End()
+	if err != nil {
+		return fmt.Errorf("heuristic warm start: %w", err)
+	}
+	fsp := o.T().Begin("pb:formulate", "compile")
+	f, err := pb.Formulate(c.Graph, c.Capacity)
+	fsp.End()
+	if err != nil {
+		return fmt.Errorf("PB formulation: %w", err)
+	}
+	f.SetObserver(o)
+	res, err := f.Minimize(warm.TotalTransferFloats(), p.MaxConflicts)
+	if err != nil {
+		return fmt.Errorf("PB optimization: %w", err)
+	}
+	c.PBStatus = res.Status
+	if res.Plan != nil && res.Cost <= warm.TotalTransferFloats() {
+		c.Plan = res.Plan
+	} else {
+		c.Plan = warm // budget ran out before beating the heuristic
+		c.Diagf("pb: conflict budget exhausted, kept heuristic plan")
+	}
+	return nil
+}
+
+// PrefetchPass reorders the plan's H2D copies as early as memory allows
+// for asynchronous DMA/compute overlap (§3.3.2). Only assembled for
+// devices that support AsyncTransfer.
+type PrefetchPass struct{}
+
+// Name implements Pass.
+func (PrefetchPass) Name() string { return "prefetch" }
+
+// Run implements Pass.
+func (PrefetchPass) Run(c *Compilation, sp *obs.Span) error {
+	// Keep a prefetch reserve: raising the residency high-watermark
+	// raises fragmentation pressure in the first-fit allocator.
+	c.Plan = sched.PrefetchH2D(c.Plan, c.Capacity*9/10)
+	c.Overlap = true
+	return nil
+}
+
+// VerifyPass statically checks the plan against every executor invariant
+// at the planner capacity — the gate before a plan is cached or executed.
+type VerifyPass struct{}
+
+// Name implements Pass.
+func (VerifyPass) Name() string { return "verify" }
+
+// Run implements Pass.
+func (VerifyPass) Run(c *Compilation, sp *obs.Span) error {
+	if err := sched.Verify(c.Graph, c.Plan, c.Capacity); err != nil {
+		return fmt.Errorf("plan verification: %w", err)
+	}
+	return nil
+}

@@ -5,12 +5,20 @@
 // scheduling, and finally code generation / execution — automatically
 // retargeted to whichever GPU the engine is configured with, which is the
 // paper's performance-portability story.
+//
+// The compile path itself lives in internal/compiler as a pass pipeline;
+// Engine is the facade that assembles the pipeline from a Config and
+// packages its result, and Service adds a concurrency-safe front door
+// with a memoizing plan cache on top.
 package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/codegen"
+	"repro/internal/compiler"
 	"repro/internal/exec"
 	"repro/internal/gpu"
 	"repro/internal/graph"
@@ -76,11 +84,15 @@ type Config struct {
 	// additionally tries splitting against reduced capacity targets
 	// (1/2, 1/4) and keeps whichever plan transfers the least. Splitting
 	// deeper than strictly necessary often converts large intermediate
-	// spills into chunk-wise pipelines.
+	// spills into chunk-wise pipelines. Candidates compile concurrently
+	// on cloned graphs; the selection is deterministic regardless.
 	AutoTuneSplit bool
 }
 
-// Engine compiles templates for one GPU configuration.
+// Engine compiles templates for one GPU configuration. It is a thin
+// facade over the internal/compiler pass pipeline: NewEngine captures the
+// configuration, Pipeline assembles the pass sequence it implies, and
+// Compile runs it.
 type Engine struct {
 	cfg Config
 }
@@ -95,6 +107,33 @@ func (e *Engine) Capacity() int64 {
 	}
 	return e.cfg.Device.PlannerCapacity()
 }
+
+// Pipeline assembles the compile pass sequence the engine's configuration
+// implies: split → validate → one scheduling pass (chosen by Planner) →
+// prefetch (async devices with Overlap) → verify.
+func (e *Engine) Pipeline() *compiler.Pipeline {
+	passes := []compiler.Pass{
+		compiler.SplitPass{MaxParts: e.cfg.SplitMaxParts},
+		compiler.ValidatePass{},
+	}
+	switch e.cfg.Planner {
+	case BaselinePlanner:
+		passes = append(passes, compiler.BaselinePass{})
+	case PBOptimalPlanner:
+		passes = append(passes, compiler.PBPass{MaxConflicts: e.cfg.PBMaxConflicts})
+	default:
+		passes = append(passes, compiler.HeuristicPass{})
+	}
+	if e.cfg.Overlap && e.cfg.Device.AsyncTransfer {
+		passes = append(passes, compiler.PrefetchPass{})
+	}
+	passes = append(passes, compiler.VerifyPass{})
+	return compiler.NewPipeline(passes...)
+}
+
+// PassNames returns the assembled pipeline's pass names in execution
+// order (what `planview -passes` prints).
+func (e *Engine) PassNames() []string { return e.Pipeline().Passes() }
 
 // Compiled is a template compiled for a device: the (possibly split)
 // operator graph and its optimized execution plan.
@@ -115,6 +154,8 @@ type Compiled struct {
 	// Obs carries the engine's observer into Execute/Simulate so one
 	// trace spans compile and execution.
 	Obs *obs.Observer
+	// Diags are the pipeline's human-readable per-pass notes.
+	Diags []string
 }
 
 // Compile runs the compilation pipeline on the template graph. The graph
@@ -122,131 +163,119 @@ type Compiled struct {
 // AutoTuneSplit selects a deeper split, the returned Compiled.Graph is a
 // clone and the argument graph holds the default split).
 func (e *Engine) Compile(g *graph.Graph) (*Compiled, error) {
-	if e.cfg.AutoTuneSplit && e.cfg.Planner == HeuristicPlanner {
-		return e.compileAutoTuned(g)
-	}
-	return e.compileAt(g, e.Capacity())
+	return e.compileObs(e.cfg.Obs, g)
 }
+
+// compileObs is Compile with an explicit observer, so Service can run
+// concurrent compiles each under its own forked observer.
+func (e *Engine) compileObs(o *obs.Observer, g *graph.Graph) (*Compiled, error) {
+	if e.cfg.AutoTuneSplit && e.cfg.Planner == HeuristicPlanner {
+		return e.compileAutoTuned(o, g)
+	}
+	return e.compileWith(o, g, e.Capacity(), e.Capacity())
+}
+
+// autotuneDivisors are the capacity divisors auto-tuning probes, in the
+// order candidates are compared; the first (full capacity) is the anchor
+// whose failure fails the compile.
+var autotuneDivisors = []int64{1, 2, 4}
 
 // compileAutoTuned tries the default capacity plus reduced split targets
 // and keeps the plan with the smallest transfer volume. Scheduling always
 // uses the full capacity; only the split pass sees the reduced target.
-func (e *Engine) compileAutoTuned(g *graph.Graph) (*Compiled, error) {
-	sp := e.cfg.Obs.T().Begin("autotune", "compile")
+// Candidates compile concurrently (each on its own graph and forked
+// observer, over a worker pool bounded by GOMAXPROCS); clones are taken
+// up-front because the full-capacity candidate splits g in place, and the
+// winner is selected in fixed divisor order with a strict comparison, so
+// the result is identical to compiling the candidates sequentially.
+func (e *Engine) compileAutoTuned(o *obs.Observer, g *graph.Graph) (*Compiled, error) {
+	sp := o.T().Begin("autotune", "compile")
 	defer sp.End()
 	capacity := e.Capacity()
-	best, err := e.compileAt(g, capacity)
-	if err != nil {
-		return nil, err
+
+	graphs := make([]*graph.Graph, len(autotuneDivisors))
+	graphs[0] = g
+	for i := 1; i < len(autotuneDivisors); i++ {
+		if capacity/autotuneDivisors[i] > 0 {
+			graphs[i] = g.Clone()
+		}
 	}
-	for _, div := range []int64{2, 4} {
-		target := capacity / div
-		if target <= 0 {
+
+	results := make([]*Compiled, len(autotuneDivisors))
+	errs := make([]error, len(autotuneDivisors))
+	children := make([]*obs.Observer, len(autotuneDivisors))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(autotuneDivisors) {
+		workers = len(autotuneDivisors)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, div := range autotuneDivisors {
+		if graphs[i] == nil {
+			continue // capacity/div underflowed to zero: skip
+		}
+		children[i] = o.Fork()
+		wg.Add(1)
+		go func(i int, target int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.compileWith(children[i], graphs[i], target, capacity)
+		}(i, capacity/div)
+	}
+	wg.Wait()
+	for _, child := range children {
+		o.Join(child) // divisor order keeps the merged trace deterministic
+	}
+
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	best := results[0]
+	for i := 1; i < len(autotuneDivisors); i++ {
+		if graphs[i] == nil {
 			continue
 		}
-		cand, err := e.compileSplitTarget(g.Clone(), target, capacity)
-		if err != nil {
-			continue // deeper target infeasible: keep what we have
+		if errs[i] != nil {
+			// A deeper target being infeasible is survivable — the
+			// shallower plan stands — but never silent: the discard shows
+			// up in the trace and the metrics.
+			o.T().MarkWall("autotune:candidate-failed", "compile", map[string]string{
+				"target_floats": fmt.Sprintf("%d", capacity/autotuneDivisors[i]),
+				"error":         errs[i].Error(),
+			})
+			o.M().Counter("autotune_candidate_failed").Inc()
+			continue
 		}
-		if cand.Plan.TotalTransferFloats() < best.Plan.TotalTransferFloats() {
-			best = cand
+		if results[i].Plan.TotalTransferFloats() < best.Plan.TotalTransferFloats() {
+			best = results[i]
 		}
 	}
+	sp.SetArgf("selected_transfer_floats", "%d", best.Plan.TotalTransferFloats())
 	return best, nil
 }
 
-func (e *Engine) compileAt(g *graph.Graph, capacity int64) (*Compiled, error) {
-	return e.compileSplitTarget(g, capacity, capacity)
-}
-
-// compileSplitTarget splits the graph to fit splitTarget floats per
-// operator, then schedules against the (possibly larger) planner capacity.
-func (e *Engine) compileSplitTarget(g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
-	o := e.cfg.Obs
+// compileWith splits the graph to fit splitTarget floats per operator,
+// then schedules against the (possibly larger) planner capacity, by
+// running the assembled pass pipeline under one "compile" span.
+func (e *Engine) compileWith(o *obs.Observer, g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
 	csp := o.T().Begin("compile", "compile").
 		SetArgf("device", "%s", e.cfg.Device.Name).
 		SetArgf("planner", "%s", e.cfg.Planner).
 		SetArgf("capacity_floats", "%d", capacity)
 	defer csp.End()
-	c := &Compiled{Graph: g, Device: e.cfg.Device, Capacity: capacity, Obs: o}
-
-	sp := o.T().Begin("split", "compile").SetArgf("target_floats", "%d", splitTarget)
-	res, err := split.Apply(g, split.Options{
-		Capacity: splitTarget, MaxParts: e.cfg.SplitMaxParts, Obs: o})
-	sp.SetArgf("nodes_split", "%d", res.SplitNodes).
-		SetArgf("parts_created", "%d", res.PartsCreated).
-		End()
-	if err != nil {
-		return nil, fmt.Errorf("core: operator splitting: %w", err)
+	c := &compiler.Compilation{
+		Graph: g, Device: e.cfg.Device,
+		Capacity: capacity, SplitTarget: splitTarget, Obs: o,
 	}
-	c.Split = res
-	sp = o.T().Begin("validate", "compile")
-	err = g.Validate()
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: split graph invalid: %w", err)
+	if err := e.Pipeline().Run(c); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	sp = o.T().Begin("schedule:"+e.cfg.Planner.String(), "compile")
-	switch e.cfg.Planner {
-	case BaselinePlanner:
-		plan, err := sched.Baseline(g, capacity)
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: baseline scheduling: %w", err)
-		}
-		c.Plan = plan
-	case PBOptimalPlanner:
-		wsp := o.T().Begin("pb:warm-start", "compile")
-		warm, err := sched.HeuristicWithOptions(g, sched.Options{Capacity: capacity, Obs: o})
-		wsp.End()
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: heuristic warm start: %w", err)
-		}
-		fsp := o.T().Begin("pb:formulate", "compile")
-		f, err := pb.Formulate(g, capacity)
-		fsp.End()
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: PB formulation: %w", err)
-		}
-		f.SetObserver(o)
-		res, err := f.Minimize(warm.TotalTransferFloats(), e.cfg.PBMaxConflicts)
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: PB optimization: %w", err)
-		}
-		c.PBStatus = res.Status
-		if res.Plan != nil && res.Cost <= warm.TotalTransferFloats() {
-			c.Plan = res.Plan
-		} else {
-			c.Plan = warm // budget ran out before beating the heuristic
-		}
-	default:
-		plan, err := sched.HeuristicWithOptions(g, sched.Options{Capacity: capacity, Obs: o})
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: heuristic scheduling: %w", err)
-		}
-		c.Plan = plan
-	}
-	sp.End()
-	if e.cfg.Overlap && e.cfg.Device.AsyncTransfer {
-		// Keep a prefetch reserve: raising the residency high-watermark
-		// raises fragmentation pressure in the first-fit allocator.
-		sp = o.T().Begin("prefetch", "compile")
-		c.Plan = sched.PrefetchH2D(c.Plan, capacity*9/10)
-		sp.End()
-		c.Overlap = true
-	}
-	sp = o.T().Begin("verify", "compile")
-	err = sched.Verify(g, c.Plan, capacity)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: plan verification: %w", err)
-	}
-	return c, nil
+	return &Compiled{
+		Graph: c.Graph, Plan: c.Plan, Split: c.Split,
+		Device: e.cfg.Device, Capacity: capacity,
+		PBStatus: c.PBStatus, Overlap: c.Overlap, Obs: o, Diags: c.Diags,
+	}, nil
 }
 
 // Execute runs the compiled plan with real data on a fresh simulated

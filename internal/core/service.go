@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Service is the concurrency-safe front door to the framework: one shared
+// engine plus a memoizing plan cache, safe to call from any number of
+// goroutines. Compile memoizes by canonical compilation key (graph
+// fingerprint + device + planner config) with single-flight semantics, so
+// a fleet of workers compiling the same template does the compile work
+// once; each miss compiles on a clone of the caller's graph under a
+// forked observer, so the caller's graph is never mutated and concurrent
+// traces never interleave mid-span.
+type Service struct {
+	eng   *Engine
+	cache *compiler.Cache[*Compiled]
+}
+
+// NewService returns a service over the given configuration, caching up
+// to cacheSize compiled plans (compiler.DefaultCacheSize when <= 0).
+func NewService(cfg Config, cacheSize int) *Service {
+	return &Service{
+		eng:   NewEngine(cfg),
+		cache: compiler.NewCache[*Compiled](cacheSize, cfg.Obs),
+	}
+}
+
+// Engine returns the underlying engine (for Capacity, PassNames, or an
+// uncached Compile).
+func (s *Service) Engine() *Engine { return s.eng }
+
+// CacheStats reports the plan cache's hit/miss/eviction counters.
+func (s *Service) CacheStats() compiler.CacheStats { return s.cache.Stats() }
+
+// CacheKey returns the canonical key Compile memoizes g under.
+func (s *Service) CacheKey(g *graph.Graph) string {
+	return compiler.Key(g.Fingerprint(), s.eng.cfg.Device, s.configString())
+}
+
+// configString encodes every Config field that changes the compiled plan.
+// Capacity is resolved first so an explicit budget equal to the device
+// default shares the default's cache entries.
+func (s *Service) configString() string {
+	c := s.eng.cfg
+	return fmt.Sprintf("planner=%s,capacity=%d,pbmax=%d,splitmax=%d,overlap=%t,autotune=%t",
+		c.Planner, s.eng.Capacity(), c.PBMaxConflicts, c.SplitMaxParts, c.Overlap, c.AutoTuneSplit)
+}
+
+// Compile returns the compiled artifact for g, from the cache when an
+// identical compilation has already run (hit=true; no compile passes
+// execute). The caller's graph is never mutated: misses compile a clone.
+// Concurrent calls with the same key share one compile.
+func (s *Service) Compile(g *graph.Graph) (c *Compiled, hit bool, err error) {
+	o := s.eng.cfg.Obs
+	key := s.CacheKey(g)
+	c, hit, err = s.cache.GetOrCompute(key, func() (*Compiled, error) {
+		child := o.Fork()
+		cc, cerr := s.eng.compileObs(child, g.Clone())
+		o.Join(child)
+		return cc, cerr
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	if hit {
+		o.T().MarkWall("cache-hit", "compile", map[string]string{"key": key[:12]})
+	}
+	return c, hit, nil
+}
+
+// run executes fn against a per-call copy of the cached artifact carrying
+// its own forked observer, so concurrent executions of one cached plan
+// never share trace state.
+func (s *Service) run(c *Compiled, fn func(*Compiled) (*exec.Report, error)) (*exec.Report, error) {
+	o := s.eng.cfg.Obs
+	cc := *c
+	child := o.Fork()
+	cc.Obs = child
+	rep, err := fn(&cc)
+	o.Join(child)
+	return rep, err
+}
+
+// CompileAndSimulate compiles g (or hits the cache) and replays the plan
+// in accounting mode. Safe for concurrent use.
+func (s *Service) CompileAndSimulate(g *graph.Graph) (*exec.Report, error) {
+	c, _, err := s.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(c, (*Compiled).Simulate)
+}
+
+// CompileAndExecute compiles g (or hits the cache) and runs the plan with
+// real data. Safe for concurrent use: execution state lives in the
+// executor, not the shared compiled artifact.
+func (s *Service) CompileAndExecute(g *graph.Graph, in exec.Inputs) (*exec.Report, error) {
+	c, _, err := s.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Execute(in) })
+}
+
+// Observer returns the service's shared observer (nil when observability
+// is off).
+func (s *Service) Observer() *obs.Observer { return s.eng.cfg.Obs }

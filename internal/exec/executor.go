@@ -133,7 +133,9 @@ func newExecutor(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*exe
 	if e.obs != nil {
 		e.loaded = make(map[int]bool)
 	}
-	for _, b := range g.LiveBuffers() {
+	// Host validity is only ever consulted for buffers the plan touches,
+	// so seed it from the plan's canonical buffer walk.
+	for _, b := range plan.Buffers() {
 		if b.Root.IsInput || b.IsInput {
 			e.hostValid[b.ID] = true
 		}

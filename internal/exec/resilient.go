@@ -175,7 +175,9 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 	for id, t := range cp.ready {
 		e.ready[id] = t
 	}
-	bufs := e.g.Buffers()
+	// Resident IDs always name buffers the plan touches, so the plan's
+	// canonical buffer walk is the right resolution set.
+	bufs := e.plan.Buffers()
 	byID := make(map[int]*graph.Buffer, len(bufs))
 	for _, b := range bufs {
 		byID[b.ID] = b

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// OpParams is an optional Operator interface for operators whose kernel
+// depends on parameters beyond their Kind: kernel dimensions, pooling
+// factors, remap constants. Params returns a canonical, deterministic
+// encoding of those parameters; Fingerprint folds it into the graph hash
+// so that e.g. a 3×3 and a 16×16 convolution never collide. Operators
+// without parameters need not implement it.
+type OpParams interface {
+	Params() string
+}
+
+// Fingerprint returns a canonical SHA-256 fingerprint of the graph: a
+// deterministic hash over a topological encoding of its nodes, buffers,
+// shapes, regions, input/output roles, operator kinds, and operator
+// parameters. The encoding renumbers buffers and nodes in first-use order
+// along the stable topological walk, so the fingerprint is invariant
+// under cloning and under cosmetic differences (node and buffer names,
+// raw ID numbering) while distinguishing any structural difference —
+// shapes, regions, wiring, operator kinds, or operator parameters.
+//
+// Two graphs with equal fingerprints compile to identical plans under
+// identical device specs and planner configurations, which is what makes
+// the fingerprint a sound plan-cache key component (internal/compiler
+// combines it with the device and config encodings).
+func (g *Graph) Fingerprint() string {
+	h := sha256.New()
+	order, err := g.TopoSort()
+	if err != nil {
+		// A cyclic graph cannot compile; hash it in declaration order so
+		// the fingerprint is still deterministic.
+		order = g.Nodes
+	}
+
+	canon := make(map[int]int) // buffer ID -> canonical number
+	var sb strings.Builder
+	// ref writes a canonical buffer reference, emitting the buffer's full
+	// description (root reference, region, roles) on first encounter.
+	var ref func(b *Buffer)
+	ref = func(b *Buffer) {
+		if id, ok := canon[b.ID]; ok {
+			fmt.Fprintf(&sb, "b%d", id)
+			return
+		}
+		id := len(canon)
+		canon[b.ID] = id
+		fmt.Fprintf(&sb, "b%d{", id)
+		if !b.IsRoot() {
+			sb.WriteString("of=")
+			ref(b.Root)
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "reg=%d,%d,%d,%d", b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols)
+		if b.IsInput {
+			sb.WriteString(";in")
+		}
+		if b.IsOutput {
+			sb.WriteString(";out")
+		}
+		sb.WriteByte('}')
+	}
+	arg := func(a Arg) {
+		fmt.Fprintf(&sb, "(%d,%d,%d,%d:", a.Region.Row, a.Region.Col, a.Region.Rows, a.Region.Cols)
+		for i, b := range a.Bufs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			ref(b)
+		}
+		sb.WriteByte(')')
+	}
+
+	for _, n := range order {
+		sb.Reset()
+		sb.WriteString("n:")
+		sb.WriteString(n.Op.Kind())
+		if p, ok := n.Op.(OpParams); ok {
+			sb.WriteByte('[')
+			sb.WriteString(p.Params())
+			sb.WriteByte(']')
+		}
+		sb.WriteString("|in=")
+		for i, a := range n.In {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			arg(a)
+		}
+		sb.WriteString("|out=")
+		arg(n.Out)
+		sb.WriteByte('\n')
+		h.Write([]byte(sb.String()))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

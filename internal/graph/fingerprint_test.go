@@ -1,0 +1,84 @@
+package graph_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ops"
+	"repro/internal/templates"
+)
+
+// chain builds in(shape) -> op -> out(shape), with configurable names.
+func chain(t *testing.T, prefix string, rows, cols int, op graph.Operator) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	s := graph.Shape{Rows: rows, Cols: cols}
+	in := g.NewBuffer(prefix+"in", s)
+	out := g.NewBuffer(prefix+"out", s)
+	g.MustAddNode(prefix+"op", op, []graph.Arg{graph.SingleArg(in)}, graph.SingleArg(out))
+	return g
+}
+
+func TestFingerprintDeterministicAndNameInvariant(t *testing.T) {
+	a := chain(t, "a", 8, 8, ops.NewScale(2))
+	b := chain(t, "completely-different-names-", 8, 8, ops.NewScale(2))
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not stable across calls")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on node/buffer names")
+	}
+}
+
+func TestFingerprintInvariantUnderClone(t *testing.T) {
+	g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 32, ImageW: 24, KernelSize: 5, Orientations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Clone().Fingerprint() != g.Fingerprint() {
+		t.Fatal("clone changed the fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := chain(t, "", 8, 8, ops.NewScale(2)).Fingerprint()
+	cases := map[string]*graph.Graph{
+		"shape":    chain(t, "", 8, 9, ops.NewScale(2)),
+		"op param": chain(t, "", 8, 8, ops.NewScale(3)),
+		"op kind":  chain(t, "", 8, 8, ops.NewTanh()),
+	}
+	for name, g := range cases {
+		if g.Fingerprint() == base {
+			t.Errorf("fingerprint ignores %s difference", name)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesTemplates(t *testing.T) {
+	edge := func(h, w, k int) string {
+		g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+			ImageH: h, ImageW: w, KernelSize: k, Orientations: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Fingerprint()
+	}
+	a, b := edge(32, 24, 5), edge(32, 24, 5)
+	if a != b {
+		t.Fatal("identical templates fingerprint differently")
+	}
+	if edge(48, 24, 5) == a {
+		t.Fatal("fingerprint ignores image shape")
+	}
+	if edge(32, 24, 7) == a {
+		t.Fatal("fingerprint ignores kernel size")
+	}
+	cg, _, err := templates.CNN(templates.SmallCNN(64, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.Fingerprint() == a {
+		t.Fatal("distinct templates collide")
+	}
+}

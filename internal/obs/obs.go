@@ -19,6 +19,31 @@ func New() *Observer {
 	}
 }
 
+// Fork returns an observer for a goroutine that records compile-phase
+// spans concurrently with others: the tracer is forked (its wall-span
+// stack is single-threaded) while the metrics registry and residency
+// profiler — both internally locked — are shared. Join the fork back when
+// the goroutine completes. Nil-safe.
+func (o *Observer) Fork() *Observer {
+	if o == nil {
+		return nil
+	}
+	return &Observer{
+		Trace:     o.Trace.Fork(),
+		Metrics:   o.Metrics,
+		Residency: o.Residency,
+	}
+}
+
+// Join merges a forked child's trace back into this observer (metrics and
+// residency were shared all along). Nil-safe.
+func (o *Observer) Join(child *Observer) {
+	if o == nil || child == nil {
+		return
+	}
+	o.T().Merge(child.Trace)
+}
+
 // T returns the tracer (nil when disabled).
 func (o *Observer) T() *Tracer {
 	if o == nil {

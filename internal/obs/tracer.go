@@ -41,14 +41,14 @@ func (d Domain) String() string {
 
 // SpanRec is one completed span interval.
 type SpanRec struct {
-	Name  string
-	Cat   string
-	Track string // "pipeline" for wall spans; engine name for sim spans
+	Name   string
+	Cat    string
+	Track  string // "pipeline" for wall spans; engine name for sim spans
 	Domain Domain
-	Start float64 // seconds (wall: since tracer epoch; sim: simulated)
-	End   float64
-	Depth int // nesting depth at Begin time (wall spans only)
-	Args  map[string]string
+	Start  float64 // seconds (wall: since tracer epoch; sim: simulated)
+	End    float64
+	Depth  int // nesting depth at Begin time (wall spans only)
+	Args   map[string]string
 }
 
 // Instant is a zero-duration event (recovery actions, split decisions).
@@ -190,6 +190,54 @@ func (t *Tracer) MarkWall(name, cat string, args map[string]string) {
 	t.instants = append(t.instants, Instant{
 		Name: name, Cat: cat, Track: WallTrack, Domain: Wall, TS: t.now(), Args: args,
 	})
+}
+
+// Fork returns a new tracer sharing this tracer's wall-clock epoch, for a
+// goroutine that must record spans concurrently with others (the tracer's
+// wall-span stack assumes one recording thread). Record into the fork,
+// then Merge it back when the goroutine completes. Nil-safe.
+func (t *Tracer) Fork() *Tracer {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &Tracer{epoch: t.epoch}
+}
+
+// Merge appends a forked child's spans and instants. Child wall spans are
+// re-parented under the currently open span: their depths are offset by
+// the parent's open-stack depth, so the merged trace nests as if the
+// child had recorded inline. Open child spans are closed at the child's
+// current time. Nil-safe on both receiver and argument.
+func (t *Tracer) Merge(child *Tracer) {
+	if t == nil || child == nil {
+		return
+	}
+	spans := child.Spans()
+	instants := child.Instants()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := len(t.stack)
+	for _, s := range spans {
+		if s.Domain == Wall {
+			s.Depth += depth
+		}
+		t.spans = append(t.spans, s)
+	}
+	t.instants = append(t.instants, instants...)
+}
+
+// OpenSpans returns the number of wall-clock spans that have been begun
+// but not yet ended — zero for a balanced trace. Error paths that leak
+// spans show up here (the pass-manager regression tests assert on it).
+func (t *Tracer) OpenSpans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.stack)
 }
 
 // Spans returns a copy of the recorded spans, open wall spans closed at

@@ -30,6 +30,9 @@ func NewConv2D(kh, kw int) *Conv2D {
 // Kind implements graph.Operator.
 func (c *Conv2D) Kind() string { return "conv2d" }
 
+// Params implements graph.OpParams: the kernel dimensions.
+func (c *Conv2D) Params() string { return fmt.Sprintf("kh=%d,kw=%d", c.Kh, c.Kw) }
+
 // OutShape implements graph.Operator.
 func (c *Conv2D) OutShape(in []graph.Shape) (graph.Shape, error) {
 	if err := wantInputs(c.Kind(), in, 2); err != nil {

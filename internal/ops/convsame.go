@@ -39,6 +39,9 @@ func (c *Conv2DSame) PadLeft() int { return (c.Kw - 1) / 2 }
 // Kind implements graph.Operator.
 func (c *Conv2DSame) Kind() string { return "conv2d-same" }
 
+// Params implements graph.OpParams: the kernel dimensions.
+func (c *Conv2DSame) Params() string { return fmt.Sprintf("kh=%d,kw=%d", c.Kh, c.Kw) }
+
 // OutShape implements graph.Operator.
 func (c *Conv2DSame) OutShape(in []graph.Shape) (graph.Shape, error) {
 	if err := wantInputs(c.Kind(), in, 2); err != nil {

@@ -17,9 +17,16 @@ type elementwise struct {
 	nIn   int
 	flops int64 // FLOPs per output element
 	fn    func(vals []float32) float32
+	// params canonically encodes the constants baked into fn (remap
+	// bounds, scale factors, input arity) for graph fingerprinting; the
+	// closure itself cannot be hashed.
+	params string
 }
 
 func (e *elementwise) Kind() string { return e.kind }
+
+// Params implements graph.OpParams.
+func (e *elementwise) Params() string { return e.params }
 
 func (e *elementwise) OutShape(in []graph.Shape) (graph.Shape, error) {
 	if err := wantInputs(e.kind, in, e.nIn); err != nil {
@@ -74,7 +81,7 @@ func NewMaxCombine(n int) graph.Operator {
 	if n < 1 {
 		panic("ops: max combine needs at least one input")
 	}
-	return &elementwise{kind: "max", nIn: n, flops: int64(n - 1), fn: func(v []float32) float32 {
+	return &elementwise{kind: "max", nIn: n, flops: int64(n - 1), params: fmt.Sprintf("n=%d", n), fn: func(v []float32) float32 {
 		m := v[0]
 		for _, x := range v[1:] {
 			if x > m {
@@ -91,7 +98,7 @@ func NewAbsMaxCombine(n int) graph.Operator {
 	if n < 1 {
 		panic("ops: absmax combine needs at least one input")
 	}
-	return &elementwise{kind: "absmax", nIn: n, flops: int64(2 * n), fn: func(v []float32) float32 {
+	return &elementwise{kind: "absmax", nIn: n, flops: int64(2 * n), params: fmt.Sprintf("n=%d", n), fn: func(v []float32) float32 {
 		m := float32(math.Abs(float64(v[0])))
 		for _, x := range v[1:] {
 			if a := float32(math.Abs(float64(x))); a > m {
@@ -108,7 +115,7 @@ func NewAddN(n int) graph.Operator {
 	if n < 1 {
 		panic("ops: add needs at least one input")
 	}
-	return &elementwise{kind: "add", nIn: n, flops: int64(n - 1), fn: func(v []float32) float32 {
+	return &elementwise{kind: "add", nIn: n, flops: int64(n - 1), params: fmt.Sprintf("n=%d", n), fn: func(v []float32) float32 {
 		var s float32
 		for _, x := range v {
 			s += x
@@ -131,21 +138,23 @@ func NewTanh() graph.Operator {
 // defined and cheap, matching the paper's use of remaps as inexpensive
 // substitutes for some rotated convolutions.
 func NewRemap(scale, offset, lo, hi float32) graph.Operator {
-	return &elementwise{kind: "remap", nIn: 1, flops: 4, fn: func(v []float32) float32 {
-		x := scale*v[0] + offset
-		if x < lo {
-			return lo
-		}
-		if x > hi {
-			return hi
-		}
-		return x
-	}}
+	return &elementwise{kind: "remap", nIn: 1, flops: 4,
+		params: fmt.Sprintf("scale=%g,offset=%g,lo=%g,hi=%g", scale, offset, lo, hi),
+		fn: func(v []float32) float32 {
+			x := scale*v[0] + offset
+			if x < lo {
+				return lo
+			}
+			if x > hi {
+				return hi
+			}
+			return x
+		}}
 }
 
 // NewScale returns elementwise multiplication by a constant.
 func NewScale(k float32) graph.Operator {
-	return &elementwise{kind: "scale", nIn: 1, flops: 1, fn: func(v []float32) float32 {
+	return &elementwise{kind: "scale", nIn: 1, flops: 1, params: fmt.Sprintf("k=%g", k), fn: func(v []float32) float32 {
 		return k * v[0]
 	}}
 }

@@ -25,6 +25,9 @@ func NewSubsample(k int) *Subsample {
 // Kind implements graph.Operator.
 func (s *Subsample) Kind() string { return "subsample" }
 
+// Params implements graph.OpParams: the pooling factor.
+func (s *Subsample) Params() string { return fmt.Sprintf("k=%d", s.K) }
+
 // OutShape implements graph.Operator.
 func (s *Subsample) OutShape(in []graph.Shape) (graph.Shape, error) {
 	if err := wantInputs(s.Kind(), in, 1); err != nil {

@@ -33,6 +33,9 @@ func NewSeparableConv2D(k int) *SeparableConv2D {
 // Kind implements graph.Operator.
 func (c *SeparableConv2D) Kind() string { return "sepconv2d" }
 
+// Params implements graph.OpParams: the tap count.
+func (c *SeparableConv2D) Params() string { return fmt.Sprintf("k=%d", c.K) }
+
 // pad returns the leading pad (trailing is K-1-pad).
 func (c *SeparableConv2D) pad() int { return (c.K - 1) / 2 }
 

@@ -10,6 +10,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -67,6 +68,31 @@ type Plan struct {
 	// PeakFloats is the maximum simultaneous GPU residency the plan
 	// requires, in floats.
 	PeakFloats int64
+}
+
+// Buffers returns the distinct buffers the plan touches — transfer and
+// free targets plus every buffer of each launched node — sorted by ID.
+// This is the single walk shared by code generation, the executor, and
+// residency reporting, so they can never disagree about the plan's
+// working set.
+func (p *Plan) Buffers() []*graph.Buffer {
+	seen := map[int]*graph.Buffer{}
+	for _, s := range p.Steps {
+		if s.Buf != nil {
+			seen[s.Buf.ID] = s.Buf
+		}
+		if s.Node != nil {
+			for _, b := range s.Node.Buffers() {
+				seen[b.ID] = b
+			}
+		}
+	}
+	out := make([]*graph.Buffer, 0, len(seen))
+	for _, b := range seen {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // TransferFloats returns the host→device and device→host float volumes of
