@@ -569,6 +569,73 @@ func BenchmarkExecutorMaterialized(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorPipelined contrasts sequential and pipelined
+// execution of the same materialized prefetched plan. The pipelined side
+// overlaps real copy work with real kernel work across host cores;
+// results are bit-identical (asserted by internal/exec tests), so the
+// interesting number is the wall-clock ratio, which approaches 1.0 on a
+// single-core host and grows with available parallelism.
+func BenchmarkExecutorPipelined(b *testing.B) {
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 256, ImageW: 256, KernelSize: 8, Orientations: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workload.EdgeInputs(bufs, 1)
+	spec := gpu.Custom("bench", 512<<10)
+	spec.Headroom = 0.7 // fragmentation slack for the prefetch hoist
+	capacity := spec.PlannerCapacity()
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan = sched.PrefetchH2D(plan, capacity*9/10)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.Run(g, plan, in, exec.Options{
+				Mode: exec.Materialized, Device: gpu.New(spec)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exec.RunPipelined(g, plan, in, exec.Options{
+				Mode: exec.Materialized, Device: gpu.New(spec)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStepDeps measures the hazard-analysis pass that turns a linear
+// plan into the pipelined executor's dependency DAG, at paper scale.
+func BenchmarkStepDeps(b *testing.B) {
+	g, _, err := templates.CNN(templates.LargeCNN(640, 480))
+	if err != nil {
+		b.Fatal(err)
+	}
+	capacity := gpu.TeslaC870().PlannerCapacity()
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var edges int
+	for i := 0; i < b.N; i++ {
+		d, err := sched.StepDeps(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		edges = d.Edges
+	}
+	b.ReportMetric(float64(len(plan.Steps)), "steps")
+	b.ReportMetric(float64(edges), "edges")
+}
+
 // BenchmarkTensorConv measures the raw host convolution kernel rate
 // (materialized-mode execution cost is dominated by it).
 func BenchmarkTensorConv(b *testing.B) {

@@ -73,6 +73,16 @@ type Config struct {
 	// early as memory allows and the executor runs the DMA and compute
 	// engines concurrently. Ignored on devices without AsyncTransfer.
 	Overlap bool
+	// Pipeline executes materialized runs with the pipelined executor
+	// (exec.RunPipelined): the plan's step-dependency DAG drives a DMA
+	// goroutine and a compute-worker pool concurrently on the host, with
+	// H2D prefetch reordering so double-buffering has room to work.
+	// Results and simulated statistics are bit-identical to sequential
+	// execution; only host wall-clock time changes.
+	Pipeline bool
+	// PipelineWorkers bounds the pipelined executor's compute pool
+	// (0 = GOMAXPROCS).
+	PipelineWorkers int
 	// Obs, when non-nil, threads the observability layer through the
 	// whole pipeline: compile phases become wall-clock spans, execution
 	// becomes simulated-clock engine tracks, and metrics/residency
@@ -124,7 +134,10 @@ func (e *Engine) Pipeline() *compiler.Pipeline {
 	default:
 		passes = append(passes, compiler.HeuristicPass{})
 	}
-	if e.cfg.Overlap && e.cfg.Device.AsyncTransfer {
+	if (e.cfg.Overlap && e.cfg.Device.AsyncTransfer) || e.cfg.Pipeline {
+		// Prefetch reordering also feeds the pipelined executor: hoisted
+		// H2Ds have no dependency on the preceding unit's launches, which
+		// is exactly what lets the DMA goroutine double-buffer.
 		passes = append(passes, compiler.PrefetchPass{})
 	}
 	passes = append(passes, compiler.VerifyPass{})
@@ -151,6 +164,10 @@ type Compiled struct {
 	// Overlap records that the plan was prefetch-reordered for
 	// asynchronous execution; Execute/Simulate then overlap the engines.
 	Overlap bool
+	// Pipeline routes Execute through the pipelined executor
+	// (exec.RunPipelined); PipelineWorkers bounds its compute pool.
+	Pipeline        bool
+	PipelineWorkers int
 	// Obs carries the engine's observer into Execute/Simulate so one
 	// trace spans compile and execution.
 	Obs *obs.Observer
@@ -274,16 +291,25 @@ func (e *Engine) compileWith(o *obs.Observer, g *graph.Graph, splitTarget, capac
 	return &Compiled{
 		Graph: c.Graph, Plan: c.Plan, Split: c.Split,
 		Device: e.cfg.Device, Capacity: capacity,
-		PBStatus: c.PBStatus, Overlap: c.Overlap, Obs: o, Diags: c.Diags,
+		PBStatus: c.PBStatus, Overlap: c.Overlap,
+		Pipeline: e.cfg.Pipeline, PipelineWorkers: e.cfg.PipelineWorkers,
+		Obs: o, Diags: c.Diags,
 	}, nil
 }
 
 // Execute runs the compiled plan with real data on a fresh simulated
-// device, returning outputs and device statistics.
+// device, returning outputs and device statistics. Plans compiled with
+// Config.Pipeline run under the pipelined executor (identical results and
+// statistics, concurrent host execution).
 func (c *Compiled) Execute(in exec.Inputs) (*exec.Report, error) {
 	dev := gpu.New(c.Device)
-	return exec.Run(c.Graph, c.Plan, in,
-		exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs})
+	opt := exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs}
+	if c.Pipeline {
+		opt.Pipeline = true
+		opt.PipelineWorkers = c.PipelineWorkers
+		return exec.RunPipelined(c.Graph, c.Plan, in, opt)
+	}
+	return exec.Run(c.Graph, c.Plan, in, opt)
 }
 
 // ExecuteResilient runs the compiled plan with real data on a fresh

@@ -48,8 +48,10 @@ func (s *Service) CacheKey(g *graph.Graph) string {
 // default shares the default's cache entries.
 func (s *Service) configString() string {
 	c := s.eng.cfg
-	return fmt.Sprintf("planner=%s,capacity=%d,pbmax=%d,splitmax=%d,overlap=%t,autotune=%t",
-		c.Planner, s.eng.Capacity(), c.PBMaxConflicts, c.SplitMaxParts, c.Overlap, c.AutoTuneSplit)
+	// Pipeline changes the compiled plan (it adds the prefetch pass);
+	// PipelineWorkers only changes execution, so it stays out of the key.
+	return fmt.Sprintf("planner=%s,capacity=%d,pbmax=%d,splitmax=%d,overlap=%t,autotune=%t,pipeline=%t",
+		c.Planner, s.eng.Capacity(), c.PBMaxConflicts, c.SplitMaxParts, c.Overlap, c.AutoTuneSplit, c.Pipeline)
 }
 
 // Compile returns the compiled artifact for g, from the cache when an

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
@@ -43,10 +44,27 @@ type Options struct {
 	// The reported WallTime is the two-engine makespan; transfer volumes
 	// and results are unchanged.
 	Overlap bool
+	// Pipeline executes the plan concurrently — a DMA goroutine and a
+	// compute-worker pool synchronized by the step-dependency DAG
+	// (sched.StepDeps) — so materialized runs overlap real transfer work
+	// with real kernel work on the host. Results and statistics are
+	// bit-identical to sequential execution. Honored by core.Compiled;
+	// plain Run ignores it (call RunPipelined).
+	Pipeline bool
+	// PipelineWorkers bounds the compute-worker pool of a pipelined
+	// execution (0 → GOMAXPROCS).
+	PipelineWorkers int
 	// Trace, when non-nil, records every transfer, kernel, and sync as a
 	// timeline event (see gpu.Trace). Recording large plans is cheap but
 	// produces one event per step.
 	Trace *gpu.Trace
+	// WallTrace, when non-nil, receives host wall-clock events (seconds
+	// since the run started) from a pipelined execution: one event per
+	// transfer performed by the DMA goroutine and per kernel run by the
+	// compute pool. Its Gantt chart shows the *real* DMA/compute overlap,
+	// complementing Trace's simulated timeline. Ignored by sequential
+	// execution.
+	WallTrace *gpu.Trace
 	// Obs, when non-nil, receives execution spans (engine tracks on the
 	// simulated clock), metrics (transfer bytes by cause, kernel time by
 	// operator type, allocator fragmentation), and per-buffer residency
@@ -79,7 +97,9 @@ type devBuf struct {
 // executor is the plan step machine: all state needed to execute one step
 // at a time, so that a resilient driver can retry individual steps,
 // snapshot the state at offload-unit boundaries, and restore it after a
-// device loss. Plain Run drives it straight through.
+// device loss. Plain Run drives it straight through; RunPipelined splits
+// each step into its perform half (run concurrently, DAG-ordered) and its
+// account half (replayed in plan order).
 type executor struct {
 	g    *graph.Graph
 	plan *sched.Plan
@@ -87,6 +107,10 @@ type executor struct {
 	dev  *gpu.Device
 	rep  *Report
 
+	// mu guards the execution-state maps (resident, hostValid) during a
+	// pipelined run, where perform halves of independent steps execute
+	// from multiple goroutines. Sequential execution takes it uncontended.
+	mu        sync.Mutex
 	host      map[int]*tensor.Tensor // root arrays (materialized mode)
 	hostValid map[int]bool
 	resident  map[int]*devBuf
@@ -97,6 +121,13 @@ type executor struct {
 	// Nil when no observer is attached.
 	obs    *obs.Observer
 	loaded map[int]bool
+
+	// Accounting-side residency replay: accLive/accResident mirror the
+	// allocator's live set step by step in plan order, so peak residency
+	// is computed identically whether the perform halves ran sequentially
+	// or concurrently.
+	accLive     map[int]bool
+	accResident int64
 
 	// Overlapped-execution timelines: the DMA engine and the compute
 	// engine advance independently; ready[id] is the simulated time at
@@ -126,6 +157,7 @@ func newExecutor(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*exe
 		host:      make(map[int]*tensor.Tensor),
 		hostValid: make(map[int]bool),
 		resident:  make(map[int]*devBuf),
+		accLive:   make(map[int]bool),
 		overlap:   opt.Overlap && dev.Spec.AsyncTransfer,
 		ready:     make(map[int]float64),
 		obs:       opt.Obs,
@@ -170,8 +202,9 @@ func (e *executor) rec(kind gpu.EventKind, label, engine string, start, end floa
 }
 
 // observe feeds the metrics registry and residency profiler after a step
-// completed. Residency timestamps use the device's serialized clock even
-// in overlapped mode, so the profile lines up with Stats' time buckets.
+// was accounted. Residency timestamps use the device's serialized clock
+// even in overlapped mode, so the profile lines up with Stats' time
+// buckets.
 func (e *executor) observe(si int, step sched.Step, t0 float64) {
 	m := e.obs.M()
 	dev := e.dev
@@ -206,10 +239,7 @@ func (e *executor) observe(si int, step sched.Step, t0 float64) {
 	case sched.StepSync:
 		m.Counter("exec.syncs").Inc()
 	}
-	alloc := dev.Allocator()
-	m.Gauge("gpu.alloc.free_spans").Set(float64(alloc.FreeSpans()))
-	m.Gauge("gpu.alloc.free_spans_peak").SetMax(float64(alloc.FreeSpans()))
-	m.Gauge("exec.peak_resident_bytes").SetMax(float64(alloc.UsedBytes()))
+	m.Gauge("exec.peak_resident_bytes").SetMax(float64(e.accResident))
 }
 
 // stall pushes both engine timelines forward by t seconds (retry backoff
@@ -219,85 +249,82 @@ func (e *executor) stall(t float64) {
 	e.compFree += t
 }
 
-// step executes plan step si. Steps are atomic with respect to device
-// faults: when a step returns an injected-fault error, no device time has
-// been charged and any partial allocations have been rolled back, so the
-// same step can simply be executed again.
-func (e *executor) step(si int, step sched.Step) error {
+// perform executes the state-changing half of step si: fault gates,
+// allocator traffic, and real data movement — everything whose order the
+// hardware constrains. It charges no simulated time (see account). Steps
+// are atomic with respect to device faults: when perform returns an
+// injected-fault error, no device time has been charged and any partial
+// allocations have been rolled back, so the same step can simply be
+// executed again.
+//
+// perform is safe to call concurrently for steps that sched.StepDeps
+// proves independent; the executor's maps are mutex-guarded, and heavy
+// tensor copies run outside the lock.
+func (e *executor) perform(si int, step sched.Step) error {
 	dev := e.dev
-	var stepStart float64
-	if e.obs != nil {
-		stepStart = dev.Clock()
-	}
 	switch step.Kind {
 	case sched.StepH2D:
 		b := step.Buf
-		if _, ok := e.resident[b.ID]; ok {
+		e.mu.Lock()
+		_, already := e.resident[b.ID]
+		valid := e.hostValid[b.ID]
+		e.mu.Unlock()
+		if already {
 			return fmt.Errorf("exec: step %d: H2D of already-resident %s", si, b)
 		}
-		if !e.hostValid[b.ID] {
+		if !valid {
 			return fmt.Errorf("exec: step %d: H2D of %s but host copy is invalid", si, b)
 		}
 		off, err := dev.Malloc(b.Bytes())
 		if err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
-		t0 := dev.Clock()
-		if err := dev.CopyToDevice(b.Size()); err != nil {
+		if err := dev.Gate(gpu.FaultH2D); err != nil {
 			_ = dev.FreeMem(off) // roll back so a retry re-executes cleanly
 			return fmt.Errorf("exec: step %d: %w", si, err)
-		}
-		if e.overlap {
-			start := e.dmaFree
-			e.dmaFree = start + dev.H2DDuration(b.Size())
-			e.ready[b.ID] = e.dmaFree
-			e.rec(gpu.EventH2D, b.Name, "dma", start, e.dmaFree)
-		} else {
-			e.rec(gpu.EventH2D, b.Name, "dma", t0, dev.Clock())
 		}
 		db := &devBuf{off: off}
 		if e.opt.Mode == Materialized {
 			root := e.host[b.Root.ID]
 			db.data = root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).Clone()
 		}
+		e.mu.Lock()
 		e.resident[b.ID] = db
+		e.mu.Unlock()
 
 	case sched.StepD2H:
 		b := step.Buf
+		e.mu.Lock()
 		db, ok := e.resident[b.ID]
+		e.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("exec: step %d: D2H of non-resident %s", si, b)
 		}
-		t0 := dev.Clock()
-		if err := dev.CopyToHost(b.Size()); err != nil {
+		if err := dev.Gate(gpu.FaultD2H); err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
-		}
-		if e.overlap {
-			start := e.dmaFree
-			if r, ok := e.ready[b.ID]; ok && r > start {
-				start = r
-			}
-			e.dmaFree = start + dev.D2HDuration(b.Size())
-			e.rec(gpu.EventD2H, b.Name, "dma", start, e.dmaFree)
-		} else {
-			e.rec(gpu.EventD2H, b.Name, "dma", t0, dev.Clock())
 		}
 		if e.opt.Mode == Materialized {
 			root := e.host[b.Root.ID]
 			root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).CopyFrom(db.data)
 		}
+		e.mu.Lock()
 		e.hostValid[b.ID] = true
+		e.mu.Unlock()
 
 	case sched.StepFree:
 		b := step.Buf
+		e.mu.Lock()
 		db, ok := e.resident[b.ID]
+		e.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("exec: step %d: free of non-resident %s", si, b)
 		}
-		if err := e.dev.FreeMem(db.off); err != nil {
+		if err := dev.FreeMem(db.off); err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
+		e.mu.Lock()
 		delete(e.resident, b.ID)
+		e.mu.Unlock()
 
 	case sched.StepLaunch:
 		n := step.Node
@@ -306,13 +333,18 @@ func (e *executor) step(si int, step sched.Step) error {
 		// back to a retryable state.
 		var fresh []int
 		rollback := func() {
+			e.mu.Lock()
 			for _, id := range fresh {
 				_ = dev.FreeMem(e.resident[id].off)
 				delete(e.resident, id)
 			}
+			e.mu.Unlock()
 		}
 		for _, b := range n.OutputBuffers() {
-			if _, ok := e.resident[b.ID]; ok {
+			e.mu.Lock()
+			_, ok := e.resident[b.ID]
+			e.mu.Unlock()
+			if ok {
 				continue
 			}
 			off, err := dev.Malloc(b.Bytes())
@@ -324,32 +356,131 @@ func (e *executor) step(si int, step sched.Step) error {
 			if e.opt.Mode == Materialized {
 				db.data = tensor.New(b.Region.Rows, b.Region.Cols)
 			}
+			e.mu.Lock()
 			e.resident[b.ID] = db
+			e.mu.Unlock()
 			fresh = append(fresh, b.ID)
 		}
+		// Snapshot the operand buffers under the lock: the kernel runs
+		// outside it, and unrelated steps may mutate the resident map
+		// meanwhile. Dependencies guarantee the snapshotted entries
+		// themselves are stable until this step completes.
+		snapshot := make(map[int]*devBuf, len(n.Buffers()))
+		var missing *graph.Buffer
+		e.mu.Lock()
+		for _, b := range n.Buffers() {
+			db, ok := e.resident[b.ID]
+			if !ok {
+				missing = b
+				break
+			}
+			snapshot[b.ID] = db
+		}
+		e.mu.Unlock()
+		if missing != nil {
+			rollback()
+			return fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, missing)
+		}
+		if err := dev.Gate(gpu.FaultLaunch); err != nil {
+			rollback()
+			return fmt.Errorf("exec: step %d: %w", si, err)
+		}
+		if e.opt.Mode == Materialized {
+			if err := launchMaterialized(n, snapshot); err != nil {
+				return fmt.Errorf("exec: step %d: %w", si, err)
+			}
+		}
+		e.mu.Lock()
+		for _, b := range n.OutputBuffers() {
+			e.hostValid[b.ID] = false // GPU now holds the only valid copy
+		}
+		e.mu.Unlock()
+
+	case sched.StepSync:
+		// Synchronization has no state-changing half; its cost is charged
+		// by account.
+
+	default:
+		return fmt.Errorf("exec: step %d: unknown kind %v", si, step.Kind)
+	}
+	if e.obs != nil {
+		// Fragmentation gauges sample the live allocator, so they belong
+		// to the perform half (under pipelining they reflect the true
+		// concurrent allocator state; counters stay deterministic).
+		alloc := e.dev.Allocator()
+		m := e.obs.M()
+		m.Gauge("gpu.alloc.free_spans").Set(float64(alloc.FreeSpans()))
+		m.Gauge("gpu.alloc.free_spans_peak").SetMax(float64(alloc.FreeSpans()))
+	}
+	return nil
+}
+
+// account charges step si to the simulated clock and statistics, records
+// trace events, replays the plan-order residency (peak bytes), and feeds
+// the observer. It must be called exactly once per performed step, in
+// plan order — which makes statistics bit-identical between sequential
+// and pipelined execution by construction.
+func (e *executor) account(si int, step sched.Step) {
+	dev := e.dev
+	t0 := dev.Clock()
+	switch step.Kind {
+	case sched.StepH2D:
+		b := step.Buf
+		dev.AccountH2D(b.Size())
+		if e.overlap {
+			start := e.dmaFree
+			e.dmaFree = start + dev.H2DDuration(b.Size())
+			e.ready[b.ID] = e.dmaFree
+			e.rec(gpu.EventH2D, b.Name, "dma", start, e.dmaFree)
+		} else {
+			e.rec(gpu.EventH2D, b.Name, "dma", t0, dev.Clock())
+		}
+		e.accLive[b.ID] = true
+		e.accResident += b.Bytes()
+
+	case sched.StepD2H:
+		b := step.Buf
+		dev.AccountD2H(b.Size())
+		if e.overlap {
+			start := e.dmaFree
+			if r, ok := e.ready[b.ID]; ok && r > start {
+				start = r
+			}
+			e.dmaFree = start + dev.D2HDuration(b.Size())
+			e.rec(gpu.EventD2H, b.Name, "dma", start, e.dmaFree)
+		} else {
+			e.rec(gpu.EventD2H, b.Name, "dma", t0, dev.Clock())
+		}
+
+	case sched.StepFree:
+		b := step.Buf
+		if e.accLive[b.ID] {
+			delete(e.accLive, b.ID)
+			e.accResident -= b.Bytes()
+		}
+		// Clear the buffer's DMA-ready timestamp: a later re-upload under
+		// a reused buffer ID must not inherit this lifetime's completion
+		// time.
+		delete(e.ready, b.ID)
+
+	case sched.StepLaunch:
+		n := step.Node
 		var bytes int64
 		for _, b := range n.Buffers() {
-			if _, ok := e.resident[b.ID]; !ok {
-				rollback()
-				return fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, b)
-			}
 			bytes += b.Bytes()
+		}
+		for _, b := range n.OutputBuffers() {
+			if !e.accLive[b.ID] {
+				e.accLive[b.ID] = true
+				e.accResident += b.Bytes()
+			}
 		}
 		inShapes := make([]graph.Shape, len(n.In))
 		for i, a := range n.In {
 			inShapes[i] = a.Shape()
 		}
 		flops := n.Op.FLOPs(inShapes, n.Out.Shape())
-		t0 := dev.Clock()
-		if err := dev.Launch(flops, n.Out.Region.Size(), bytes); err != nil {
-			rollback()
-			return fmt.Errorf("exec: step %d: %w", si, err)
-		}
-		if e.opt.Mode == Materialized {
-			if err := launchMaterialized(n, e.resident); err != nil {
-				return fmt.Errorf("exec: step %d: %w", si, err)
-			}
-		}
+		dev.AccountLaunch(flops, n.Out.Region.Size(), bytes)
 		if e.overlap {
 			start := e.compFree
 			for _, b := range n.InputBuffers() {
@@ -365,13 +496,9 @@ func (e *executor) step(si int, step sched.Step) error {
 		} else {
 			e.rec(gpu.EventKernel, n.Name, "compute", t0, dev.Clock())
 		}
-		for _, b := range n.OutputBuffers() {
-			e.hostValid[b.ID] = false // GPU now holds the only valid copy
-		}
 
 	case sched.StepSync:
-		t0 := dev.Clock()
-		dev.Sync()
+		dev.AccountSync()
 		if e.overlap {
 			// Asynchronous streams do not join the host at unit
 			// boundaries: the sync degenerates to a stream-ordered
@@ -382,16 +509,23 @@ func (e *executor) step(si int, step sched.Step) error {
 		} else {
 			e.rec(gpu.EventSync, "", "compute", t0, dev.Clock())
 		}
-
-	default:
-		return fmt.Errorf("exec: step %d: unknown kind %v", si, step.Kind)
 	}
-	if used := e.dev.Allocator().UsedBytes(); used > e.rep.PeakResidentBytes {
-		e.rep.PeakResidentBytes = used
+	if e.accResident > e.rep.PeakResidentBytes {
+		e.rep.PeakResidentBytes = e.accResident
 	}
 	if e.obs != nil {
-		e.observe(si, step, stepStart)
+		e.observe(si, step, t0)
 	}
+}
+
+// step executes plan step si: its perform half followed immediately by
+// its account half — the sequential composition Run and the resilient
+// executor drive.
+func (e *executor) step(si int, step sched.Step) error {
+	if err := e.perform(si, step); err != nil {
+		return err
+	}
+	e.account(si, step)
 	return nil
 }
 

@@ -175,6 +175,8 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 	for id, t := range cp.ready {
 		e.ready[id] = t
 	}
+	e.accLive = make(map[int]bool, len(cp.resident))
+	e.accResident = 0
 	// Resident IDs always name buffers the plan touches, so the plan's
 	// canonical buffer walk is the right resolution set.
 	bufs := e.plan.Buffers()
@@ -208,13 +210,15 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 			db.data = t.Clone()
 		}
 		e.resident[id] = db
+		e.accLive[id] = true
+		e.accResident += b.Bytes()
 		if e.overlap {
 			e.dmaFree += e.dev.H2DDuration(b.Size())
 			e.ready[id] = e.dmaFree
 		}
 	}
-	if used := e.dev.Allocator().UsedBytes(); used > e.rep.PeakResidentBytes {
-		e.rep.PeakResidentBytes = used
+	if e.accResident > e.rep.PeakResidentBytes {
+		e.rep.PeakResidentBytes = e.accResident
 	}
 	return floats, nil
 }

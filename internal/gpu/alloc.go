@@ -3,16 +3,26 @@ package gpu
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Allocator is a first-fit free-list allocator over the device memory
 // address range. It exhibits real external fragmentation, which is why
 // planners receive only Spec.PlannerCapacity() of the physical memory
 // (paper §3.3.2, final remark).
+//
+// The allocator is safe for concurrent use: the pipelined executor issues
+// Alloc/Free from the DMA and compute goroutines simultaneously. Used and
+// free byte totals are maintained as running counters, so UsedBytes and
+// FreeBytes are O(1); Free inserts the released span by binary search and
+// coalesces only with its two neighbours, so a free costs O(log n) search
+// plus O(n) slice insertion instead of the former full re-sort.
 type Allocator struct {
-	size int64
-	free []span // sorted by offset, coalesced
-	used map[int64]int64
+	mu        sync.Mutex
+	size      int64
+	free      []span // sorted by offset, coalesced
+	used      map[int64]int64
+	usedBytes int64 // running total of live allocation bytes
 }
 
 type span struct{ off, len int64 }
@@ -32,6 +42,8 @@ func (a *Allocator) Alloc(n int64) (int64, error) {
 	if n <= 0 {
 		return 0, fmt.Errorf("gpu: invalid allocation size %d", n)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	for i, s := range a.free {
 		if s.len >= n {
 			off := s.off
@@ -41,50 +53,71 @@ func (a *Allocator) Alloc(n int64) (int64, error) {
 				a.free[i] = span{s.off + n, s.len - n}
 			}
 			a.used[off] = n
+			a.usedBytes += n
 			return off, nil
 		}
 	}
 	return 0, fmt.Errorf("gpu: cannot allocate %d bytes (free %d in %d spans, largest %d): %w",
-		n, a.FreeBytes(), len(a.free), a.LargestFree(), ErrOOM)
+		n, a.size-a.usedBytes, len(a.free), a.largestFreeLocked(), ErrOOM)
 }
 
-// Free releases the allocation at off, coalescing adjacent free spans.
+// Free releases the allocation at off, coalescing with the (at most two)
+// adjacent free spans. The insertion point is found by binary search on
+// the sorted free list.
 func (a *Allocator) Free(off int64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	n, ok := a.used[off]
 	if !ok {
 		return fmt.Errorf("gpu: free of unallocated offset %d", off)
 	}
 	delete(a.used, off)
-	a.free = append(a.free, span{off, n})
-	sort.Slice(a.free, func(i, j int) bool { return a.free[i].off < a.free[j].off })
-	// Coalesce.
-	out := a.free[:1]
-	for _, s := range a.free[1:] {
-		last := &out[len(out)-1]
-		if last.off+last.len == s.off {
-			last.len += s.len
-		} else {
-			out = append(out, s)
-		}
+	a.usedBytes -= n
+
+	// i is the index of the first free span past the released one; the
+	// candidates for coalescing are free[i-1] (left) and free[i] (right).
+	i := sort.Search(len(a.free), func(k int) bool { return a.free[k].off > off })
+	left := i > 0 && a.free[i-1].off+a.free[i-1].len == off
+	right := i < len(a.free) && off+n == a.free[i].off
+	switch {
+	case left && right:
+		a.free[i-1].len += n + a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case left:
+		a.free[i-1].len += n
+	case right:
+		a.free[i].off = off
+		a.free[i].len += n
+	default:
+		a.free = append(a.free, span{})
+		copy(a.free[i+1:], a.free[i:])
+		a.free[i] = span{off, n}
 	}
-	a.free = out
 	return nil
 }
 
-// UsedBytes returns the total allocated bytes.
+// UsedBytes returns the total allocated bytes (O(1), running counter).
 func (a *Allocator) UsedBytes() int64 {
-	var t int64
-	for _, n := range a.used {
-		t += n
-	}
-	return t
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usedBytes
 }
 
-// FreeBytes returns the total free bytes (possibly fragmented).
-func (a *Allocator) FreeBytes() int64 { return a.size - a.UsedBytes() }
+// FreeBytes returns the total free bytes, possibly fragmented (O(1)).
+func (a *Allocator) FreeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.size - a.usedBytes
+}
 
 // LargestFree returns the largest contiguous free span.
 func (a *Allocator) LargestFree() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.largestFreeLocked()
+}
+
+func (a *Allocator) largestFreeLocked() int64 {
 	var m int64
 	for _, s := range a.free {
 		if s.len > m {
@@ -95,7 +128,15 @@ func (a *Allocator) LargestFree() int64 {
 }
 
 // Allocations returns the number of live allocations.
-func (a *Allocator) Allocations() int { return len(a.used) }
+func (a *Allocator) Allocations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.used)
+}
 
 // FreeSpans returns the number of free spans (fragmentation indicator).
-func (a *Allocator) FreeSpans() int { return len(a.free) }
+func (a *Allocator) FreeSpans() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.free)
+}

@@ -1,0 +1,92 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchAllocPattern drives the allocator through the executor's
+// steady-state pattern: a rotating window of live allocations where every
+// iteration frees the oldest and allocates a fresh block, so Free lands
+// mid-list and must coalesce against both neighbours.
+func benchAllocPattern(b *testing.B, live int, sizes []int64) {
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	a := NewAllocator(total * int64(live+1))
+	offs := make([]int64, 0, live)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < live; i++ {
+		off, err := a.Alloc(sizes[rng.Intn(len(sizes))])
+		if err != nil {
+			b.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Free(offs[0]); err != nil {
+			b.Fatal(err)
+		}
+		offs = offs[1:]
+		off, err := a.Alloc(sizes[rng.Intn(len(sizes))])
+		if err != nil {
+			b.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	b.StopTimer()
+	for _, off := range offs {
+		if err := a.Free(off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if a.UsedBytes() != 0 || a.FreeSpans() != 1 {
+		b.Fatalf("allocator did not coalesce back to one span: used=%d spans=%d",
+			a.UsedBytes(), a.FreeSpans())
+	}
+}
+
+// BenchmarkAllocatorFree measures the binary-search Free with local
+// coalescing at executor-realistic live-set sizes. The 256-live case is
+// where the former linear scan + full re-sort hurt most.
+func BenchmarkAllocatorFree(b *testing.B) {
+	sizes := []int64{4 << 10, 16 << 10, 64 << 10, 256 << 10}
+	for _, c := range []struct {
+		name string
+		live int
+	}{
+		{"live-8", 8},
+		{"live-64", 64},
+		{"live-256", 256},
+	} {
+		b.Run(c.name, func(b *testing.B) { benchAllocPattern(b, c.live, sizes) })
+	}
+}
+
+// BenchmarkAllocatorCounters pins the O(1) cost of the usage counters the
+// executor samples per step (formerly an O(spans) sum per call).
+func BenchmarkAllocatorCounters(b *testing.B) {
+	a := NewAllocator(1 << 30)
+	offs := make([]int64, 0, 512)
+	for i := 0; i < 512; i++ {
+		off, err := a.Alloc(1 << 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		offs = append(offs, off)
+	}
+	// Free every other block: 256 separate spans.
+	for i := 0; i < len(offs); i += 2 {
+		if err := a.Free(offs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += a.UsedBytes() + a.FreeBytes()
+	}
+	_ = sink
+}

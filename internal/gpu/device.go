@@ -2,13 +2,24 @@ package gpu
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Device is one simulated GPU: an allocator enforcing memory capacity and
 // a clock advanced by the spec's performance model. The device tracks the
 // transfer/compute statistics the paper's tables report.
+//
+// The device is safe for concurrent use. Every fallible operation splits
+// into a fault gate (Gate) and a clock/statistics charge (AccountH2D,
+// AccountD2H, AccountLaunch, AccountSync); the classic entry points
+// (CopyToDevice, Launch, ...) compose the two. The pipelined executor
+// calls the gates concurrently while steps execute and replays the
+// charges in plan order afterwards, so its statistics are bit-identical
+// to sequential execution regardless of goroutine interleaving.
 type Device struct {
-	Spec  Spec
+	Spec Spec
+
+	mu    sync.Mutex
 	alloc *Allocator
 	clock float64
 	stats Stats
@@ -65,6 +76,8 @@ func New(spec Spec) *Device {
 
 // Reset clears memory, clock, statistics, and any lost-device state.
 func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.alloc = NewAllocator(d.Spec.MemoryBytes)
 	d.clock = 0
 	d.stats = Stats{}
@@ -76,22 +89,38 @@ func (d *Device) Reset() {
 // statistics are preserved so that the cost of recovery stays visible in
 // Stats. This models a driver-level device reset mid-application.
 func (d *Device) Recover() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.alloc = NewAllocator(d.Spec.MemoryBytes)
 	d.lost = false
 }
 
 // SetInjector attaches a fault injector; nil disables injection.
-func (d *Device) SetInjector(in *Injector) { d.inj = in }
+func (d *Device) SetInjector(in *Injector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inj = in
+}
 
 // Injector returns the attached fault injector (nil when none).
-func (d *Device) Injector() *Injector { return d.inj }
+func (d *Device) Injector() *Injector {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inj
+}
 
 // Lost reports whether the device is lost and must be Recovered.
-func (d *Device) Lost() bool { return d.lost }
+func (d *Device) Lost() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lost
+}
 
-// fault gates every fallible operation: a lost device fails everything,
-// and the injector may fail this call. A device-loss fault latches.
-func (d *Device) fault(kind FaultKind) error {
+// faultLocked gates every fallible operation: a lost device fails
+// everything, and the injector may fail this call. A device-loss fault
+// latches. Callers hold d.mu, which also serializes the injector's
+// internal state under concurrent execution.
+func (d *Device) faultLocked(kind FaultKind) error {
 	if d.lost {
 		return fmt.Errorf("device %s: %w", d.Spec.Name, ErrDeviceLost)
 	}
@@ -104,28 +133,52 @@ func (d *Device) fault(kind FaultKind) error {
 	return nil
 }
 
+// Gate runs the fault gate for one operation kind without charging any
+// simulated time: the failure half of an operation. The pipelined
+// executor gates while steps run concurrently and replays the charges in
+// plan order afterwards.
+func (d *Device) Gate(kind FaultKind) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faultLocked(kind)
+}
+
 // ChargeRecovery advances the simulated clock by t seconds of recovery
 // work (retry backoff, reset latency), accounted separately in Stats.
 func (d *Device) ChargeRecovery(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.clock += t
 	d.stats.RecoveryTime += t
 }
 
 // Clock returns the simulated time in seconds.
-func (d *Device) Clock() float64 { return d.clock }
+func (d *Device) Clock() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
 
 // Stats returns a copy of the accumulated statistics.
-func (d *Device) Stats() Stats { return d.stats }
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
 
 // Allocator exposes the device allocator (read-only uses in reports).
-func (d *Device) Allocator() *Allocator { return d.alloc }
+func (d *Device) Allocator() *Allocator {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alloc
+}
 
 // Malloc reserves n bytes of device memory.
 func (d *Device) Malloc(n int64) (int64, error) {
-	if err := d.fault(FaultMalloc); err != nil {
+	if err := d.Gate(FaultMalloc); err != nil {
 		return 0, err
 	}
-	off, err := d.alloc.Alloc(n)
+	off, err := d.Allocator().Alloc(n)
 	if err != nil {
 		return 0, fmt.Errorf("device %s: %w", d.Spec.Name, err)
 	}
@@ -133,7 +186,7 @@ func (d *Device) Malloc(n int64) (int64, error) {
 }
 
 // FreeMem releases a device allocation.
-func (d *Device) FreeMem(off int64) error { return d.alloc.Free(off) }
+func (d *Device) FreeMem(off int64) error { return d.Allocator().Free(off) }
 
 // H2DDuration returns the modeled host→device DMA duration.
 func (d *Device) H2DDuration(floats int64) float64 {
@@ -145,44 +198,69 @@ func (d *Device) D2HDuration(floats int64) float64 {
 	return d.Spec.TransferLatency + float64(floats*4)/d.Spec.D2HBandwidth
 }
 
-// CopyToDevice accounts a host→device DMA of the given float count. A
-// faulted transfer charges nothing: the retry (if any) pays in full.
-func (d *Device) CopyToDevice(floats int64) error {
-	if err := d.fault(FaultH2D); err != nil {
-		return err
-	}
+// AccountH2D charges one host→device DMA of the given float count to the
+// clock and statistics, returning the modeled duration.
+func (d *Device) AccountH2D(floats int64) float64 {
 	t := d.H2DDuration(floats)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.clock += t
 	d.stats.TransferTime += t
 	d.stats.H2DFloats += floats
 	d.stats.H2DCalls++
+	return t
+}
+
+// AccountD2H charges one device→host DMA, returning the modeled duration.
+func (d *Device) AccountD2H(floats int64) float64 {
+	t := d.D2HDuration(floats)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock += t
+	d.stats.TransferTime += t
+	d.stats.D2HFloats += floats
+	d.stats.D2HCalls++
+	return t
+}
+
+// CopyToDevice accounts a host→device DMA of the given float count. A
+// faulted transfer charges nothing: the retry (if any) pays in full.
+func (d *Device) CopyToDevice(floats int64) error {
+	if err := d.Gate(FaultH2D); err != nil {
+		return err
+	}
+	d.AccountH2D(floats)
 	return nil
 }
 
 // CopyToHost accounts a device→host DMA of the given float count.
 func (d *Device) CopyToHost(floats int64) error {
-	if err := d.fault(FaultD2H); err != nil {
+	if err := d.Gate(FaultD2H); err != nil {
 		return err
 	}
-	t := d.D2HDuration(floats)
-	d.clock += t
-	d.stats.TransferTime += t
-	d.stats.D2HFloats += floats
-	d.stats.D2HCalls++
+	d.AccountD2H(floats)
 	return nil
 }
 
-// Sync accounts a host-GPU synchronization at an offload-unit boundary.
-func (d *Device) Sync() {
+// AccountSync charges one host-GPU synchronization, returning its cost.
+func (d *Device) AccountSync() float64 {
 	t := d.Spec.SyncOverhead
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.clock += t
 	d.stats.SyncTime += t
 	d.stats.Syncs++
+	return t
 }
+
+// Sync accounts a host-GPU synchronization at an offload-unit boundary.
+func (d *Device) Sync() { d.AccountSync() }
 
 // SetWallTime records the overlapped makespan computed by an executor
 // driving the DMA and compute engines concurrently.
 func (d *Device) SetWallTime(t float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.stats.WallTime = t
 	d.clock = t
 }
@@ -205,14 +283,23 @@ func (d *Device) KernelTime(flops, elements, bytes int64) float64 {
 	return d.Spec.LaunchOverhead + t
 }
 
-// Launch accounts one kernel execution.
-func (d *Device) Launch(flops, elements, bytes int64) error {
-	if err := d.fault(FaultLaunch); err != nil {
-		return err
-	}
+// AccountLaunch charges one kernel execution, returning the modeled
+// duration.
+func (d *Device) AccountLaunch(flops, elements, bytes int64) float64 {
 	t := d.KernelTime(flops, elements, bytes)
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.clock += t
 	d.stats.ComputeTime += t
 	d.stats.KernelLaunches++
+	return t
+}
+
+// Launch accounts one kernel execution.
+func (d *Device) Launch(flops, elements, bytes int64) error {
+	if err := d.Gate(FaultLaunch); err != nil {
+		return err
+	}
+	d.AccountLaunch(flops, elements, bytes)
 	return nil
 }

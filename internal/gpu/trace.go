@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // EventKind classifies timeline events.
@@ -41,10 +42,13 @@ type Event struct {
 
 // Trace is the recorded execution timeline of a device. Recording is
 // optional (EnableTrace) because large plans produce tens of thousands of
-// events.
+// events. Add is safe to call from concurrent goroutines (the pipelined
+// executor records from its DMA and compute workers); read the Events
+// field directly only after execution has completed.
 type Trace struct {
 	Events []Event
 
+	mu sync.Mutex
 	// maxEnd caches the largest End seen by Add, making Span O(1); events
 	// appended to Events directly (nobody does) would bypass it.
 	maxEnd float64
@@ -52,6 +56,8 @@ type Trace struct {
 
 // Add appends an event.
 func (t *Trace) Add(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.Events = append(t.Events, e)
 	if e.End > t.maxEnd {
 		t.maxEnd = e.End
@@ -59,7 +65,11 @@ func (t *Trace) Add(e Event) {
 }
 
 // Span returns the timeline's end time, tracked incrementally by Add.
-func (t *Trace) Span() float64 { return t.maxEnd }
+func (t *Trace) Span() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.maxEnd
+}
 
 // ByEngine returns the events recorded for the named engine, in order.
 func (t *Trace) ByEngine(engine string) []Event {

@@ -79,9 +79,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	instants := t.Instants()
 
 	tracks := map[string]bool{}
+	wallExtra := map[string]bool{}
 	for _, s := range spans {
 		if s.Domain == Sim {
 			tracks[s.Track] = true
+		} else if s.Track != "" && s.Track != WallTrack {
+			wallExtra[s.Track] = true
 		}
 	}
 	for _, i := range instants {
@@ -90,6 +93,18 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 	}
 	tids := simTIDs(tracks)
+	// Wall-clock tracks: the nested compile pipeline is tid 1; any extra
+	// wall tracks (the pipelined executor's engine lanes, recorded with
+	// AddWall) get their own rows in sorted order.
+	wallTIDs := map[string]int{WallTrack: 1}
+	extra := make([]string, 0, len(wallExtra))
+	for tr := range wallExtra {
+		extra = append(extra, tr)
+	}
+	sort.Strings(extra)
+	for i, tr := range extra {
+		wallTIDs[tr] = 2 + i
+	}
 
 	var evs []chromeEvent
 	meta := func(pid int, name string) {
@@ -106,6 +121,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	}
 	meta(compilePID, "compile (wall clock)")
 	thread(compilePID, 1, WallTrack)
+	for _, tr := range extra {
+		thread(compilePID, wallTIDs[tr], tr)
+	}
 	if len(tids) > 0 {
 		meta(devicePID, "device (simulated clock)")
 		ordered := make([]string, 0, len(tids))
@@ -129,7 +147,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			Args: s.Args,
 		}
 		if s.Domain == Wall {
-			ev.PID, ev.TID = compilePID, 1
+			tid, ok := wallTIDs[s.Track]
+			if !ok {
+				tid = 1
+			}
+			ev.PID, ev.TID = compilePID, tid
 		} else {
 			ev.PID, ev.TID = devicePID, tids[s.Track]
 		}

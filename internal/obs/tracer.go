@@ -167,6 +167,34 @@ func (t *Tracer) AddSim(track, name, cat string, start, end float64) {
 	})
 }
 
+// AddWall records a completed wall-clock span on an arbitrary track —
+// the pipelined executor's per-engine lanes ("pipe:dma", "pipe:compute-0",
+// ...). Unlike Begin/End it does not participate in the nesting stack, so
+// it is safe from any goroutine on a Forked tracer. name falls back to
+// cat when empty.
+func (t *Tracer) AddWall(track, name, cat string, start, end float64) {
+	if t == nil {
+		return
+	}
+	if name == "" {
+		name = cat
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, SpanRec{
+		Name: name, Cat: cat, Track: track, Domain: Wall, Start: start, End: end,
+	})
+}
+
+// NowSeconds returns the current wall time in seconds since the tracer's
+// epoch — the timestamps AddWall expects. Nil-safe (returns 0).
+func (t *Tracer) NowSeconds() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
 // MarkSim records an instant event at simulated time ts on the given
 // track (recovery actions use RecoveryTrack).
 func (t *Tracer) MarkSim(track, name, cat string, ts float64, args map[string]string) {

@@ -14,13 +14,20 @@ import (
 	"repro/internal/graph"
 )
 
-// parallelRows runs fn(r0, r1) over [0, rows) sharded across GOMAXPROCS
-// goroutines. Operator kernels use it so that "GPU" kernel execution in
-// materialized mode exploits the host's cores.
+// minRowsPerWorker is the smallest per-goroutine row share parallelRows
+// will shard down to: below it, goroutine spawn/join overhead exceeds the
+// row work for the small CNN layers, so tiny tensors run inline.
+const minRowsPerWorker = 64
+
+// parallelRows runs fn(r0, r1) over [0, rows) sharded across up to
+// GOMAXPROCS goroutines, but never with fewer than minRowsPerWorker rows
+// per worker. Operator kernels use it so that "GPU" kernel execution in
+// materialized mode exploits the host's cores without paying goroutine
+// overhead on small shapes.
 func parallelRows(rows int, fn func(r0, r1 int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > rows {
-		workers = rows
+	if mw := rows / minRowsPerWorker; workers > mw {
+		workers = mw
 	}
 	if workers <= 1 {
 		fn(0, rows)

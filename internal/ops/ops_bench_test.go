@@ -1,0 +1,67 @@
+package ops
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// benchConv runs the 2-D convolution kernel over an h×w image — the
+// operator whose row loop parallelRows shards.
+func benchConv(b *testing.B, h, w, k int) {
+	rng := rand.New(rand.NewSource(1))
+	img := randTensor(rng, h, w)
+	ker := randTensor(rng, k, k)
+	op := NewConv2D(k, k)
+	os, err := op.OutShape([]graph.Shape{
+		{Rows: h, Cols: w}, {Rows: k, Cols: k}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := tensor.New(os.Rows, os.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := op.Run([]*tensor.Tensor{img, ker}, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConv2DRowSharding contrasts shapes below and above the
+// minRowsPerWorker threshold: small images must not pay goroutine
+// spawn/join overhead, large ones shard across the host's cores.
+func BenchmarkConv2DRowSharding(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		h, w, k int
+	}{
+		{"small-32x32", 32, 32, 5},      // below threshold: runs inline
+		{"medium-128x128", 128, 128, 5}, // around 2 workers' worth of rows
+		{"large-512x512", 512, 512, 5},  // shards across all cores
+	} {
+		b.Run(c.name, func(b *testing.B) { benchConv(b, c.h, c.w, c.k) })
+	}
+}
+
+// TestParallelRowsThreshold pins the sharding policy itself: row counts
+// below minRowsPerWorker run inline on the calling goroutine, larger
+// counts cover the range exactly once across shards.
+func TestParallelRowsThreshold(t *testing.T) {
+	for _, rows := range []int{1, minRowsPerWorker - 1, minRowsPerWorker,
+		4 * minRowsPerWorker, 1000} {
+		var calls, covered int64
+		parallelRows(rows, func(r0, r1 int) {
+			atomic.AddInt64(&calls, 1)
+			atomic.AddInt64(&covered, int64(r1-r0))
+		})
+		if covered != int64(rows) {
+			t.Fatalf("rows=%d: covered %d rows", rows, covered)
+		}
+		if rows < 2*minRowsPerWorker && calls != 1 {
+			t.Fatalf("rows=%d: %d shards, want inline execution", rows, calls)
+		}
+	}
+}

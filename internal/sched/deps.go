@@ -1,0 +1,189 @@
+// Step-dependency analysis: the hazard pass that turns a linear plan into
+// the DAG a pipelined executor may legally execute concurrently. The
+// linear plan is one valid topological order of the DAG by construction
+// (every dependency points backward in plan order), so sequential replay
+// remains a degenerate schedule of the same graph.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Deps is the per-step dependency DAG derived from a plan by StepDeps.
+// Deps[i] lists the plan indices that must complete before step i may
+// start, sorted ascending, deduplicated, and all strictly less than i —
+// acyclicity is structural, not checked at runtime.
+type Deps struct {
+	Deps  [][]int
+	Edges int
+}
+
+// hostAccess records one host-side touch of a root array region: H2D
+// reads the region (it is the copy source), D2H writes it (the copy
+// destination). Conflicting accesses — overlapping regions with at least
+// one write — must keep their plan order under concurrent execution, or
+// a halo region uploaded for one chunk could race with the writeback of
+// a neighbouring chunk.
+type hostAccess struct {
+	step   int
+	region graph.Region
+	write  bool
+}
+
+// StepDeps derives each step's true dependencies from buffer lifetimes
+// and the allocator capacity argument. The hazard rules:
+//
+//   - device data: a step reading a buffer's device copy (launch input,
+//     D2H) depends on the step that produced it (H2D or producing
+//     launch); a step overwriting a resident buffer (launch output)
+//     depends on the previous producer and on every intervening reader.
+//   - free: a StepFree depends on the buffer's producer and all of its
+//     readers — no use may still be in flight when memory is released.
+//   - host data: accesses to overlapping regions of one root array with
+//     at least one write (H2D reads host memory, D2H writes it) keep
+//     their plan order.
+//   - capacity: frees form a chain (each StepFree depends on the
+//     previous StepFree), and every allocating step (H2D, launch with a
+//     non-resident output) depends on the latest preceding StepFree —
+//     and therefore, transitively, on all earlier frees. Any executed
+//     allocation prefix then holds at most the plan's own peak residency
+//     (see DESIGN.md §9), so concurrent execution can never exceed the
+//     memory the planner proved feasible.
+//   - sync: a StepSync depends on the launches of its offload unit and
+//     on the previous sync, preserving unit boundaries.
+//
+// StepDeps also statically validates the plan the way the executor would
+// at runtime (H2D of an already-resident buffer, free or launch operand
+// that is not resident, D2H of a never-uploaded buffer) so a malformed
+// plan fails loudly before any goroutine runs it.
+func StepDeps(p *Plan) (*Deps, error) {
+	n := len(p.Steps)
+	d := &Deps{Deps: make([][]int, n)}
+
+	resident := make(map[int]bool)        // buffer ID -> device copy live
+	writer := make(map[int]int)           // buffer ID -> step that produced the device copy
+	readers := make(map[int][]int)        // buffer ID -> steps reading the device copy since writer
+	hostAcc := make(map[int][]hostAccess) // root ID -> host-region accesses
+	lastFree := -1
+	lastSync := -1
+	var unitLaunches []int
+
+	// hostDeps returns the prior conflicting accesses of b's root region.
+	hostDeps := func(b *graph.Buffer, i int, write bool) []int {
+		var out []int
+		for _, a := range hostAcc[b.Root.ID] {
+			if !a.write && !write {
+				continue // read-read never conflicts
+			}
+			if _, ok := a.region.Intersect(b.Region); ok {
+				out = append(out, a.step)
+			}
+		}
+		hostAcc[b.Root.ID] = append(hostAcc[b.Root.ID], hostAccess{step: i, region: b.Region, write: write})
+		return out
+	}
+
+	for i, s := range p.Steps {
+		var deps []int
+		switch s.Kind {
+		case StepH2D:
+			b := s.Buf
+			if resident[b.ID] {
+				return nil, fmt.Errorf("sched: step %d: H2D of already-resident %s", i, b)
+			}
+			deps = append(deps, lastFree) // capacity chain (covers the prior lifetime's free too)
+			deps = append(deps, hostDeps(b, i, false)...)
+			resident[b.ID] = true
+			writer[b.ID] = i
+			delete(readers, b.ID)
+
+		case StepD2H:
+			b := s.Buf
+			if !resident[b.ID] {
+				return nil, fmt.Errorf("sched: step %d: D2H of non-resident %s", i, b)
+			}
+			deps = append(deps, writer[b.ID])
+			deps = append(deps, hostDeps(b, i, true)...)
+			readers[b.ID] = append(readers[b.ID], i)
+
+		case StepFree:
+			b := s.Buf
+			if !resident[b.ID] {
+				return nil, fmt.Errorf("sched: step %d: free of non-resident %s", i, b)
+			}
+			deps = append(deps, writer[b.ID])
+			deps = append(deps, readers[b.ID]...)
+			deps = append(deps, lastFree) // free chain: total order over frees
+			delete(resident, b.ID)
+			delete(writer, b.ID)
+			delete(readers, b.ID)
+			lastFree = i
+
+		case StepLaunch:
+			nd := s.Node
+			for _, b := range nd.InputBuffers() {
+				if !resident[b.ID] {
+					return nil, fmt.Errorf("sched: step %d: launch %s with non-resident input %s", i, nd, b)
+				}
+				deps = append(deps, writer[b.ID])
+			}
+			allocates := false
+			for _, b := range nd.OutputBuffers() {
+				if resident[b.ID] {
+					// Overwrite of a live buffer: wait for its producer
+					// and for every reader still entitled to the old value.
+					deps = append(deps, writer[b.ID])
+					deps = append(deps, readers[b.ID]...)
+				} else {
+					allocates = true
+				}
+			}
+			if allocates {
+				deps = append(deps, lastFree) // capacity chain
+			}
+			for _, b := range nd.InputBuffers() {
+				readers[b.ID] = append(readers[b.ID], i)
+			}
+			for _, b := range nd.OutputBuffers() {
+				resident[b.ID] = true
+				writer[b.ID] = i
+				delete(readers, b.ID)
+			}
+			unitLaunches = append(unitLaunches, i)
+
+		case StepSync:
+			deps = append(deps, lastSync)
+			deps = append(deps, unitLaunches...)
+			lastSync = i
+			unitLaunches = nil
+
+		default:
+			return nil, fmt.Errorf("sched: step %d: unknown kind %v", i, s.Kind)
+		}
+
+		d.Deps[i] = dedupDeps(deps, i)
+		d.Edges += len(d.Deps[i])
+	}
+	return d, nil
+}
+
+// dedupDeps sorts, deduplicates, and drops sentinel (-1) and self entries.
+func dedupDeps(deps []int, self int) []int {
+	sort.Ints(deps)
+	out := deps[:0]
+	prev := -1
+	for _, dep := range deps {
+		if dep < 0 || dep == self || dep == prev {
+			continue
+		}
+		out = append(out, dep)
+		prev = dep
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

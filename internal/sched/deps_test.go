@@ -1,0 +1,414 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/split"
+	"repro/internal/templates"
+)
+
+// planFor splits g for the capacity and schedules it with the heuristic.
+func planFor(t *testing.T, g *graph.Graph, capacity int64) *Plan {
+	t.Helper()
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Heuristic(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// checkDepsShape asserts the structural invariants StepDeps guarantees:
+// every dependency is strictly backward (acyclicity by construction),
+// sorted, and deduplicated; frees form a chain.
+func checkDepsShape(t *testing.T, p *Plan, d *Deps) {
+	t.Helper()
+	if len(d.Deps) != len(p.Steps) {
+		t.Fatalf("deps for %d steps, plan has %d", len(d.Deps), len(p.Steps))
+	}
+	edges := 0
+	for i, ds := range d.Deps {
+		prev := -1
+		for _, dep := range ds {
+			if dep < 0 || dep >= i {
+				t.Fatalf("step %d: dependency %d not strictly backward", i, dep)
+			}
+			if dep <= prev {
+				t.Fatalf("step %d: deps %v not sorted/deduped", i, ds)
+			}
+			prev = dep
+			edges++
+		}
+	}
+	if edges != d.Edges {
+		t.Fatalf("Edges = %d, counted %d", d.Edges, edges)
+	}
+	prevFree := -1
+	for i, s := range p.Steps {
+		if s.Kind != StepFree {
+			continue
+		}
+		if prevFree >= 0 {
+			found := false
+			for _, dep := range d.Deps[i] {
+				if dep == prevFree {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("free at step %d does not depend on previous free %d (capacity chain broken)",
+					i, prevFree)
+			}
+		}
+		prevFree = i
+	}
+}
+
+// replayDAG executes the plan in an arbitrary dependency-respecting order
+// chosen by pick (index into the ready set), re-checking the executor's
+// runtime validations and the capacity argument: residency in any legal
+// order must never exceed the residency of sequential plan replay.
+func replayDAG(t *testing.T, p *Plan, d *Deps, pick func(ready []int) int) {
+	t.Helper()
+	n := len(p.Steps)
+
+	// Sequential peak in bytes, the bound concurrent execution must obey.
+	var seqPeak, cur int64
+	live := map[int]bool{}
+	for _, s := range p.Steps {
+		switch s.Kind {
+		case StepH2D:
+			live[s.Buf.ID] = true
+			cur += s.Buf.Bytes()
+		case StepFree:
+			delete(live, s.Buf.ID)
+			cur -= s.Buf.Bytes()
+		case StepLaunch:
+			for _, b := range s.Node.OutputBuffers() {
+				if !live[b.ID] {
+					live[b.ID] = true
+					cur += b.Bytes()
+				}
+			}
+		}
+		if cur > seqPeak {
+			seqPeak = cur
+		}
+	}
+
+	pending := make([]int, n)
+	succs := make([][]int, n)
+	for i, ds := range d.Deps {
+		pending[i] = len(ds)
+		for _, dep := range ds {
+			succs[dep] = append(succs[dep], i)
+		}
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	resident := map[int]bool{}
+	cur = 0
+	done := 0
+	for len(ready) > 0 {
+		k := pick(ready)
+		i := ready[k]
+		ready = append(ready[:k], ready[k+1:]...)
+		s := p.Steps[i]
+		switch s.Kind {
+		case StepH2D:
+			if resident[s.Buf.ID] {
+				t.Fatalf("order exec step %d: H2D of already-resident %s", i, s.Buf)
+			}
+			resident[s.Buf.ID] = true
+			cur += s.Buf.Bytes()
+		case StepD2H:
+			if !resident[s.Buf.ID] {
+				t.Fatalf("order exec step %d: D2H of non-resident %s", i, s.Buf)
+			}
+		case StepFree:
+			if !resident[s.Buf.ID] {
+				t.Fatalf("order exec step %d: free of non-resident %s", i, s.Buf)
+			}
+			delete(resident, s.Buf.ID)
+			cur -= s.Buf.Bytes()
+		case StepLaunch:
+			for _, b := range s.Node.InputBuffers() {
+				if !resident[b.ID] {
+					t.Fatalf("order exec step %d: launch %s with non-resident %s", i, s.Node, b)
+				}
+			}
+			for _, b := range s.Node.OutputBuffers() {
+				if !resident[b.ID] {
+					resident[b.ID] = true
+					cur += b.Bytes()
+				}
+			}
+		}
+		if cur > seqPeak {
+			t.Fatalf("step %d: concurrent residency %d bytes exceeds sequential peak %d (capacity argument violated)",
+				i, cur, seqPeak)
+		}
+		done++
+		for _, su := range succs[i] {
+			pending[su]--
+			if pending[su] == 0 {
+				ready = append(ready, su)
+			}
+		}
+	}
+	if done != n {
+		t.Fatalf("DAG replay completed %d/%d steps (cycle?)", done, n)
+	}
+}
+
+func TestStepDepsFig3Semantics(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Heuristic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := StepDeps(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDepsShape(t, p, d)
+
+	// Every launch must depend on the producer of each of its inputs.
+	producer := map[int]int{}
+	for i, s := range p.Steps {
+		switch s.Kind {
+		case StepH2D:
+			producer[s.Buf.ID] = i
+		case StepLaunch:
+			for _, b := range s.Node.InputBuffers() {
+				want, ok := producer[b.ID]
+				if !ok {
+					continue
+				}
+				found := false
+				for _, dep := range d.Deps[i] {
+					if dep == want {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("launch step %d does not depend on producer %d of input %s", i, want, b)
+				}
+			}
+			for _, b := range s.Node.OutputBuffers() {
+				producer[b.ID] = i
+			}
+		case StepFree:
+			delete(producer, s.Buf.ID)
+		}
+	}
+	// Adversarial order: always run the latest-index ready step first.
+	replayDAG(t, p, d, func(ready []int) int {
+		best := 0
+		for k := range ready {
+			if ready[k] > ready[best] {
+				best = k
+			}
+		}
+		return best
+	})
+}
+
+func TestStepDepsRejectsMalformedPlans(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Heuristic(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the first H2D: the second upload targets an
+	// already-resident buffer.
+	var h2d Step
+	for _, s := range p.Steps {
+		if s.Kind == StepH2D {
+			h2d = s
+			break
+		}
+	}
+	bad := &Plan{Steps: append([]Step{h2d}, p.Steps...)}
+	if _, err := StepDeps(bad); err == nil {
+		t.Fatal("StepDeps accepted a double upload")
+	}
+	// Free before anything is resident.
+	bad = &Plan{Steps: append([]Step{{Kind: StepFree, Buf: h2d.Buf}}, p.Steps...)}
+	if _, err := StepDeps(bad); err == nil {
+		t.Fatal("StepDeps accepted a free of a non-resident buffer")
+	}
+	// A launch before its inputs are uploaded.
+	var launch Step
+	for _, s := range p.Steps {
+		if s.Kind == StepLaunch {
+			launch = s
+			break
+		}
+	}
+	bad = &Plan{Steps: append([]Step{launch}, p.Steps...)}
+	if _, err := StepDeps(bad); err == nil {
+		t.Fatal("StepDeps accepted a launch with non-resident inputs")
+	}
+}
+
+// TestStepDepsPaperWorkloads is the property test over every paper
+// workload: the dependency DAG is acyclic and strictly backward (so the
+// plan itself is one of its topological orders), frees are chained, and
+// an adversarial dependency-respecting order neither violates residency
+// validations nor exceeds the sequential residency peak.
+func TestStepDepsPaperWorkloads(t *testing.T) {
+	type wl struct {
+		name string
+		dim  int
+	}
+	// The split edge template at several scales plus the Fig. 3 CNN-style
+	// shapes exercise eviction, writeback, and halo overlap; full
+	// paper-scale graphs are covered by the executor's equivalence tests.
+	for _, c := range []struct {
+		name     string
+		build    func() (*graph.Graph, error)
+		capacity int64
+	}{
+		{"edge-64", func() (*graph.Graph, error) {
+			g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+				ImageH: 64, ImageW: 64, KernelSize: 5, Orientations: 4,
+				Combine: templates.CombineMax})
+			return g, err
+		}, 9000},
+		{"edge-128", func() (*graph.Graph, error) {
+			g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+				ImageH: 128, ImageW: 128, KernelSize: 9, Orientations: 4,
+				Combine: templates.CombineMax})
+			return g, err
+		}, 40000},
+		{"small-cnn", func() (*graph.Graph, error) {
+			g, _, err := templates.CNN(templates.SmallCNN(64, 48))
+			return g, err
+		}, 20000},
+		{"large-cnn", func() (*graph.Graph, error) {
+			g, _, err := templates.CNN(templates.LargeCNN(64, 48))
+			return g, err
+		}, 40000},
+		{"fig3", func() (*graph.Graph, error) { return templates.EdgeDetectFig3(3) }, 12},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := planFor(t, g, c.capacity)
+			for _, variant := range []struct {
+				name string
+				plan *Plan
+			}{
+				{"plain", p},
+				{"prefetched", PrefetchH2D(p, c.capacity*9/10)},
+			} {
+				d, err := StepDeps(variant.plan)
+				if err != nil {
+					t.Fatalf("%s: %v", variant.name, err)
+				}
+				checkDepsShape(t, variant.plan, d)
+				replayDAG(t, variant.plan, d, func(ready []int) int {
+					best := 0
+					for k := range ready {
+						if ready[k] > ready[best] {
+							best = k
+						}
+					}
+					return best
+				})
+				// Plan order itself must be a valid topological order.
+				replayDAG(t, variant.plan, d, func(ready []int) int {
+					best := 0
+					for k := range ready {
+						if ready[k] < ready[best] {
+							best = k
+						}
+					}
+					return best
+				})
+			}
+		})
+	}
+}
+
+// TestStepDepsPrefetchedPlanAllowsOverlap asserts the double-buffering
+// enabler: in a prefetch-reordered plan, at least one transfer/launch
+// pair is dependency-independent in both directions, so a pipelined
+// executor may run the copy and the kernel concurrently. In the plain
+// plan such pairs are rarer (the prefetch hoist is what decouples the
+// next chunk's upload from the current chunk's kernels).
+func TestStepDepsPrefetchedPlanAllowsOverlap(t *testing.T) {
+	g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 64, ImageW: 64, KernelSize: 5, Orientations: 4,
+		Combine: templates.CombineMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, g, 9000)
+	// independentPairs counts transfer/launch pairs with no dependency
+	// path in either direction.
+	independentPairs := func(pl *Plan) (int, int) {
+		d, err := StepDeps(pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(pl.Steps)
+		// reach[i] = ancestor set (transitive dependencies) of step i. Deps
+		// are strictly backward, so a forward scan closes the relation.
+		reach := make([]map[int]bool, n)
+		for i := 0; i < n; i++ {
+			reach[i] = map[int]bool{}
+			for _, dep := range d.Deps[i] {
+				reach[i][dep] = true
+				for r := range reach[dep] {
+					reach[i][r] = true
+				}
+			}
+		}
+		pairs := 0
+		for i, s := range pl.Steps {
+			if s.Kind != StepH2D && s.Kind != StepD2H {
+				continue
+			}
+			for j, sj := range pl.Steps {
+				if sj.Kind != StepLaunch {
+					continue
+				}
+				// Only the later step's ancestor set can contain the other.
+				if (j > i && !reach[j][i]) || (i > j && !reach[i][j]) {
+					pairs++
+				}
+			}
+		}
+		return pairs, d.Edges
+	}
+	pre := PrefetchH2D(p, 9000*9/10)
+	prePairs, preEdges := independentPairs(pre)
+	if prePairs == 0 {
+		t.Fatal("prefetched plan has no transfer independent of a launch: no overlap possible")
+	}
+	plainPairs, _ := independentPairs(p)
+	if prePairs < plainPairs {
+		t.Fatalf("prefetch reduced overlap opportunities: %d pairs vs %d in the plain plan",
+			prePairs, plainPairs)
+	}
+	t.Logf("overlappable transfer/launch pairs: plain=%d prefetched=%d (%d steps, %d edges)",
+		plainPairs, prePairs, len(pre.Steps), preEdges)
+}

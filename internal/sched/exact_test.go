@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/templates"
+)
+
+// TestExactSearchAgreesWithHeuristicOnFig3 cross-checks the exact
+// enumerator against the depth-first heuristic on the paper's Fig. 3
+// template across a range of feasible capacities: the heuristic is
+// claimed optimal there, so total transfer traffic must match exactly.
+func TestExactSearchAgreesWithHeuristicOnFig3(t *testing.T) {
+	for _, capacity := range []int64{4, 5, 6, 8, 16} {
+		g, err := templates.EdgeDetectFig3(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := Heuristic(g, capacity)
+		if err != nil {
+			t.Fatalf("capacity %d: heuristic: %v", capacity, err)
+		}
+		ex, evaluated, err := ExactSearch{Capacity: capacity}.Run(g)
+		if err != nil {
+			t.Fatalf("capacity %d: exact: %v", capacity, err)
+		}
+		if evaluated <= 0 {
+			t.Fatalf("capacity %d: exact search evaluated %d orders", capacity, evaluated)
+		}
+		if got, want := h.TotalTransferFloats(), ex.TotalTransferFloats(); got != want {
+			t.Fatalf("capacity %d: heuristic moves %d floats, exact optimum %d",
+				capacity, got, want)
+		}
+		// The optimum must itself be a valid, in-capacity plan.
+		if err := Verify(g, ex, capacity); err != nil {
+			t.Fatalf("capacity %d: exact plan fails verification: %v", capacity, err)
+		}
+	}
+}
+
+// TestExactSearchRejectsInfeasibleCapacity pins the error path: when no
+// topological order fits the memory budget, Run reports it instead of
+// returning a broken plan.
+func TestExactSearchRejectsInfeasibleCapacity(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, evaluated, err := ExactSearch{Capacity: 1}.Run(g)
+	if err == nil {
+		t.Fatalf("exact search found a plan at capacity 1: %v", p.Steps)
+	}
+	if !strings.Contains(err.Error(), "no feasible order") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if evaluated <= 0 {
+		t.Fatalf("expected orders to be evaluated before giving up, got %d", evaluated)
+	}
+}
+
+// TestExactSearchMaxNodesGuard pins the size guard in both directions on
+// the small Fig. 3 graph: a cap below the node count refuses the graph
+// without enumerating, and a cap at the node count admits it.
+func TestExactSearchMaxNodesGuard(t *testing.T) {
+	g, err := templates.EdgeDetectFig3(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, evaluated, err := ExactSearch{Capacity: 16, MaxNodes: len(g.Nodes) - 1}.Run(g)
+	if err == nil {
+		t.Fatal("exact search accepted a graph above MaxNodes")
+	}
+	if evaluated != 0 {
+		t.Fatalf("guard should refuse before enumerating, evaluated %d orders", evaluated)
+	}
+	if _, _, err := (ExactSearch{Capacity: 16, MaxNodes: len(g.Nodes)}).Run(g); err != nil {
+		t.Fatalf("MaxNodes equal to the node count should admit the graph: %v", err)
+	}
+}
