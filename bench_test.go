@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -339,7 +340,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 		if err != nil {
 			return 0, err
 		}
-		rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
+		rep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
 		if err != nil {
 			return 0, err
 		}
@@ -405,7 +406,7 @@ func BenchmarkAblationAutoTune(b *testing.B) {
 				b.Fatal(err)
 			}
 			eng := core.NewEngine(core.Config{Device: gpu.TeslaC870(), AutoTuneSplit: autotune})
-			c, err := eng.Compile(g)
+			c, err := eng.Compile(context.Background(), g)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -439,7 +440,7 @@ func BenchmarkAblationSeparableConv(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
+			rep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -557,13 +558,13 @@ func BenchmarkExecutorMaterialized(b *testing.B) {
 	}
 	in := workload.EdgeInputs(bufs, 1)
 	eng := core.NewEngine(core.Config{Device: gpu.Custom("bench", 512<<10)})
-	compiled, err := eng.Compile(g)
+	compiled, err := eng.Compile(context.Background(), g)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := compiled.Execute(in); err != nil {
+		if _, err := compiled.Execute(context.Background(), in); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -595,7 +596,7 @@ func BenchmarkExecutorPipelined(b *testing.B) {
 	plan = sched.PrefetchH2D(plan, capacity*9/10)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.Run(g, plan, in, exec.Options{
+			if _, err := exec.Run(context.Background(), g, plan, in, exec.Options{
 				Mode: exec.Materialized, Device: gpu.New(spec)}); err != nil {
 				b.Fatal(err)
 			}
@@ -603,7 +604,7 @@ func BenchmarkExecutorPipelined(b *testing.B) {
 	})
 	b.Run("pipelined", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.RunPipelined(g, plan, in, exec.Options{
+			if _, err := exec.RunPipelined(context.Background(), g, plan, in, exec.Options{
 				Mode: exec.Materialized, Device: gpu.New(spec)}); err != nil {
 				b.Fatal(err)
 			}

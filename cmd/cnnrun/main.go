@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,8 +71,13 @@ func main() {
 	if *baseline {
 		planner = core.BaselinePlanner
 	}
-	eng := core.NewEngine(core.Config{Device: spec, Planner: planner, Obs: o})
-	compiled, err := eng.Compile(g)
+	ctx := context.Background()
+	svc := core.NewService(
+		core.WithDevice(spec),
+		core.WithPlanner(planner),
+		core.WithObserver(o),
+	)
+	compiled, _, err := svc.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,9 +88,9 @@ func main() {
 
 	var rep *exec.Report
 	if *simulate {
-		rep, err = compiled.Simulate()
+		rep, err = svc.Simulate(ctx, compiled)
 	} else {
-		rep, err = compiled.Execute(workload.CNNInputs(bufs, 7))
+		rep, err = svc.Execute(ctx, compiled, workload.CNNInputs(bufs, 7))
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -102,7 +108,6 @@ func main() {
 		// Each round rebuilds the template graph from scratch; the service
 		// keys its plan cache on the canonical fingerprint, so every round
 		// after the first skips the compile passes entirely.
-		svc := core.NewService(core.Config{Device: spec, Planner: planner, Obs: o}, 0)
 		start := time.Now()
 		for i := 0; i < *repeat; i++ {
 			gg, bufsi, terr := templates.CNN(cfg)
@@ -110,9 +115,9 @@ func main() {
 				log.Fatal(terr)
 			}
 			if *simulate {
-				_, err = svc.CompileAndSimulate(gg)
+				_, err = svc.CompileAndSimulate(ctx, gg)
 			} else {
-				_, err = svc.CompileAndExecute(gg, workload.CNNInputs(bufsi, 7))
+				_, err = svc.CompileAndExecute(ctx, gg, workload.CNNInputs(bufsi, 7))
 			}
 			if err != nil {
 				log.Fatal(err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -94,13 +95,18 @@ func main() {
 	fmt.Printf("graph: %d operators, %d data structures, %s total, %s largest op\n",
 		stats.Operators, stats.DataStructures, report.MB(stats.TotalFloats), report.MB(stats.MaxFootprint))
 
-	eng := core.NewEngine(core.Config{Device: spec, Planner: pickPlanner(*planner),
-		PBMaxConflicts: 2_000_000, Obs: o})
-	compiled, err := eng.Compile(g)
+	ctx := context.Background()
+	svc := core.NewService(
+		core.WithDevice(spec),
+		core.WithPlanner(pickPlanner(*planner)),
+		core.WithPBMaxConflicts(2_000_000),
+		core.WithObserver(o),
+	)
+	compiled, _, err := svc.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("device: %s (planner capacity %s)\n", spec, report.MB(eng.Capacity()))
+	fmt.Printf("device: %s (planner capacity %s)\n", spec, report.MB(svc.Engine().Capacity()))
 	fmt.Printf("split: %d operators split into %d parts; plan peak residency %s\n",
 		compiled.Split.SplitNodes, compiled.Split.PartsCreated, report.MB(compiled.Plan.PeakFloats))
 	h2d, d2h := compiled.Plan.TransferFloats()
@@ -129,16 +135,16 @@ func main() {
 	var rep *exec.Report
 	if *simulate {
 		if inj != nil {
-			rep, err = compiled.SimulateResilient(inj)
+			rep, err = compiled.SimulateResilient(ctx, inj)
 		} else {
-			rep, err = compiled.Simulate()
+			rep, err = svc.Simulate(ctx, compiled)
 		}
 	} else {
 		in := workload.EdgeInputs(bufs, 42)
 		if inj != nil {
-			rep, err = compiled.ExecuteResilient(in, inj)
+			rep, err = compiled.ExecuteResilient(ctx, in, inj)
 		} else {
-			rep, err = compiled.Execute(in)
+			rep, err = svc.Execute(ctx, compiled, in)
 		}
 		if err == nil && *verify {
 			want, rerr := exec.RunReference(g, in)
@@ -175,8 +181,6 @@ func main() {
 		// Repeated invocations rebuild the template from scratch each
 		// round — the cache keys on the canonical graph fingerprint, so
 		// every round after the first is a hit that skips all passes.
-		svc := core.NewService(core.Config{Device: spec, Planner: pickPlanner(*planner),
-			PBMaxConflicts: 2_000_000, Obs: o}, 0)
 		start := time.Now()
 		for i := 0; i < *repeat; i++ {
 			gg, bufsi, terr := templates.EdgeDetect(templates.EdgeConfig{
@@ -186,9 +190,9 @@ func main() {
 				log.Fatal(terr)
 			}
 			if *simulate {
-				_, err = svc.CompileAndSimulate(gg)
+				_, err = svc.CompileAndSimulate(ctx, gg)
 			} else {
-				_, err = svc.CompileAndExecute(gg, workload.EdgeInputs(bufsi, 42))
+				_, err = svc.CompileAndExecute(ctx, gg, workload.EdgeInputs(bufsi, 42))
 			}
 			if err != nil {
 				log.Fatal(err)

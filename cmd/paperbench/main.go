@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -44,7 +45,7 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, or pipeline")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, or serve")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
@@ -168,7 +169,7 @@ func extFaults() error {
 // compilation runs its passes exactly once no matter how many workers
 // ask for it concurrently; everything else is a hit.
 func extCache() error {
-	svc := core.NewService(core.Config{Device: gpu.TeslaC870(), Obs: obs.New()}, 0)
+	svc := core.NewService(core.WithDevice(gpu.TeslaC870()), core.WithObserver(obs.New()))
 	builders := map[string]func() (*graph.Graph, error){
 		"edge-256": func() (*graph.Graph, error) {
 			g, _, err := templates.EdgeDetect(templates.EdgeConfig{
@@ -195,7 +196,7 @@ func extCache() error {
 				defer wg.Done()
 				g, err := build()
 				if err == nil {
-					_, err = svc.CompileAndSimulate(g)
+					_, err = svc.CompileAndSimulate(context.Background(), g)
 				}
 				if err != nil {
 					errc <- fmt.Errorf("%s: %w", name, err)
@@ -288,6 +289,61 @@ func extPipeline() error {
 	return nil
 }
 
+// serveBenchRecord is one appended entry of the serve -benchout log.
+type serveBenchRecord struct {
+	Date   string                   `json:"date"`
+	Result *experiments.ServeResult `json:"result"`
+}
+
+func extServe() error {
+	res, err := experiments.Serve(0, 0, 0)
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("Extension: multi-device serving (C870+8800, %d streams/device, %d closed-loop clients, GOMAXPROCS=%d)",
+			res.Streams, res.Clients, res.GoMaxProcs),
+		"Template", "Input", "Jobs", "p50 (ms)", "p99 (ms)", "Modeled exec")
+	for _, r := range res.Rows {
+		t.Add(r.Template, r.Input, fmt.Sprint(r.Jobs),
+			fmt.Sprintf("%.1f", r.P50MS), fmt.Sprintf("%.1f", r.P99MS),
+			report.Seconds(r.ModeledSeconds))
+	}
+	emit(t)
+	d := report.New("Per-device", "Device", "Completed", "Modeled busy", "Utilization", "Compiles", "Cache hits")
+	for _, dev := range res.Devices {
+		d.Add(dev.Name, fmt.Sprint(dev.Completed), report.Seconds(dev.ModeledBusySec),
+			fmt.Sprintf("%.0f%%", dev.Utilization*100),
+			fmt.Sprint(dev.CacheMisses), fmt.Sprint(dev.CacheHits))
+	}
+	emit(d)
+	fmt.Printf("serial C870 baseline: %s modeled for %d jobs; pool makespan %s — modeled speedup %.2fx\n",
+		report.Seconds(res.SerialModeledSec), res.Jobs, report.Seconds(res.PoolModeledSec), res.ModeledSpeedup)
+	fmt.Printf("wall: serial %.1fs, pool %.1fs (%.1f jobs/s measured); %d coalesced, %d rejected, %d faults\n",
+		res.SerialWallSec, res.PoolWallSec, res.MeasuredRPS, res.Coalesced, res.Rejected, res.OOMFaults)
+	fmt.Println("The modeled columns replay each plan on the device's simulated clock and are")
+	fmt.Println("machine-independent; wall throughput additionally depends on host cores.")
+	if *benchOut != "" {
+		rec := serveBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
+		var log []serveBenchRecord
+		if data, err := os.ReadFile(*benchOut); err == nil {
+			if err := json.Unmarshal(data, &log); err != nil {
+				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
+			}
+		}
+		log = append(log, rec)
+		data, err := json.MarshalIndent(log, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended serve snapshot %d to %s\n", len(log), *benchOut)
+	}
+	return nil
+}
+
 // writePipelineTrace runs one pipelined edge workload through the full
 // core path (Pipeline config → prefetch pass → RunPipelined) under
 // instrumentation and exports the Chrome trace: the pipe:dma and
@@ -303,13 +359,16 @@ func writePipelineTrace(path string) error {
 	for i, kb := range bufs.Kernels {
 		in[kb.ID] = randomTensor(int64(10+i), 16, 16)
 	}
-	eng := core.NewEngine(core.Config{
-		Device: gpu.Custom("pipeline-arena", 2<<20), Obs: o, Pipeline: true})
-	compiled, err := eng.Compile(g)
+	svc := core.NewService(
+		core.WithDevice(gpu.Custom("pipeline-arena", 2<<20)),
+		core.WithObserver(o),
+		core.WithPipeline(0),
+	)
+	compiled, _, err := svc.Compile(context.Background(), g)
 	if err != nil {
 		return err
 	}
-	if _, err := compiled.Execute(in); err != nil {
+	if _, err := compiled.Execute(context.Background(), in); err != nil {
 		return err
 	}
 	fh, err := os.Create(path)
@@ -351,12 +410,12 @@ func extSmoke() error {
 	if err != nil {
 		return err
 	}
-	eng := core.NewEngine(core.Config{Device: gpu.TeslaC870(), Obs: o})
-	compiled, err := eng.Compile(g)
+	svc := core.NewService(core.WithDevice(gpu.TeslaC870()), core.WithObserver(o))
+	compiled, _, err := svc.Compile(context.Background(), g)
 	if err != nil {
 		return err
 	}
-	rep, err := compiled.Simulate()
+	rep, err := compiled.Simulate(context.Background())
 	if err != nil {
 		return err
 	}
@@ -543,6 +602,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "pipeline" {
 		run("pipeline", extPipeline)
+		did = true
+	}
+	if *allFlag || *extFlag == "serve" {
+		run("serve", extServe)
 		did = true
 	}
 	if !did {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -113,23 +114,35 @@ func main() {
 		o = obs.New()
 	}
 
+	ctx := context.Background()
 	before := g.Stats()
-	eng := core.NewEngine(core.Config{Device: spec, Planner: pickPlanner(*plannerF), Obs: o})
+	svc := core.NewService(
+		core.WithDevice(spec),
+		core.WithPlanner(pickPlanner(*plannerF)),
+		core.WithObserver(o),
+	)
+	eng := svc.Engine()
 	if *passes {
 		// List with the -overlap flag applied so the prefetch pass shows
 		// on async-capable devices (the replay path applies it manually).
-		list := core.NewEngine(core.Config{
-			Device: spec, Planner: pickPlanner(*plannerF), Overlap: *overlap})
+		listOpts := []core.Option{core.WithDevice(spec), core.WithPlanner(pickPlanner(*plannerF))}
+		if *overlap {
+			listOpts = append(listOpts, core.WithOverlap())
+		}
+		list := core.NewService(listOpts...).Engine()
 		fmt.Printf("compile pipeline for %s (planner %s):\n", spec.Name, pickPlanner(*plannerF))
 		for i, name := range list.PassNames() {
 			fmt.Printf("  %2d. %s\n", i+1, name)
 		}
 		return
 	}
-	compiled, err := eng.Compile(g)
+	compiled, _, err := svc.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The service compiles a clone; every downstream view (stats, dot,
+	// plan replay) wants the split graph the plan refers to.
+	g = compiled.Graph
 	after := g.Stats()
 	fmt.Printf("template %s on %s\n", *tmpl, spec)
 	fmt.Printf("before split: %d ops, %d buffers, largest op %s\n",
@@ -188,7 +201,7 @@ func main() {
 		if *overlap {
 			plan = sched.PrefetchH2D(plan, eng.Capacity()*9/10)
 		}
-		if _, err := exec.Run(g, plan, nil, exec.Options{
+		if _, err := exec.Run(ctx, g, plan, nil, exec.Options{
 			Mode: exec.Accounting, Device: dev, Trace: tr, Overlap: *overlap}); err != nil {
 			log.Fatal(err)
 		}
@@ -196,7 +209,7 @@ func main() {
 		fmt.Print(tr.Summary())
 	}
 	if o != nil {
-		if _, err := compiled.Simulate(); err != nil {
+		if _, err := compiled.Simulate(ctx); err != nil {
 			log.Fatal(err)
 		}
 		if *traceJSON != "" {

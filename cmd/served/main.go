@@ -1,0 +1,120 @@
+// Command served runs the serving layer as an HTTP JSON server: a pool
+// of simulated devices with footprint-aware admission control and
+// request coalescing, fed over POST /v1/jobs.
+//
+//	served -addr :8080 -devices c870,8800 -streams 2 -queue 64
+//
+//	curl -s localhost:8080/v1/jobs -d '{"template":"edge","h":512,"w":512,"wait":true}'
+//	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+var (
+	addr     = flag.String("addr", ":8080", "listen address")
+	devices  = flag.String("devices", "c870,8800", "comma-separated pool devices: c870, 8800, c1060, or custom:<name>:<MB>")
+	streams  = flag.Int("streams", 2, "executor streams per device")
+	queue    = flag.Int("queue", 64, "bounded queue depth per device")
+	deadline = flag.Duration("deadline", 0, "default queue-wait deadline (0 = none)")
+	cache    = flag.Int("cache", 0, "compiled-plan cache entries per device (0 = default)")
+	planner  = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb-optimal")
+)
+
+func parseDevices(s string) ([]gpu.Spec, error) {
+	var specs []gpu.Spec
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "c870":
+			specs = append(specs, gpu.TeslaC870())
+		case tok == "8800":
+			specs = append(specs, gpu.GeForce8800GTX())
+		case tok == "c1060":
+			specs = append(specs, gpu.TeslaC1060())
+		case strings.HasPrefix(tok, "custom:"):
+			var name string
+			var mb int64
+			if _, err := fmt.Sscanf(tok, "custom:%s", &name); err != nil || !strings.Contains(name, ":") {
+				return nil, fmt.Errorf("custom device %q: want custom:<name>:<MB>", tok)
+			}
+			parts := strings.SplitN(name, ":", 2)
+			if _, err := fmt.Sscanf(parts[1], "%d", &mb); err != nil || mb <= 0 {
+				return nil, fmt.Errorf("custom device %q: bad size %q", tok, parts[1])
+			}
+			specs = append(specs, gpu.Custom(parts[0], mb<<20))
+		default:
+			return nil, fmt.Errorf("unknown device %q (c870, 8800, c1060, custom:<name>:<MB>)", tok)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("no devices")
+	}
+	return specs, nil
+}
+
+func main() {
+	flag.Parse()
+	specs, err := parseDevices(*devices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pl core.Planner
+	switch *planner {
+	case "heuristic":
+		pl = core.HeuristicPlanner
+	case "baseline":
+		pl = core.BaselinePlanner
+	case "pb-optimal":
+		pl = core.PBOptimalPlanner
+	default:
+		log.Fatalf("unknown planner %q", *planner)
+	}
+
+	pool := serve.NewPool(
+		serve.WithDevices(specs...),
+		serve.WithStreams(*streams),
+		serve.WithQueueDepth(*queue),
+		serve.WithDefaultDeadline(*deadline),
+		serve.WithObserver(obs.New()),
+		serve.WithServiceOptions(core.WithPlanner(pl), core.WithCache(*cache)),
+	)
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(pool)}
+	go func() {
+		for _, s := range specs {
+			log.Printf("device %s: %d MB", s.Name, s.MemoryBytes>>20)
+		}
+		log.Printf("serving on %s (%d streams/device, queue %d)", *addr, *streams, *queue)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down: draining queued jobs")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	pool.Close()
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,17 +23,18 @@ func main() {
 	device := gpu.GeForce8800GTX()
 	const h, w = 160, 120 // scaled-down frame so real execution is quick
 
+	ctx := context.Background()
 	run := func(planner core.Planner) *exec.Report {
 		g, bufs, err := templates.CNN(templates.SmallCNN(h, w))
 		if err != nil {
 			log.Fatal(err)
 		}
-		engine := core.NewEngine(core.Config{Device: device, Planner: planner})
-		compiled, err := engine.Compile(g)
+		svc := core.NewService(core.WithDevice(device), core.WithPlanner(planner))
+		compiled, _, err := svc.Compile(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := compiled.Execute(workload.CNNInputs(bufs, 99))
+		rep, err := svc.Execute(ctx, compiled, workload.CNNInputs(bufs, 99))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -90,14 +91,15 @@ func main() {
 
 	// A GPU too small for the whole pipeline: the custom operator is split
 	// right alongside the built-in convolutions.
+	ctx := context.Background()
 	device := gpu.Custom("small-gpu", dim*dim*4*2)
-	engine := core.NewEngine(core.Config{Device: device})
-	compiled, err := engine.Compile(g)
+	svc := core.NewService(core.WithDevice(device))
+	compiled, _, err := svc.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Sobel template on %s: %d ops after splitting (%d split), %d plan steps\n",
-		device.Name, len(g.Nodes), compiled.Split.SplitNodes, len(compiled.Plan.Steps))
+		device.Name, len(compiled.Graph.Nodes), compiled.Split.SplitNodes, len(compiled.Plan.Steps))
 
 	sobelX := tensor.FromSlice(3, 3, []float32{-1, 0, 1, -2, 0, 2, -1, 0, 1})
 	sobelY := tensor.FromSlice(3, 3, []float32{-1, -2, -1, 0, 0, 0, 1, 2, 1})
@@ -106,7 +108,7 @@ func main() {
 		kx.ID:  sobelX,
 		ky.ID:  sobelY,
 	}
-	rep, err := compiled.Execute(in)
+	rep, err := svc.Execute(ctx, compiled, in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,8 +22,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	device := gpu.TeslaC870()
-	engine := core.NewEngine(core.Config{Device: device})
+	svc := core.NewService(core.WithDevice(device))
 	fmt.Printf("device: %s\n\n", device)
 
 	// Small sizes run materialized (with verification); the paper-scale
@@ -38,7 +40,7 @@ func main() {
 			log.Fatal(err)
 		}
 		lb := sched.LowerBound(g)
-		compiled, err := engine.Compile(g)
+		compiled, _, err := svc.Compile(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,7 +49,7 @@ func main() {
 		var rep *exec.Report
 		if dim <= 1024 {
 			in := workload.EdgeInputs(bufs, int64(dim))
-			rep, err = compiled.Execute(in)
+			rep, err = svc.Execute(ctx, compiled, in)
 			if err == nil {
 				want, rerr := exec.RunReference(g, in)
 				if rerr != nil {
@@ -61,7 +63,7 @@ func main() {
 			}
 		} else {
 			mode = "accounting"
-			rep, err = compiled.Simulate()
+			rep, err = svc.Simulate(ctx, compiled)
 		}
 		if err != nil {
 			log.Fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,14 +38,15 @@ func main() {
 	// 2. Compile for a GPU whose memory is smaller than the template's
 	//    footprint; the framework splits operators and schedules
 	//    transfers automatically.
+	ctx := context.Background()
 	device := gpu.Custom("tiny-gpu", 1<<21) // 2 MiB: forces splitting
-	engine := core.NewEngine(core.Config{Device: device})
-	compiled, err := engine.Compile(g)
+	svc := core.NewService(core.WithDevice(device))
+	compiled, _, err := svc.Compile(ctx, g)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled for %s: %d operators after splitting (%d were split)\n",
-		device.Name, len(g.Nodes), compiled.Split.SplitNodes)
+		device.Name, len(compiled.Graph.Nodes), compiled.Split.SplitNodes)
 	h2d, d2h := compiled.Plan.TransferFloats()
 	fmt.Printf("plan: %d steps, %d floats to GPU, %d floats back\n",
 		len(compiled.Plan.Steps), h2d, d2h)
@@ -54,7 +56,7 @@ func main() {
 		img.ID: workload.Image(1, 512, 512),
 		k.ID:   workload.EdgeKernel(5, 0),
 	}
-	rep, err := compiled.Execute(inputs)
+	rep, err := svc.Execute(ctx, compiled, inputs)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,17 +43,18 @@ func main() {
 			log.Fatal(err)
 		}
 		lb := sched.LowerBound(g)
-		engine := core.NewEngine(core.Config{Device: spec, AutoTuneSplit: true})
-		compiled, err := engine.Compile(g)
+		ctx := context.Background()
+		svc := core.NewService(core.WithDevice(spec), core.WithAutoTuneSplit())
+		compiled, _, err := svc.Compile(ctx, g)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := compiled.Simulate()
+		rep, err := svc.Simulate(ctx, compiled)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t.Add(spec.Name, fmt.Sprintf("%d MB", spec.MemoryBytes>>20),
-			fmt.Sprint(len(g.Nodes)),
+			fmt.Sprint(len(compiled.Graph.Nodes)),
 			report.MB(rep.Stats.TotalFloats()),
 			fmt.Sprintf("%.2fx", float64(rep.Stats.TotalFloats())/float64(lb)),
 			report.Seconds(rep.Stats.TotalTime()))

@@ -11,6 +11,7 @@
 package compiler
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -96,14 +97,26 @@ func (p *Pipeline) Passes() []string {
 
 // Run executes every pass in order, stopping at the first error. Errors
 // are wrapped with the failing pass's name; spans and metrics are
-// finalized on every path.
-func (p *Pipeline) Run(c *Compilation) error {
+// finalized on every path. Cancellation is checked before each pass:
+// when ctx expires the pipeline stops between passes with an error
+// wrapping ctx.Err(), leaving no span open.
+func (p *Pipeline) Run(ctx context.Context, c *Compilation) error {
 	for _, pass := range p.passes {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("compiler: cancelled before pass %s: %w", pass.Name(), err)
+		}
 		if err := p.runPass(pass, c); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// RunNoCtx is Run without cancellation.
+//
+// Deprecated: use Run with a context.
+func (p *Pipeline) RunNoCtx(c *Compilation) error {
+	return p.Run(context.Background(), c)
 }
 
 func (p *Pipeline) runPass(pass Pass, c *Compilation) (err error) {

@@ -1,6 +1,7 @@
 package compiler
 
 import (
+	"context"
 	"bytes"
 	"errors"
 	"strings"
@@ -37,7 +38,7 @@ func TestPipelineRunsPassesInOrder(t *testing.T) {
 	if got := pl.Passes(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
 		t.Fatalf("Passes() = %v", got)
 	}
-	if err := pl.Run(&Compilation{}); err != nil {
+	if err := pl.Run(context.Background(), &Compilation{}); err != nil {
 		t.Fatal(err)
 	}
 	if len(log) != 3 || log[0] != "a" || log[1] != "b" || log[2] != "c" {
@@ -54,7 +55,7 @@ func TestPipelineStopsAndWrapsErrors(t *testing.T) {
 		fakePass{name: "bad", log: &log, err: boom},
 		fakePass{name: "never", log: &log},
 	)
-	err := pl.Run(&Compilation{Obs: o})
+	err := pl.Run(context.Background(), &Compilation{Obs: o})
 	if err == nil {
 		t.Fatal("expected error")
 	}
@@ -86,7 +87,7 @@ func TestPipelineFailureLeavesBalancedTrace(t *testing.T) {
 		fakePass{name: "ok", log: &log},
 		fakePass{name: "bad", log: &log, err: errors.New("boom")},
 	)
-	if err := pl.Run(&Compilation{Obs: o}); err == nil {
+	if err := pl.Run(context.Background(), &Compilation{Obs: o}); err == nil {
 		t.Fatal("expected error")
 	}
 	outer.End()

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +29,13 @@ import (
 	"repro/internal/sched"
 	"repro/internal/split"
 )
+
+// ErrInfeasible marks compilations that cannot fit the target device: no
+// split brings every operator under capacity, or no transfer schedule
+// exists within the memory budget. Detect with errors.Is; a serving
+// layer maps it to a permanent rejection (no device in the pool can ever
+// run the request), distinct from transient queue pressure.
+var ErrInfeasible = errors.New("core: template infeasible for device")
 
 // Planner selects the scheduling strategy.
 type Planner int
@@ -88,6 +97,13 @@ type Config struct {
 	// becomes simulated-clock engine tracks, and metrics/residency
 	// profiles accumulate across compile and execute. Nil is free.
 	Obs *obs.Observer
+	// CacheSize bounds the Service plan cache (entries; 0 →
+	// compiler.DefaultCacheSize). Engines ignore it.
+	CacheSize int
+	// Faults, when non-nil, installs this fault injector on every device
+	// Execute/Simulate creates, so injected failures exercise the
+	// resilient paths (and a serving layer's error handling) end to end.
+	Faults *gpu.Injector
 	// AutoTuneSplit is an extension beyond the paper's §3.3.1 heuristic
 	// (which the paper itself notes "does not take into account the GPU
 	// memory limitations" and has "scope for improvement"): the engine
@@ -171,6 +187,9 @@ type Compiled struct {
 	// Obs carries the engine's observer into Execute/Simulate so one
 	// trace spans compile and execution.
 	Obs *obs.Observer
+	// Faults, when non-nil, is installed on every device
+	// Execute/Simulate creates (from Config.Faults).
+	Faults *gpu.Injector
 	// Diags are the pipeline's human-readable per-pass notes.
 	Diags []string
 }
@@ -178,18 +197,27 @@ type Compiled struct {
 // Compile runs the compilation pipeline on the template graph. The graph
 // is transformed in place by the operator-splitting pass (when
 // AutoTuneSplit selects a deeper split, the returned Compiled.Graph is a
-// clone and the argument graph holds the default split).
-func (e *Engine) Compile(g *graph.Graph) (*Compiled, error) {
-	return e.compileObs(e.cfg.Obs, g)
+// clone and the argument graph holds the default split). Cancellation is
+// checked between passes; an infeasible template fails with an error
+// matching errors.Is(err, ErrInfeasible).
+func (e *Engine) Compile(ctx context.Context, g *graph.Graph) (*Compiled, error) {
+	return e.compileObs(ctx, e.cfg.Obs, g)
+}
+
+// CompileNoCtx is Compile without cancellation.
+//
+// Deprecated: use Compile with a context.
+func (e *Engine) CompileNoCtx(g *graph.Graph) (*Compiled, error) {
+	return e.Compile(context.Background(), g)
 }
 
 // compileObs is Compile with an explicit observer, so Service can run
 // concurrent compiles each under its own forked observer.
-func (e *Engine) compileObs(o *obs.Observer, g *graph.Graph) (*Compiled, error) {
+func (e *Engine) compileObs(ctx context.Context, o *obs.Observer, g *graph.Graph) (*Compiled, error) {
 	if e.cfg.AutoTuneSplit && e.cfg.Planner == HeuristicPlanner {
-		return e.compileAutoTuned(o, g)
+		return e.compileAutoTuned(ctx, o, g)
 	}
-	return e.compileWith(o, g, e.Capacity(), e.Capacity())
+	return e.compileWith(ctx, o, g, e.Capacity(), e.Capacity())
 }
 
 // autotuneDivisors are the capacity divisors auto-tuning probes, in the
@@ -205,7 +233,7 @@ var autotuneDivisors = []int64{1, 2, 4}
 // up-front because the full-capacity candidate splits g in place, and the
 // winner is selected in fixed divisor order with a strict comparison, so
 // the result is identical to compiling the candidates sequentially.
-func (e *Engine) compileAutoTuned(o *obs.Observer, g *graph.Graph) (*Compiled, error) {
+func (e *Engine) compileAutoTuned(ctx context.Context, o *obs.Observer, g *graph.Graph) (*Compiled, error) {
 	sp := o.T().Begin("autotune", "compile")
 	defer sp.End()
 	capacity := e.Capacity()
@@ -237,7 +265,7 @@ func (e *Engine) compileAutoTuned(o *obs.Observer, g *graph.Graph) (*Compiled, e
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = e.compileWith(children[i], graphs[i], target, capacity)
+			results[i], errs[i] = e.compileWith(ctx, children[i], graphs[i], target, capacity)
 		}(i, capacity/div)
 	}
 	wg.Wait()
@@ -275,7 +303,7 @@ func (e *Engine) compileAutoTuned(o *obs.Observer, g *graph.Graph) (*Compiled, e
 // compileWith splits the graph to fit splitTarget floats per operator,
 // then schedules against the (possibly larger) planner capacity, by
 // running the assembled pass pipeline under one "compile" span.
-func (e *Engine) compileWith(o *obs.Observer, g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
+func (e *Engine) compileWith(ctx context.Context, o *obs.Observer, g *graph.Graph, splitTarget, capacity int64) (*Compiled, error) {
 	csp := o.T().Begin("compile", "compile").
 		SetArgf("device", "%s", e.cfg.Device.Name).
 		SetArgf("planner", "%s", e.cfg.Planner).
@@ -285,7 +313,12 @@ func (e *Engine) compileWith(o *obs.Observer, g *graph.Graph, splitTarget, capac
 		Graph: g, Device: e.cfg.Device,
 		Capacity: capacity, SplitTarget: splitTarget, Obs: o,
 	}
-	if err := e.Pipeline().Run(c); err != nil {
+	if err := e.Pipeline().Run(ctx, c); err != nil {
+		if errors.Is(err, sched.ErrInfeasible) || errors.Is(err, split.ErrInfeasible) {
+			// Surface the typed verdict alongside the pass detail: callers
+			// branch on errors.Is(err, ErrInfeasible), humans read the rest.
+			return nil, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Compiled{
@@ -293,34 +326,46 @@ func (e *Engine) compileWith(o *obs.Observer, g *graph.Graph, splitTarget, capac
 		Device: e.cfg.Device, Capacity: capacity,
 		PBStatus: c.PBStatus, Overlap: c.Overlap,
 		Pipeline: e.cfg.Pipeline, PipelineWorkers: e.cfg.PipelineWorkers,
-		Obs: o, Diags: c.Diags,
+		Obs: o, Faults: e.cfg.Faults, Diags: c.Diags,
 	}, nil
+}
+
+// newDevice builds a fresh simulated device for one execution, with the
+// configured fault injector (if any) installed.
+func (c *Compiled) newDevice() *gpu.Device {
+	dev := gpu.New(c.Device)
+	dev.SetInjector(c.Faults)
+	return dev
 }
 
 // Execute runs the compiled plan with real data on a fresh simulated
 // device, returning outputs and device statistics. Plans compiled with
 // Config.Pipeline run under the pipelined executor (identical results and
-// statistics, concurrent host execution).
-func (c *Compiled) Execute(in exec.Inputs) (*exec.Report, error) {
-	dev := gpu.New(c.Device)
+// statistics, concurrent host execution). Cancellation is checked at step
+// boundaries and leaves the device pristine.
+func (c *Compiled) Execute(ctx context.Context, in exec.Inputs) (*exec.Report, error) {
+	dev := c.newDevice()
 	opt := exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs}
 	if c.Pipeline {
 		opt.Pipeline = true
 		opt.PipelineWorkers = c.PipelineWorkers
-		return exec.RunPipelined(c.Graph, c.Plan, in, opt)
+		return exec.RunPipelined(ctx, c.Graph, c.Plan, in, opt)
 	}
-	return exec.Run(c.Graph, c.Plan, in, opt)
+	return exec.Run(ctx, c.Graph, c.Plan, in, opt)
 }
 
 // ExecuteResilient runs the compiled plan with real data on a fresh
 // simulated device under the resilient executor: transient faults are
 // retried, device loss restarts from the last offload-unit checkpoint,
 // and persistent OOM triggers the degradation ladder (replan at reduced
-// budgets, then the CPU reference). inj may be nil for a fault-free run.
-func (c *Compiled) ExecuteResilient(in exec.Inputs, inj *gpu.Injector) (*exec.Report, error) {
-	dev := gpu.New(c.Device)
-	dev.SetInjector(inj)
-	return exec.RunResilient(c.Graph, c.Plan, in, exec.ResilientOptions{
+// budgets, then the CPU reference). inj overrides the configured
+// injector; nil uses Config.Faults (or no faults).
+func (c *Compiled) ExecuteResilient(ctx context.Context, in exec.Inputs, inj *gpu.Injector) (*exec.Report, error) {
+	dev := c.newDevice()
+	if inj != nil {
+		dev.SetInjector(inj)
+	}
+	return exec.RunResilient(ctx, c.Graph, c.Plan, in, exec.ResilientOptions{
 		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
 		Capacity: c.Capacity,
 	})
@@ -330,10 +375,12 @@ func (c *Compiled) ExecuteResilient(in exec.Inputs, inj *gpu.Injector) (*exec.Re
 // the resilient executor, with optional fault injection. The CPU
 // fallback rung is unavailable without materialized data; every other
 // recovery mechanism (retry, checkpoint/restart, replanning) applies.
-func (c *Compiled) SimulateResilient(inj *gpu.Injector) (*exec.Report, error) {
-	dev := gpu.New(c.Device)
-	dev.SetInjector(inj)
-	return exec.RunResilient(c.Graph, c.Plan, nil, exec.ResilientOptions{
+func (c *Compiled) SimulateResilient(ctx context.Context, inj *gpu.Injector) (*exec.Report, error) {
+	dev := c.newDevice()
+	if inj != nil {
+		dev.SetInjector(inj)
+	}
+	return exec.RunResilient(ctx, c.Graph, c.Plan, nil, exec.ResilientOptions{
 		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
 		Capacity: c.Capacity,
 	})
@@ -342,9 +389,9 @@ func (c *Compiled) SimulateResilient(inj *gpu.Injector) (*exec.Report, error) {
 // Simulate replays the compiled plan in accounting mode: byte-exact
 // memory, transfer, and timing behaviour without materializing data. Use
 // for paper-scale footprints.
-func (c *Compiled) Simulate() (*exec.Report, error) {
-	dev := gpu.New(c.Device)
-	return exec.Run(c.Graph, c.Plan, nil,
+func (c *Compiled) Simulate(ctx context.Context) (*exec.Report, error) {
+	dev := c.newDevice()
+	return exec.Run(ctx, c.Graph, c.Plan, nil,
 		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs})
 }
 

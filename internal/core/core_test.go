@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -26,7 +27,7 @@ func buildEdge(t *testing.T, h, w, k int) (*Compiled, exec.Inputs, exec.Outputs,
 	// A toy device that forces splitting: ~1/3 of the max footprint.
 	spec := gpu.Custom("toy", int64(h*w*4*2))
 	eng := NewEngine(Config{Device: spec})
-	c, err := eng.Compile(g)
+	c, err := eng.Compile(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestEngineEndToEnd(t *testing.T) {
 	if c.Plan.PeakFloats > eng.Capacity() {
 		t.Fatalf("plan peak %d exceeds capacity %d", c.Plan.PeakFloats, eng.Capacity())
 	}
-	rep, err := c.Execute(in)
+	rep, err := c.Execute(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +58,11 @@ func TestEngineEndToEnd(t *testing.T) {
 
 func TestEngineSimulateMatchesExecute(t *testing.T) {
 	c, in, _, _ := buildEdge(t, 40, 32, 5)
-	repE, err := c.Execute(in)
+	repE, err := c.Execute(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repS, err := c.Simulate()
+	repS, err := c.Simulate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestEnginePlanners(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := eng.Compile(gg)
+		c, err := eng.Compile(context.Background(), gg)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -116,7 +117,7 @@ func TestEngineRetargeting(t *testing.T) {
 		}
 		s := spec
 		eng := NewEngine(Config{Device: s, Capacity: capacity})
-		c, err := eng.Compile(g)
+		c, err := eng.Compile(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func TestAutoTuneSplitImproves(t *testing.T) {
 		// (6*14400): only max must split.
 		eng := NewEngine(Config{Device: gpu.Custom("t", 1<<20), Capacity: 60000,
 			AutoTuneSplit: autotune})
-		c, err := eng.Compile(g)
+		c, err := eng.Compile(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +210,7 @@ func TestAutoTuneSplitImproves(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Cloned graphs preserve buffer IDs, so inputs map directly.
-	rep, err := tuned.Execute(in)
+	rep, err := tuned.Execute(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestEngineOverlap(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := NewEngine(Config{Device: spec, Overlap: overlap})
-		c, err := eng.Compile(g)
+		c, err := eng.Compile(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,11 +243,11 @@ func TestEngineOverlap(t *testing.T) {
 	if !over.Overlap || plain.Overlap {
 		t.Fatal("Overlap flag wrong")
 	}
-	repP, err := plain.Simulate()
+	repP, err := plain.Simulate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	repO, err := over.Simulate()
+	repO, err := over.Simulate(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestEngineOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := over.Execute(in)
+	rep, err := over.Execute(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,14 +293,14 @@ func TestSeparableEdgeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := NewEngine(Config{Device: gpu.Custom("sep", 40<<10)})
-	c, err := eng.Compile(g)
+	c, err := eng.Compile(context.Background(), g)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.Split.SplitNodes == 0 {
 		t.Fatal("expected splitting")
 	}
-	rep, err := c.Execute(in)
+	rep, err := c.Execute(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

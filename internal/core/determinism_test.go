@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gpu"
@@ -24,7 +25,7 @@ func edgeGraph(t *testing.T, h, w, k int) *graph.Graph {
 func TestCompileDeterministic(t *testing.T) {
 	compile := func() *Compiled {
 		eng := NewEngine(Config{Device: gpu.Custom("det", int64(40*32*4*2))})
-		c, err := eng.Compile(edgeGraph(t, 40, 32, 5))
+		c, err := eng.Compile(context.Background(), edgeGraph(t, 40, 32, 5))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func sequentialAutoTune(e *Engine, g *graph.Graph) (*Compiled, error) {
 			graphs[i] = g.Clone()
 		}
 	}
-	best, err := e.compileWith(nil, graphs[0], capacity, capacity)
+	best, err := e.compileWith(context.Background(), nil, graphs[0], capacity, capacity)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +67,7 @@ func sequentialAutoTune(e *Engine, g *graph.Graph) (*Compiled, error) {
 		if graphs[i] == nil {
 			continue
 		}
-		cand, err := e.compileWith(nil, graphs[i], capacity/autotuneDivisors[i], capacity)
+		cand, err := e.compileWith(context.Background(), nil, graphs[i], capacity/autotuneDivisors[i], capacity)
 		if err != nil {
 			continue
 		}
@@ -88,7 +89,7 @@ func TestAutoTuneParallelMatchesSequential(t *testing.T) {
 		t.Fatal(err)
 	}
 	for round := 0; round < 3; round++ {
-		par, err := NewEngine(cfg).Compile(build())
+		par, err := NewEngine(cfg).Compile(context.Background(), build())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestAutoTuneParallelMatchesSequential(t *testing.T) {
 func TestCacheKeyDiscriminates(t *testing.T) {
 	base := Config{Device: gpu.Custom("k", 1<<20), Capacity: 9000}
 	key := func(cfg Config, h int) string {
-		return NewService(cfg, 0).CacheKey(edgeGraph(t, h, 32, 5))
+		return NewServiceConfig(cfg, 0).CacheKey(edgeGraph(t, h, 32, 5))
 	}
 	ref := key(base, 40)
 	if key(base, 40) != ref {

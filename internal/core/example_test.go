@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,7 +20,7 @@ func Example() {
 		panic(err)
 	}
 	engine := core.NewEngine(core.Config{Device: gpu.TeslaC870()})
-	compiled, err := engine.Compile(g)
+	compiled, err := engine.Compile(context.Background(), g)
 	if err != nil {
 		panic(err)
 	}
@@ -40,7 +41,7 @@ func Example_retargeting() {
 		panic(err)
 	}
 	engine := core.NewEngine(core.Config{Device: gpu.GeForce8800GTX()})
-	compiled, err := engine.Compile(g)
+	compiled, err := engine.Compile(context.Background(), g)
 	if err != nil {
 		panic(err)
 	}

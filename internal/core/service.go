@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/compiler"
@@ -22,13 +23,39 @@ type Service struct {
 	cache *compiler.Cache[*Compiled]
 }
 
-// NewService returns a service over the given configuration, caching up
-// to cacheSize compiled plans (compiler.DefaultCacheSize when <= 0).
-func NewService(cfg Config, cacheSize int) *Service {
+// NewService returns a service assembled from functional options:
+//
+//	svc := core.NewService(
+//		core.WithDevice(gpu.TeslaC870()),
+//		core.WithPipeline(0),
+//		core.WithCache(64),
+//		core.WithObserver(o),
+//	)
+//
+// Zero options give a usable service for the zero-value device spec; in
+// practice WithDevice is the one option every caller passes.
+func NewService(opts ...Option) *Service {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return &Service{
 		eng:   NewEngine(cfg),
-		cache: compiler.NewCache[*Compiled](cacheSize, cfg.Obs),
+		cache: compiler.NewCache[*Compiled](cfg.CacheSize, cfg.Obs),
 	}
+}
+
+// NewServiceConfig returns a service over a literal configuration,
+// caching up to cacheSize compiled plans (compiler.DefaultCacheSize
+// when <= 0).
+//
+// Deprecated: use NewService with functional options (WithConfig(cfg)
+// reproduces this constructor exactly).
+func NewServiceConfig(cfg Config, cacheSize int) *Service {
+	if cacheSize > 0 {
+		cfg.CacheSize = cacheSize
+	}
+	return NewService(WithConfig(cfg))
 }
 
 // Engine returns the underlying engine (for Capacity, PassNames, or an
@@ -57,13 +84,15 @@ func (s *Service) configString() string {
 // Compile returns the compiled artifact for g, from the cache when an
 // identical compilation has already run (hit=true; no compile passes
 // execute). The caller's graph is never mutated: misses compile a clone.
-// Concurrent calls with the same key share one compile.
-func (s *Service) Compile(g *graph.Graph) (c *Compiled, hit bool, err error) {
+// Concurrent calls with the same key share one compile; a cancelled ctx
+// aborts this caller's compile between passes (a concurrent waiter on
+// the same in-flight key receives the compile's own result).
+func (s *Service) Compile(ctx context.Context, g *graph.Graph) (c *Compiled, hit bool, err error) {
 	o := s.eng.cfg.Obs
 	key := s.CacheKey(g)
 	c, hit, err = s.cache.GetOrCompute(key, func() (*Compiled, error) {
 		child := o.Fork()
-		cc, cerr := s.eng.compileObs(child, g.Clone())
+		cc, cerr := s.eng.compileObs(ctx, child, g.Clone())
 		o.Join(child)
 		return cc, cerr
 	})
@@ -74,6 +103,13 @@ func (s *Service) Compile(g *graph.Graph) (c *Compiled, hit bool, err error) {
 		o.T().MarkWall("cache-hit", "compile", map[string]string{"key": key[:12]})
 	}
 	return c, hit, nil
+}
+
+// CompileNoCtx is Compile without cancellation.
+//
+// Deprecated: use Compile with a context.
+func (s *Service) CompileNoCtx(g *graph.Graph) (*Compiled, bool, error) {
+	return s.Compile(context.Background(), g)
 }
 
 // run executes fn against a per-call copy of the cached artifact carrying
@@ -89,25 +125,52 @@ func (s *Service) run(c *Compiled, fn func(*Compiled) (*exec.Report, error)) (*e
 	return rep, err
 }
 
+// Execute runs an already-compiled artifact with real data on a fresh
+// device under a per-call forked observer. Safe for concurrent use — a
+// serving layer compiles once via Compile and fans executions out here.
+func (s *Service) Execute(ctx context.Context, c *Compiled, in exec.Inputs) (*exec.Report, error) {
+	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Execute(ctx, in) })
+}
+
+// Simulate replays an already-compiled artifact in accounting mode under
+// a per-call forked observer. Safe for concurrent use.
+func (s *Service) Simulate(ctx context.Context, c *Compiled) (*exec.Report, error) {
+	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Simulate(ctx) })
+}
+
 // CompileAndSimulate compiles g (or hits the cache) and replays the plan
 // in accounting mode. Safe for concurrent use.
-func (s *Service) CompileAndSimulate(g *graph.Graph) (*exec.Report, error) {
-	c, _, err := s.Compile(g)
+func (s *Service) CompileAndSimulate(ctx context.Context, g *graph.Graph) (*exec.Report, error) {
+	c, _, err := s.Compile(ctx, g)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(c, (*Compiled).Simulate)
+	return s.Simulate(ctx, c)
+}
+
+// CompileAndSimulateNoCtx is CompileAndSimulate without cancellation.
+//
+// Deprecated: use CompileAndSimulate with a context.
+func (s *Service) CompileAndSimulateNoCtx(g *graph.Graph) (*exec.Report, error) {
+	return s.CompileAndSimulate(context.Background(), g)
 }
 
 // CompileAndExecute compiles g (or hits the cache) and runs the plan with
 // real data. Safe for concurrent use: execution state lives in the
 // executor, not the shared compiled artifact.
-func (s *Service) CompileAndExecute(g *graph.Graph, in exec.Inputs) (*exec.Report, error) {
-	c, _, err := s.Compile(g)
+func (s *Service) CompileAndExecute(ctx context.Context, g *graph.Graph, in exec.Inputs) (*exec.Report, error) {
+	c, _, err := s.Compile(ctx, g)
 	if err != nil {
 		return nil, err
 	}
-	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Execute(in) })
+	return s.Execute(ctx, c, in)
+}
+
+// CompileAndExecuteNoCtx is CompileAndExecute without cancellation.
+//
+// Deprecated: use CompileAndExecute with a context.
+func (s *Service) CompileAndExecuteNoCtx(g *graph.Graph, in exec.Inputs) (*exec.Report, error) {
+	return s.CompileAndExecute(context.Background(), g, in)
 }
 
 // Observer returns the service's shared observer (nil when observability

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -16,11 +17,11 @@ import (
 // ticks, and no second set of pass spans appears in the trace.
 func TestServiceCacheHitSkipsPasses(t *testing.T) {
 	o := obs.New()
-	svc := NewService(Config{Device: gpu.Custom("svc", 1<<20), Capacity: 9000, Obs: o}, 0)
+	svc := NewServiceConfig(Config{Device: gpu.Custom("svc", 1<<20), Capacity: 9000, Obs: o}, 0)
 
 	g1 := edgeGraph(t, 40, 32, 5)
 	nodesBefore := len(g1.Nodes)
-	c1, hit, err := svc.Compile(g1)
+	c1, hit, err := svc.Compile(context.Background(), g1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestServiceCacheHitSkipsPasses(t *testing.T) {
 		t.Fatal("Service.Compile mutated the caller's graph")
 	}
 
-	c2, hit, err := svc.Compile(edgeGraph(t, 40, 32, 5))
+	c2, hit, err := svc.Compile(context.Background(), edgeGraph(t, 40, 32, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCompileErrorLeavesBalancedTrace(t *testing.T) {
 	o := obs.New()
 	// Capacity of 3 floats: splitting can never fit any operator.
 	eng := NewEngine(Config{Device: gpu.Custom("tiny", 4096), Capacity: 3, Obs: o})
-	if _, err := eng.Compile(edgeGraph(t, 40, 32, 5)); err == nil {
+	if _, err := eng.Compile(context.Background(), edgeGraph(t, 40, 32, 5)); err == nil {
 		t.Fatal("expected a compile error at capacity 3")
 	}
 	if n := o.T().OpenSpans(); n != 0 {
@@ -91,7 +92,7 @@ func TestAutoTuneCandidateFailureIsRecorded(t *testing.T) {
 	// graph), but capacity/4 = 5 floats is unsplittable.
 	eng := NewEngine(Config{Device: gpu.Custom("at", 4096), Capacity: 20,
 		AutoTuneSplit: true, Obs: o})
-	if _, err := eng.Compile(edgeGraph(t, 4, 4, 2)); err != nil {
+	if _, err := eng.Compile(context.Background(), edgeGraph(t, 4, 4, 2)); err != nil {
 		t.Fatal(err)
 	}
 	failed := o.M().Counter("autotune_candidate_failed").Value()
@@ -134,11 +135,11 @@ func TestServiceConcurrentStress(t *testing.T) {
 	// Solo baselines: fresh engine per template, no sharing.
 	solo := make([]gpu.Stats, len(mix))
 	for i, m := range mix {
-		c, err := NewEngine(cfg).Compile(edgeGraph(t, m.dims[0], m.dims[1], m.dims[2]))
+		c, err := NewEngine(cfg).Compile(context.Background(), edgeGraph(t, m.dims[0], m.dims[1], m.dims[2]))
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := c.Simulate()
+		rep, err := c.Simulate(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestServiceConcurrentStress(t *testing.T) {
 
 	o := obs.New()
 	cfg.Obs = o
-	svc := NewService(cfg, 0)
+	svc := NewServiceConfig(cfg, 0)
 	const workers = 24
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)
@@ -156,7 +157,7 @@ func TestServiceConcurrentStress(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			m := mix[w%len(mix)]
-			rep, err := svc.CompileAndSimulate(edgeGraph(t, m.dims[0], m.dims[1], m.dims[2]))
+			rep, err := svc.CompileAndSimulate(context.Background(), edgeGraph(t, m.dims[0], m.dims[1], m.dims[2]))
 			if err != nil {
 				errs <- fmt.Errorf("%s: %w", m.name, err)
 				return
@@ -192,10 +193,10 @@ func TestServiceConcurrentStress(t *testing.T) {
 // a direct engine compile+execute.
 func TestServiceCompileAndExecute(t *testing.T) {
 	c, in, want, _ := buildEdge(t, 40, 32, 5)
-	svc := NewService(Config{Device: c.Device}, 0)
+	svc := NewService(WithDevice(c.Device))
 	var reps [2]*exec.Report
 	for i := range reps {
-		rep, err := svc.CompileAndExecute(edgeGraph(t, 40, 32, 5), in)
+		rep, err := svc.CompileAndExecute(context.Background(), edgeGraph(t, 40, 32, 5), in)
 		if err != nil {
 			t.Fatal(err)
 		}

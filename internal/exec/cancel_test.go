@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/sched"
+	"repro/internal/split"
+)
+
+// countdownCtx is a context whose Err flips to Canceled after it has been
+// consulted n times — a deterministic way to cancel "between steps"
+// without racing a timer against the executor.
+type countdownCtx struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func countdown(n int) *countdownCtx {
+	return &countdownCtx{Context: context.Background(), n: n}
+}
+
+// cancelPlan compiles a split, multi-step edge plan small enough to run
+// materialized but long enough that mid-plan cancellation is meaningful.
+func cancelPlan(t *testing.T) (*graph.Graph, *sched.Plan, Inputs) {
+	t.Helper()
+	g, in := edgeGraph(t, 64, 48, 5)
+	const capacity = 6000 // floats; forces splitting and eviction
+	if _, err := split.Apply(g, split.Options{Capacity: capacity}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sched.Heuristic(g, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) < 20 {
+		t.Fatalf("plan too short (%d steps) for a mid-plan cancellation test", len(plan.Steps))
+	}
+	return g, plan, in
+}
+
+// Cancelling a sequential run between steps must return an error wrapping
+// context.Canceled, a partial (non-nil) report, and a pristine device —
+// zero bytes allocated, immediately reusable.
+func TestRunCancelledMidPlanLeavesDevicePristine(t *testing.T) {
+	g, plan, in := cancelPlan(t)
+	dev := gpu.New(gpu.Custom("cancel-seq", 1<<20))
+
+	rep, err := Run(countdown(len(plan.Steps)/2), g, plan, in, Options{Device: dev})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancelled run returned a nil report")
+	}
+	if used := dev.Allocator().UsedBytes(); used != 0 {
+		t.Fatalf("device not pristine after cancellation: %d bytes allocated", used)
+	}
+
+	// The device is immediately reusable: a fresh full run succeeds and
+	// matches the reference.
+	rep2, err := Run(context.Background(), g, plan, in, Options{Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, w := range want {
+		if !rep2.Outputs[id].AlmostEqual(w, 1e-3) {
+			t.Fatal("post-cancel rerun diverged from reference")
+		}
+	}
+}
+
+// An immediate cancellation (before step 0) must also leave the device
+// untouched and still return a report.
+func TestRunCancelledBeforeFirstStep(t *testing.T) {
+	g, plan, in := cancelPlan(t)
+	dev := gpu.New(gpu.Custom("cancel-first", 1<<20))
+	_, err := Run(countdown(0), g, plan, in, Options{Device: dev})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if used := dev.Allocator().UsedBytes(); used != 0 {
+		t.Fatalf("%d bytes allocated", used)
+	}
+}
+
+// Cancelling a pipelined run must drain the in-flight DMA and compute
+// goroutines, free all residency, and leave the device pristine. Run at
+// several cancellation points to catch scheduler-state edge cases.
+func TestRunPipelinedCancelledLeavesDevicePristine(t *testing.T) {
+	// The pipelined scheduler consults ctx once per dispatch round —
+	// roughly once per DMA/launch step, with frees and syncs completing
+	// inline — so cancellation points must stay below the dispatched-step
+	// count, not the full plan length.
+	g, plan, in := cancelPlan(t)
+	for _, at := range []int{0, 1, 4, 8} {
+		dev := gpu.New(gpu.Custom("cancel-pipe", 1<<20))
+		rep, err := RunPipelined(countdown(at), g, plan, in,
+			Options{Device: dev, PipelineWorkers: 2})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel at %d: err = %v, want context.Canceled", at, err)
+		}
+		if rep == nil {
+			t.Fatalf("cancel at %d: nil report", at)
+		}
+		if used := dev.Allocator().UsedBytes(); used != 0 {
+			t.Fatalf("cancel at %d: %d bytes still allocated", at, used)
+		}
+	}
+}
+
+// Cancellation must cut the resilient executor's degradation ladder: no
+// retries, no replans, no CPU fallback — just a prompt cancelled error
+// and a pristine device.
+func TestRunResilientCancelledSkipsLadder(t *testing.T) {
+	g, plan, in := cancelPlan(t)
+	dev := gpu.New(gpu.Custom("cancel-res", 1<<20))
+	rep, err := RunResilient(countdown(len(plan.Steps)/3), g, plan, in,
+		ResilientOptions{Options: Options{Device: dev}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.Recovery != nil && (rep.Recovery.Replays > 0 || rep.Recovery.CPUFallback) {
+		t.Fatalf("cancelled resilient run still degraded: %+v", rep.Recovery)
+	}
+	if used := dev.Allocator().UsedBytes(); used != 0 {
+		t.Fatalf("%d bytes still allocated", used)
+	}
+}

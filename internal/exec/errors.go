@@ -1,0 +1,11 @@
+package exec
+
+import "repro/internal/gpu"
+
+// ErrOOM marks device allocation failures surfaced by an execution —
+// real out-of-memory or fragmentation on the simulated allocator, and
+// injected persistent malloc faults. It aliases gpu.ErrOOM so
+// errors.Is(err, exec.ErrOOM) matches faults raised anywhere in the
+// device substrate; the resilient executor's degradation ladder keys its
+// replan decisions on it.
+var ErrOOM = gpu.ErrOOM

@@ -5,6 +5,7 @@ package exec
 // still return a partial Report (stats so far, peak residency).
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -140,7 +141,7 @@ func TestRunRejectsCorruptedPlans(t *testing.T) {
 					Order:      plan.Order,
 					PeakFloats: plan.PeakFloats,
 				}
-				rep, err := Run(g, bad, in, Options{Mode: mode, Device: gpu.New(gpu.Custom("t", 1<<20))})
+				rep, err := Run(context.Background(), g, bad, in, Options{Mode: mode, Device: gpu.New(gpu.Custom("t", 1<<20))})
 				if err == nil {
 					t.Fatalf("corrupted plan must fail")
 				}

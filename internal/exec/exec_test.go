@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -93,7 +94,7 @@ func TestMaterializedMatchesReference(t *testing.T) {
 
 	for name, plan := range plans {
 		dev := gpu.New(gpu.Custom("test", capacity*6))
-		rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+		rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -137,7 +138,7 @@ func TestPBOptimalPlanExecutes(t *testing.T) {
 		t.Fatalf("PB status %v", res.Status)
 	}
 	dev := gpu.New(gpu.Custom("fig3", capacity*6))
-	rep, err := Run(g, res.Plan, in, Options{Mode: Materialized, Device: dev})
+	rep, err := Run(context.Background(), g, res.Plan, in, Options{Mode: Materialized, Device: dev})
 	if err != nil {
 		t.Fatalf("PB plan failed to execute: %v", err)
 	}
@@ -163,12 +164,12 @@ func TestAccountingMatchesMaterialized(t *testing.T) {
 		t.Fatal(err)
 	}
 	devM := gpu.New(gpu.Custom("m", capacity*6))
-	repM, err := Run(g, plan, in, Options{Mode: Materialized, Device: devM})
+	repM, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: devM})
 	if err != nil {
 		t.Fatal(err)
 	}
 	devA := gpu.New(gpu.Custom("a", capacity*6))
-	repA, err := Run(g, plan, nil, Options{Mode: Accounting, Device: devA})
+	repA, err := Run(context.Background(), g, plan, nil, Options{Mode: Accounting, Device: devA})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestExecutorRejectsCorruptPlans(t *testing.T) {
 
 	run := func(p *sched.Plan) error {
 		dev := gpu.New(gpu.Custom("t", capacity*6))
-		_, err := Run(g, p, in, Options{Mode: Materialized, Device: dev})
+		_, err := Run(context.Background(), g, p, in, Options{Mode: Materialized, Device: dev})
 		return err
 	}
 	if err := run(plan); err != nil {
@@ -237,7 +238,7 @@ func TestExecutorEnforcesDeviceMemory(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := gpu.New(gpu.Custom("tiny", 64))
-	if _, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev}); err == nil ||
+	if _, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev}); err == nil ||
 		!strings.Contains(err.Error(), "cannot allocate") {
 		t.Fatalf("want OOM error, got %v", err)
 	}
@@ -264,7 +265,7 @@ func TestPipelineAcrossCapacities(t *testing.T) {
 			t.Fatalf("capacity %d: peak %d over capacity", capacity, plan.PeakFloats)
 		}
 		dev := gpu.New(gpu.Custom("sweep", capacity*6))
-		rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+		rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 		if err != nil {
 			t.Fatalf("capacity %d: exec: %v", capacity, err)
 		}
@@ -311,7 +312,7 @@ func TestCNNPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := gpu.New(gpu.Custom("cnn", capacity*6))
-	rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+	rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -529,6 +530,27 @@ func (e *executor) step(si int, step sched.Step) error {
 	return nil
 }
 
+// releaseAll frees every device allocation the executor still holds and
+// clears the resident map, so an abandoned (cancelled) execution leaves
+// the device pristine for the next request. FreeMem errors are ignored:
+// a lost device discards its allocations on Recover/Reset anyway.
+func (e *executor) releaseAll() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, db := range e.resident {
+		_ = e.dev.FreeMem(db.off)
+		delete(e.resident, id)
+	}
+}
+
+// cancelled releases device state and seals the partial report when ctx
+// was cancelled before step si. The residency profile closes at the
+// current simulated clock, so the trace stays balanced.
+func (e *executor) cancelled(ctx context.Context, si int) (*Report, error) {
+	e.releaseAll()
+	return e.capture(), fmt.Errorf("exec: cancelled before step %d: %w", si, ctx.Err())
+}
+
 // capture fills the report with the statistics accumulated so far; used
 // both at successful completion and to produce the partial report
 // returned alongside an execution error.
@@ -573,20 +595,34 @@ func (e *executor) finish() (*Report, error) {
 // conditions are errors — so a plan that "passes" is proven feasible for
 // the device. The device must be pristine (no live allocations).
 //
+// Cancellation is checked between steps: when ctx expires, the run frees
+// every device allocation it holds (the device stays pristine) and
+// returns the partial report with an error wrapping ctx.Err().
+//
 // On error the returned *Report is non-nil and carries the statistics and
 // peak residency accumulated up to the failure, for diagnosability; only
 // a nil report means execution never started.
-func Run(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+func Run(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	e, err := newExecutor(g, plan, in, opt)
 	if err != nil {
 		return nil, err
 	}
 	for si, step := range plan.Steps {
+		if ctx.Err() != nil {
+			return e.cancelled(ctx, si)
+		}
 		if err := e.step(si, step); err != nil {
 			return e.capture(), err
 		}
 	}
 	return e.finish()
+}
+
+// RunNoCtx is Run without cancellation.
+//
+// Deprecated: use Run with a context.
+func RunNoCtx(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	return Run(context.Background(), g, plan, in, opt)
 }
 
 // launchMaterialized assembles the node's logical argument tensors from

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -129,7 +130,7 @@ func TestRandomPipelineProperty(t *testing.T) {
 			return false
 		}
 		dev := gpu.New(gpu.Custom("prop", capacity*6))
-		rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+		rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 		if err != nil {
 			t.Logf("seed %d: execution failed: %v", seed, err)
 			return false
@@ -171,7 +172,7 @@ func TestRandomPipelinePrefetchProperty(t *testing.T) {
 			return false
 		}
 		dev := gpu.New(gpu.Custom("pre", capacity*6))
-		rep, err := Run(g, pre, in, Options{Mode: Materialized, Device: dev})
+		rep, err := Run(context.Background(), g, pre, in, Options{Mode: Materialized, Device: dev})
 		if err != nil {
 			t.Logf("seed %d: prefetched execution failed: %v", seed, err)
 			return false

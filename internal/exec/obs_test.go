@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -17,12 +18,12 @@ func TestObserverDoesNotPerturbExecution(t *testing.T) {
 	capacity := spec.PlannerCapacity()
 	plan := compileFor(t, g, capacity)
 
-	plain, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
+	plain, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := obs.New()
-	observed, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Obs: o})
+	observed, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Obs: o})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestObserverDoesNotPerturbResilientExecution(t *testing.T) {
 	run := func(o *obs.Observer) *Report {
 		dev := gpu.New(spec)
 		dev.SetInjector(inject())
-		rep, err := RunResilient(g, plan, in, ResilientOptions{
+		rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 			Options:  Options{Mode: Materialized, Device: dev, Obs: o},
 			Capacity: capacity,
 		})

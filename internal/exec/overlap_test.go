@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gpu"
@@ -30,12 +31,12 @@ func TestOverlapReducesWallTime(t *testing.T) {
 	}
 
 	devSync := gpu.New(spec)
-	repSync, err := Run(g, plan, in, Options{Mode: Materialized, Device: devSync})
+	repSync, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: devSync})
 	if err != nil {
 		t.Fatal(err)
 	}
 	devAsync := gpu.New(spec)
-	repAsync, err := Run(g, plan, in, Options{Mode: Materialized, Device: devAsync, Overlap: true})
+	repAsync, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: devAsync, Overlap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestOverlapIgnoredWithoutDeviceSupport(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := gpu.New(gpu.TeslaC870()) // no async support
-	rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev, Overlap: true})
+	rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev, Overlap: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestThrashingFlag(t *testing.T) {
 	spec := gpu.Custom("tiny-host", capacity*6)
 	spec.HostMemoryBytes = 1024
 	dev := gpu.New(spec)
-	rep, err := Run(g, plan, nil, Options{Mode: Accounting, Device: dev})
+	rep, err := Run(context.Background(), g, plan, nil, Options{Mode: Accounting, Device: dev})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestThrashingFlag(t *testing.T) {
 	// A normal 8 GB host is fine.
 	spec.HostMemoryBytes = 8 << 30
 	dev2 := gpu.New(spec)
-	rep2, err := Run(g, plan, nil, Options{Mode: Accounting, Device: dev2})
+	rep2, err := Run(context.Background(), g, plan, nil, Options{Mode: Accounting, Device: dev2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestSyncAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	dev := gpu.New(gpu.TeslaC870())
-	rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+	rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestExecutorTraceRecording(t *testing.T) {
 	}
 	tr := &gpu.Trace{}
 	dev := gpu.New(gpu.TeslaC870())
-	rep, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev, Trace: tr})
+	rep, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +194,11 @@ func TestExecutorTraceOverlapShorterSpan(t *testing.T) {
 	spec.MemoryBytes = capacity * 6
 
 	syncTr := &gpu.Trace{}
-	if _, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Trace: syncTr}); err != nil {
+	if _, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Trace: syncTr}); err != nil {
 		t.Fatal(err)
 	}
 	asyncTr := &gpu.Trace{}
-	if _, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Trace: asyncTr, Overlap: true}); err != nil {
+	if _, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec), Trace: asyncTr, Overlap: true}); err != nil {
 		t.Fatal(err)
 	}
 	if asyncTr.Span() >= syncTr.Span() {

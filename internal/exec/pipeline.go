@@ -15,6 +15,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -35,7 +36,11 @@ import (
 // On a step failure the concurrent dispatch stops, in-flight steps drain,
 // and the partial report carries no simulated-time charges for performed
 // steps (charges replay only on success); the first error is returned.
-func RunPipelined(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+//
+// Cancellation is checked at every scheduler round: when ctx expires,
+// dispatch stops, in-flight steps drain, every device allocation is
+// freed (the device stays pristine), and the error wraps ctx.Err().
+func RunPipelined(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	e, err := newExecutor(g, plan, in, opt)
 	if err != nil {
 		return nil, err
@@ -45,7 +50,12 @@ func RunPipelined(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Re
 		return nil, err
 	}
 	r := newPipeRunner(e, deps, opt)
-	if err := r.run(); err != nil {
+	if err := r.run(ctx); err != nil {
+		if ctx.Err() != nil {
+			// The caller abandoned the run: release whatever the drained
+			// steps left allocated so the device is reusable immediately.
+			e.releaseAll()
+		}
 		return e.capture(), err
 	}
 	// Deterministic accounting replay: every charge, trace event, and
@@ -54,6 +64,13 @@ func RunPipelined(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Re
 		e.account(si, step)
 	}
 	return e.finish()
+}
+
+// RunPipelinedNoCtx is RunPipelined without cancellation.
+//
+// Deprecated: use RunPipelined with a context.
+func RunPipelinedNoCtx(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	return RunPipelined(context.Background(), g, plan, in, opt)
 }
 
 // stepDone is a completion notice from an engine goroutine.
@@ -200,7 +217,7 @@ func (r *pipeRunner) start() {
 // pool, and executes frees and syncs inline (they are cheap bookkeeping).
 // The first step error cancels all further dispatch; in-flight steps
 // drain before run returns it.
-func (r *pipeRunner) run() error {
+func (r *pipeRunner) run(ctx context.Context) error {
 	n := len(r.plan.Steps)
 	if n == 0 {
 		return nil
@@ -255,6 +272,12 @@ func (r *pipeRunner) run() error {
 	}
 
 	for completed < n && firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			// Stop dispatching; the deferred close/wait drains in-flight
+			// steps before the caller releases their allocations.
+			firstErr = fmt.Errorf("exec: cancelled with %d/%d steps completed: %w", completed, n, err)
+			break
+		}
 		// Dispatch everything ready. Inline steps complete immediately
 		// and may extend the queue mid-walk, hence the index loop.
 		for qi := 0; qi < len(queue) && firstErr == nil; qi++ {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -72,10 +73,10 @@ func TestPipelinedMatchesRunMaterialized(t *testing.T) {
 				opt.Obs = obs.New()
 			}
 			if !pipeline {
-				return Run(g, plan, in, opt)
+				return Run(context.Background(), g, plan, in, opt)
 			}
 			opt.PipelineWorkers = c.workers
-			return RunPipelined(g, plan, in, opt)
+			return RunPipelined(context.Background(), g, plan, in, opt)
 		})
 	}
 
@@ -89,9 +90,9 @@ func TestPipelinedMatchesRunMaterialized(t *testing.T) {
 	comparePipelined(t, "overlap-prefetch", func(pipeline bool) (*Report, error) {
 		opt := Options{Mode: Materialized, Device: gpu.New(async), Overlap: true}
 		if !pipeline {
-			return Run(g, pre, in, opt)
+			return Run(context.Background(), g, pre, in, opt)
 		}
-		return RunPipelined(g, pre, in, opt)
+		return RunPipelined(context.Background(), g, pre, in, opt)
 	})
 }
 
@@ -169,9 +170,9 @@ func TestPipelinedStatIdenticalPaperWorkloads(t *testing.T) {
 				comparePipelined(t, name, func(pipeline bool) (*Report, error) {
 					opt := Options{Mode: Accounting, Device: gpu.New(spec), Overlap: overlap}
 					if !pipeline {
-						return Run(g, plan, nil, opt)
+						return Run(context.Background(), g, plan, nil, opt)
 					}
-					return RunPipelined(g, plan, nil, opt)
+					return RunPipelined(context.Background(), g, plan, nil, opt)
 				})
 			})
 		}
@@ -200,7 +201,7 @@ func TestPipelinedFaultFailsCleanly(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			dev := gpu.New(spec)
 			dev.SetInjector(gpu.NewInjector(7).FailAt(c.kind, c.call, gpu.Persistent))
-			rep, err := RunPipelined(g, plan, in, Options{
+			rep, err := RunPipelined(context.Background(), g, plan, in, Options{
 				Mode: Materialized, Device: dev, PipelineWorkers: 4})
 			if err == nil {
 				t.Fatal("injected fault did not surface")
@@ -218,7 +219,7 @@ func TestPipelinedFaultFailsCleanly(t *testing.T) {
 	// Randomized fault rates: whatever interleaving the scheduler takes,
 	// the run either succeeds with the exact sequential report or fails
 	// with an injected fault — it never hangs or corrupts state.
-	want, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
+	want, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestPipelinedFaultFailsCleanly(t *testing.T) {
 		dev.SetInjector(gpu.NewInjector(seed).
 			SetRate(gpu.FaultH2D, 0.02, gpu.Persistent).
 			SetRate(gpu.FaultLaunch, 0.02, gpu.Persistent))
-		rep, err := RunPipelined(g, plan, in, Options{
+		rep, err := RunPipelined(context.Background(), g, plan, in, Options{
 			Mode: Materialized, Device: dev, PipelineWorkers: 4})
 		if err != nil {
 			var fe *gpu.FaultError
@@ -289,7 +290,7 @@ func TestPipelinedWallTraceAndLanes(t *testing.T) {
 
 	wall := &gpu.Trace{}
 	o := obs.New()
-	if _, err := RunPipelined(g, plan, in, Options{
+	if _, err := RunPipelined(context.Background(), g, plan, in, Options{
 		Mode: Materialized, Device: gpu.New(spec),
 		PipelineWorkers: 2, WallTrace: wall, Obs: o,
 	}); err != nil {

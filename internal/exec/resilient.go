@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -238,7 +239,12 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 //
 // With no faults the result is bit- and stat-identical to Run. The
 // returned Report always carries a non-nil Recovery section.
-func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
+//
+// Cancellation is checked between steps and before each ladder rung:
+// when ctx expires, the attempt releases every device allocation (the
+// device stays pristine), no further rung — including the CPU fallback —
+// runs, and the error wraps ctx.Err().
+func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
 	dev := opt.Device
 	if dev == nil {
 		return nil, fmt.Errorf("exec: no device")
@@ -256,7 +262,7 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 	}
 
 	rec := &Recovery{}
-	rep, err := runAttempt(g, plan, in, opt, rec)
+	rep, err := runAttempt(ctx, g, plan, in, opt, rec)
 	if err == nil {
 		rep.Recovery = rec
 		return rep, nil
@@ -267,7 +273,7 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 	// graph is re-split from a clone so buffer IDs (and therefore the
 	// caller's Inputs/Outputs keys) are preserved.
 	for _, frac := range budgets {
-		if !gpu.IsOOM(err) {
+		if !errors.Is(err, ErrOOM) || ctx.Err() != nil {
 			break
 		}
 		target := int64(float64(opt.Capacity) * frac)
@@ -290,7 +296,7 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 		rec.Replans++
 		rec.ReplanBudgets = append(rec.ReplanBudgets, target)
 		dev.Recover() // drop the failed attempt's allocations, keep clock/stats
-		rep, err = runAttempt(g2, plan2, in, opt, rec)
+		rep, err = runAttempt(ctx, g2, plan2, in, opt, rec)
 		if err == nil {
 			rep.Recovery = rec
 			return rep, nil
@@ -298,8 +304,9 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 	}
 
 	// Final rung: pure-CPU reference execution. Only meaningful when data
-	// is materialized; accounting mode has nothing to compute.
-	if !opt.DisableCPUFallback && opt.Mode == Materialized {
+	// is materialized; accounting mode has nothing to compute. A cancelled
+	// caller gets the cancellation error, not a CPU-computed result.
+	if !opt.DisableCPUFallback && opt.Mode == Materialized && ctx.Err() == nil {
 		rec.logf("degradation ladder exhausted (%v): falling back to CPU reference", err)
 		opt.Obs.M().Counter("exec.cpu_fallback").Inc()
 		opt.Obs.T().MarkSim(obs.RecoveryTrack, "cpu_fallback", "recovery", dev.Clock(), nil)
@@ -320,6 +327,13 @@ func RunResilient(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOpti
 		rep.Recovery = rec
 	}
 	return rep, err
+}
+
+// RunResilientNoCtx is RunResilient without cancellation.
+//
+// Deprecated: use RunResilient with a context.
+func RunResilientNoCtx(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
+	return RunResilient(context.Background(), g, plan, in, opt)
 }
 
 // replan re-derives a feasible plan for a fresh clone of the graph under
@@ -347,7 +361,7 @@ func replan(g *graph.Graph, budget int64) (*graph.Graph, *sched.Plan, error) {
 // runAttempt drives one plan to completion with step-level retry and
 // checkpoint restart. It returns the partial report alongside any error
 // it cannot absorb (persistent OOM for the ladder, plan bugs).
-func runAttempt(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions, rec *Recovery) (*Report, error) {
+func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions, rec *Recovery) (*Report, error) {
 	e, err := newExecutor(g, plan, in, opt.Options)
 	if err != nil {
 		return nil, err
@@ -356,6 +370,9 @@ func runAttempt(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOption
 	replays := 0
 	si := 0
 	for si < len(plan.Steps) {
+		if ctx.Err() != nil {
+			return e.cancelled(ctx, si)
+		}
 		step := plan.Steps[si]
 		err := e.stepWithRetry(si, step, opt, rec)
 		if err == nil {
@@ -366,7 +383,7 @@ func runAttempt(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOption
 			continue
 		}
 		switch {
-		case gpu.IsOOM(err):
+		case errors.Is(err, ErrOOM):
 			// Persistent allocation failure: the ladder replans.
 			return e.capture(), err
 		case gpu.IsDeviceLost(err) || isPersistentFault(err):
@@ -468,5 +485,5 @@ func (e *executor) restoreWithRetry(cp *checkpoint, opt ResilientOptions, rec *R
 // OOM (those go to the degradation ladder instead).
 func isPersistentFault(err error) bool {
 	var fe *gpu.FaultError
-	return errors.As(err, &fe) && fe.Class == gpu.Persistent && !gpu.IsOOM(err)
+	return errors.As(err, &fe) && fe.Class == gpu.Persistent && !errors.Is(err, ErrOOM)
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -56,11 +57,11 @@ func cnnGraph(t *testing.T, h, w int) (*graph.Graph, Inputs) {
 // stat-identical to plain Run.
 func assertIdentical(t *testing.T, spec gpu.Spec, g *graph.Graph, plan *sched.Plan, in Inputs, capacity int64) {
 	t.Helper()
-	plain, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
+	plain, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
 	if err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
-	res, err := RunResilient(g, plan, in, ResilientOptions{
+	res, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
 		Capacity: capacity,
 	})
@@ -108,7 +109,7 @@ func TestResilientTransientRetry(t *testing.T) {
 	capacity := spec.PlannerCapacity()
 	plan := compileFor(t, g, capacity)
 
-	clean, err := Run(g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
+	clean, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestResilientTransientRetry(t *testing.T) {
 		FailAt(gpu.FaultH2D, 1, gpu.Transient).
 		FailAt(gpu.FaultD2H, 0, gpu.Transient).
 		FailAt(gpu.FaultLaunch, 2, gpu.Transient))
-	rep, err := RunResilient(g, plan, in, ResilientOptions{
+	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: dev},
 		Capacity: capacity,
 	})
@@ -161,7 +162,7 @@ func TestResilientDeviceLossReplay(t *testing.T) {
 	probeDev := gpu.New(spec)
 	probe := gpu.NewInjector(1)
 	probeDev.SetInjector(probe)
-	clean, err := RunResilient(g, plan, in, ResilientOptions{
+	clean, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options: Options{Mode: Materialized, Device: probeDev}, Capacity: capacity})
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +174,7 @@ func TestResilientDeviceLossReplay(t *testing.T) {
 	dev := gpu.New(spec)
 	dev.SetInjector(gpu.NewInjector(1).
 		FailAt(gpu.FaultDeviceLost, probe.Ops()/2, gpu.Persistent))
-	rep, err := RunResilient(g, plan, in, ResilientOptions{
+	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: dev},
 		Capacity: capacity,
 	})
@@ -213,7 +214,7 @@ func TestResilientOOMDegradationLadder(t *testing.T) {
 
 	gOver := g.Clone()
 	planOver := compileFor(t, gOver, capacity*3)
-	rep, err := RunResilient(gOver, planOver, in, ResilientOptions{
+	rep, err := RunResilient(context.Background(), gOver, planOver, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
 		Capacity: capacity,
 	})
@@ -250,7 +251,7 @@ func TestResilientCPUFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunResilient(g, plan, in, ResilientOptions{
+	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
 		Capacity: 600,
 	})
@@ -267,7 +268,7 @@ func TestResilientCPUFallback(t *testing.T) {
 		}
 	}
 	// With fallback disabled the OOM surfaces, with a partial report.
-	rep2, err := RunResilient(g, plan, in, ResilientOptions{
+	rep2, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
 		Options:            Options{Mode: Materialized, Device: gpu.New(spec)},
 		Capacity:           600,
 		DisableCPUFallback: true,
@@ -300,7 +301,7 @@ func TestResilientChaos(t *testing.T) {
 	probeDev := gpu.New(spec)
 	probe := gpu.NewInjector(1)
 	probeDev.SetInjector(probe)
-	if _, err := RunResilient(gRun, plan, in, ResilientOptions{
+	if _, err := RunResilient(context.Background(), gRun, plan, in, ResilientOptions{
 		Options: Options{Mode: Materialized, Device: probeDev}, Capacity: capacity}); err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestResilientChaos(t *testing.T) {
 		FailAt(gpu.FaultMalloc, nMalloc-1, gpu.Persistent)
 	dev.SetInjector(inj)
 
-	rep, err := RunResilient(gRun, plan, in, ResilientOptions{
+	rep, err := RunResilient(context.Background(), gRun, plan, in, ResilientOptions{
 		Options:  Options{Mode: Materialized, Device: dev},
 		Capacity: capacity,
 	})
@@ -366,12 +367,12 @@ func TestRunRejectsDirtyDevice(t *testing.T) {
 	if _, err := dev.Malloc(400); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev})
+	_, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev})
 	if err == nil || !strings.Contains(err.Error(), "not pristine") {
 		t.Fatalf("dirty device must be rejected, got %v", err)
 	}
 	dev.Recover()
-	if _, err := Run(g, plan, in, Options{Mode: Materialized, Device: dev}); err != nil {
+	if _, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: dev}); err != nil {
 		t.Fatalf("recovered device must run: %v", err)
 	}
 }

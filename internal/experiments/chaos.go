@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -100,7 +101,7 @@ func chaosRun(dim int, spec gpu.Spec, inj *gpu.Injector) (*exec.Report, error) {
 	}
 	dev := gpu.New(spec)
 	dev.SetInjector(inj)
-	return exec.RunResilient(g, plan, nil, exec.ResilientOptions{
+	return exec.RunResilient(context.Background(), g, plan, nil, exec.ResilientOptions{
 		Options:  exec.Options{Mode: exec.Accounting, Device: dev},
 		Capacity: capacity,
 	})

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -46,7 +47,7 @@ func compileAndSimulate(g *graph.Graph, spec gpu.Spec) (*sched.Plan, *exec.Repor
 		return nil, nil, err
 	}
 	dev := gpu.New(spec)
-	rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
+	rep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -63,7 +64,7 @@ func simulateBaseline(g *graph.Graph, spec gpu.Spec) (*sched.Plan, gpu.Stats, bo
 		return nil, gpu.Stats{}, false, nil // infeasible: N/A
 	}
 	dev := gpu.New(spec)
-	rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
+	rep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
 	if err != nil {
 		return nil, gpu.Stats{}, false, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/exec"
 	"repro/internal/gpu"
 	"repro/internal/graph"
@@ -41,7 +42,7 @@ func Fig2(imageDim int, kernelSizes []int, spec gpu.Spec) ([]Fig2Row, error) {
 			return nil, err
 		}
 		dev := gpu.New(spec)
-		rep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
+		rep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: dev})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/exec"
 	"repro/internal/gpu"
 	"repro/internal/sched"
@@ -44,7 +45,7 @@ func Overlap(dims []int, spec gpu.Spec) ([]OverlapRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		syncRep, err := exec.Run(g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
+		syncRep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{Mode: exec.Accounting, Device: gpu.New(spec)})
 		if err != nil {
 			return nil, err
 		}
@@ -54,7 +55,7 @@ func Overlap(dims []int, spec gpu.Spec) ([]OverlapRow, error) {
 		// because raising the residency high-watermark also raises
 		// fragmentation pressure in the first-fit allocator.
 		prefetched := sched.PrefetchH2D(plan, capacity*9/10)
-		asyncRep, err := exec.Run(g, prefetched, nil, exec.Options{
+		asyncRep, err := exec.Run(context.Background(), g, prefetched, nil, exec.Options{
 			Mode: exec.Accounting, Device: gpu.New(spec), Overlap: true})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -147,7 +148,7 @@ func Pipeline(workers, reps int) ([]PipelineRow, error) {
 		wall := &gpu.Trace{}
 		for r := 0; r < reps; r++ {
 			t0 := time.Now()
-			rep, err := exec.Run(g, plan, in, exec.Options{
+			rep, err := exec.Run(context.Background(), g, plan, in, exec.Options{
 				Mode: exec.Materialized, Device: gpu.New(spec)})
 			if err != nil {
 				return nil, fmt.Errorf("%s %s sequential: %w", wl.template, wl.input, err)
@@ -159,7 +160,7 @@ func Pipeline(workers, reps int) ([]PipelineRow, error) {
 
 			tr := &gpu.Trace{}
 			t0 = time.Now()
-			rep, err = exec.RunPipelined(g, plan, in, exec.Options{
+			rep, err = exec.RunPipelined(context.Background(), g, plan, in, exec.Options{
 				Mode: exec.Materialized, Device: gpu.New(spec),
 				PipelineWorkers: workers, WallTrace: tr})
 			if err != nil {
@@ -182,12 +183,12 @@ func Pipeline(workers, reps int) ([]PipelineRow, error) {
 		model := gpu.TeslaC1060()
 		model.MemoryBytes = wl.memBytes
 		model.Headroom = spec.Headroom
-		syncRep, err := exec.Run(g, plan, nil, exec.Options{
+		syncRep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{
 			Mode: exec.Accounting, Device: gpu.New(model)})
 		if err != nil {
 			return nil, fmt.Errorf("%s %s modeled sync: %w", wl.template, wl.input, err)
 		}
-		overlapRep, err := exec.Run(g, plan, nil, exec.Options{
+		overlapRep, err := exec.Run(context.Background(), g, plan, nil, exec.Options{
 			Mode: exec.Accounting, Device: gpu.New(model), Overlap: true})
 		if err != nil {
 			return nil, fmt.Errorf("%s %s modeled overlap: %w", wl.template, wl.input, err)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // FaultKind identifies the device operation a fault strikes.
@@ -129,7 +130,13 @@ type scriptKey struct {
 // decisions derive from the seed and the call sequence, so a given
 // (seed, plan) pair always produces the same fault history. A nil
 // *Injector injects nothing and costs one nil check per operation.
+//
+// The injector is internally locked, so one injector may be shared by
+// several devices (a core.Service configured WithFaults serving
+// concurrent executions); the fault history then depends on the
+// cross-device interleaving, but each individual decision stays valid.
 type Injector struct {
+	mu     sync.Mutex
 	rng    *rand.Rand
 	rates  map[FaultKind]faultRate
 	script map[scriptKey]FaultClass
@@ -152,6 +159,8 @@ func NewInjector(seed int64) *Injector {
 // probability p and the given class. For FaultDeviceLost the probability
 // applies to every fallible operation. Returns the injector for chaining.
 func (in *Injector) SetRate(kind FaultKind, p float64, class FaultClass) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.rates[kind] = faultRate{p: p, class: class}
 	return in
 }
@@ -161,6 +170,8 @@ func (in *Injector) SetRate(kind FaultKind, p float64, class FaultClass) *Inject
 // For FaultDeviceLost, call indexes the global sequence of fallible
 // device operations of any kind. Returns the injector for chaining.
 func (in *Injector) FailAt(kind FaultKind, call int, class FaultClass) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	in.script[scriptKey{kind, call}] = class
 	return in
 }
@@ -170,6 +181,8 @@ func (in *Injector) Faults() []InjectedFault {
 	if in == nil {
 		return nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return append([]InjectedFault(nil), in.log...)
 }
 
@@ -179,6 +192,8 @@ func (in *Injector) Calls(kind FaultKind) int {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.calls[kind]
 }
 
@@ -187,6 +202,8 @@ func (in *Injector) Ops() int {
 	if in == nil {
 		return 0
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	return in.ops
 }
 
@@ -204,6 +221,8 @@ func (in *Injector) check(kind FaultKind, dev string) *FaultError {
 	if in == nil {
 		return nil
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	op := in.ops
 	in.ops++
 	call := in.calls[kind]

@@ -1,6 +1,7 @@
 package obs_test
 
 import (
+	"context"
 	"bytes"
 	"flag"
 	"os"
@@ -32,7 +33,7 @@ func tinyRun(t *testing.T) (*obs.Observer, *sched.Plan) {
 	}
 	o := obs.New()
 	dev := gpu.New(gpu.TeslaC870())
-	if _, err := exec.Run(g, plan, nil, exec.Options{
+	if _, err := exec.Run(context.Background(), g, plan, nil, exec.Options{
 		Mode: exec.Accounting, Device: dev, Obs: o}); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package recognition
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -73,12 +74,12 @@ func FindEdgesObserved(device gpu.Spec, o *obs.Observer, image *tensor.Tensor,
 	for i, kb := range bufs.Kernels {
 		in[kb.ID] = kernels[i]
 	}
-	eng := core.NewEngine(core.Config{Device: device, Obs: o})
-	compiled, err := eng.Compile(g)
+	svc := core.NewService(core.WithDevice(device), core.WithObserver(o))
+	compiled, _, err := svc.Compile(context.Background(), g)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := compiled.Execute(in)
+	rep, err := svc.Execute(context.Background(), compiled, in)
 	if err != nil {
 		return nil, err
 	}
@@ -122,12 +123,12 @@ func CNNForwardObserved(device gpu.Spec, o *obs.Observer, cfg templates.CNNConfi
 	for i, b := range bufs.Params {
 		in[b.ID] = params[i]
 	}
-	eng := core.NewEngine(core.Config{Device: device, Obs: o})
-	compiled, err := eng.Compile(g)
+	svc := core.NewService(core.WithDevice(device), core.WithObserver(o))
+	compiled, _, err := svc.Compile(context.Background(), g)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := compiled.Execute(in)
+	rep, err := svc.Execute(context.Background(), compiled, in)
 	if err != nil {
 		return nil, err
 	}

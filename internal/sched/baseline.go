@@ -20,8 +20,8 @@ func Baseline(g *graph.Graph, capacity int64) (*Plan, error) {
 	for _, n := range order {
 		if fp := n.Footprint(); fp > capacity {
 			return nil, fmt.Errorf(
-				"sched: baseline infeasible: node %s footprint %d exceeds capacity %d",
-				n, fp, capacity)
+				"%w: baseline: node %s footprint %d exceeds capacity %d",
+				ErrInfeasible, n, fp, capacity)
 		}
 		var used int64
 		for _, b := range n.InputBuffers() {

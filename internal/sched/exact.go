@@ -89,7 +89,7 @@ func (e ExactSearch) Run(g *graph.Graph) (*Plan, int, error) {
 	}
 	rec()
 	if best == nil {
-		return nil, evaluated, fmt.Errorf("sched: no feasible order found (capacity %d)", e.Capacity)
+		return nil, evaluated, fmt.Errorf("%w: no feasible order found (capacity %d)", ErrInfeasible, e.Capacity)
 	}
 	return best, evaluated, nil
 }

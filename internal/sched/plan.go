@@ -9,12 +9,18 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/graph"
 )
+
+// ErrInfeasible marks scheduling failures where no plan fits the memory
+// capacity (an oversized node, or no feasible transfer order). Detect with
+// errors.Is; core wraps it as core.ErrInfeasible.
+var ErrInfeasible = errors.New("sched: infeasible under capacity")
 
 // StepKind enumerates plan step types.
 type StepKind int

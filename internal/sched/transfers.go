@@ -199,8 +199,8 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 			}
 			if victim == nil {
 				return nil, fmt.Errorf(
-					"sched: offload unit %d needs %d floats with %d resident and capacity %d; run the split pass",
-					t, need, used, opt.Capacity)
+					"%w: offload unit %d needs %d floats with %d resident and capacity %d; run the split pass",
+					ErrInfeasible, t, need, used, opt.Capacity)
 			}
 			evict(victim, t)
 		}

@@ -1,0 +1,23 @@
+package serve
+
+import "errors"
+
+// Sentinel errors of the serving layer. Submit and Job.Wait wrap these
+// with situation detail; detect them with errors.Is. Infeasibility is not
+// redeclared here — a template no device can host surfaces the compiler's
+// own core.ErrInfeasible through Submit.
+var (
+	// ErrQueueFull is returned by Submit when every feasible device's
+	// bounded queue is at capacity — the backpressure signal a closed-loop
+	// client should respond to by slowing down.
+	ErrQueueFull = errors.New("serve: request queue full")
+
+	// ErrDeadlineExceeded marks a job that expired in the queue: its
+	// deadline passed before a device stream picked it up. The plan was
+	// admitted but never executed.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before execution")
+
+	// ErrClosed is returned by Submit after Close: the pool no longer
+	// accepts work (already-queued jobs still drain).
+	ErrClosed = errors.New("serve: pool closed")
+)

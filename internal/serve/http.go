@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/templates"
+	"repro/internal/workload"
+)
+
+// JobRequest is the POST /v1/jobs body: a named template family plus its
+// dimensions, instantiated server-side (graphs don't travel over the
+// wire). Mode "accounting" (the default) replays the plan without data;
+// "materialized" builds seeded inputs and executes for real.
+type JobRequest struct {
+	// Template is "edge", "cnn-small", or "cnn-large".
+	Template string `json:"template"`
+	H        int    `json:"h"`
+	W        int    `json:"w"`
+	// Kernel and Orientations shape the edge template (defaults 5 and 4).
+	Kernel       int    `json:"kernel,omitempty"`
+	Orientations int    `json:"orientations,omitempty"`
+	Mode         string `json:"mode,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	// DeadlineMS bounds queue wait (0 = pool default, <0 = none).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Wait makes the POST synchronous: the response carries the finished
+	// job instead of 202 + poll URL.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// JobResponse is the job representation both POST and GET return.
+type JobResponse struct {
+	Status
+	// Report summarizes the execution once the job is done.
+	Report *ReportJSON `json:"report,omitempty"`
+}
+
+// ReportJSON is the wire form of an execution report.
+type ReportJSON struct {
+	KernelLaunches    int     `json:"kernel_launches"`
+	H2DCalls          int     `json:"h2d_calls"`
+	D2HCalls          int     `json:"d2h_calls"`
+	TotalFloats       int64   `json:"total_floats"`
+	SimSeconds        float64 `json:"sim_seconds"`
+	PeakResidentBytes int64   `json:"peak_resident_bytes"`
+	Thrashing         bool    `json:"thrashing,omitempty"`
+}
+
+func reportJSON(rep *exec.Report) *ReportJSON {
+	if rep == nil {
+		return nil
+	}
+	return &ReportJSON{
+		KernelLaunches:    rep.Stats.KernelLaunches,
+		H2DCalls:          rep.Stats.H2DCalls,
+		D2HCalls:          rep.Stats.D2HCalls,
+		TotalFloats:       rep.Stats.TotalFloats(),
+		SimSeconds:        rep.Stats.TotalTime(),
+		PeakResidentBytes: rep.PeakResidentBytes,
+		Thrashing:         rep.Thrashing,
+	}
+}
+
+// buildRequest instantiates the named template into a pool Request.
+func buildRequest(jr JobRequest) (Request, error) {
+	if jr.H <= 0 || jr.W <= 0 {
+		return Request{}, fmt.Errorf("h and w must be positive, got %dx%d", jr.H, jr.W)
+	}
+	materialized := false
+	switch jr.Mode {
+	case "", "accounting":
+	case "materialized":
+		materialized = true
+	default:
+		return Request{}, fmt.Errorf("mode %q not in {accounting, materialized}", jr.Mode)
+	}
+
+	var (
+		g   *graph.Graph
+		in  exec.Inputs
+		err error
+	)
+	switch jr.Template {
+	case "edge":
+		kernel, orient := jr.Kernel, jr.Orientations
+		if kernel == 0 {
+			kernel = 5
+		}
+		if orient == 0 {
+			orient = 4
+		}
+		var bufs *templates.EdgeBuffers
+		g, bufs, err = templates.EdgeDetect(templates.EdgeConfig{
+			ImageH: jr.H, ImageW: jr.W, KernelSize: kernel, Orientations: orient})
+		if err == nil && materialized {
+			in = workload.EdgeInputs(bufs, jr.Seed)
+		}
+	case "cnn-small", "cnn-large":
+		cfg := templates.SmallCNN(jr.H, jr.W)
+		if jr.Template == "cnn-large" {
+			cfg = templates.LargeCNN(jr.H, jr.W)
+		}
+		var bufs *templates.CNNBuffers
+		g, bufs, err = templates.CNN(cfg)
+		if err == nil && materialized {
+			in = workload.CNNInputs(bufs, jr.Seed)
+		}
+	default:
+		return Request{}, fmt.Errorf("template %q not in {edge, cnn-small, cnn-large}", jr.Template)
+	}
+	if err != nil {
+		return Request{}, err
+	}
+	return Request{
+		Graph:    g,
+		Inputs:   in,
+		Deadline: time.Duration(jr.DeadlineMS) * time.Millisecond,
+	}, nil
+}
+
+// NewHandler exposes the pool over HTTP JSON:
+//
+//	POST /v1/jobs        submit (Wait=true blocks for the report)
+//	GET  /v1/jobs/{id}   poll one job
+//	GET  /v1/stats       pool snapshot
+//	GET  /healthz        liveness
+//	GET  /metrics        registry text (?format=json for a snapshot)
+//
+// Submit errors map to status codes: full queue 429, infeasible template
+// 422, bad request 400, closed pool 503; a job that expired in the queue
+// reads back (or returns on Wait) as 504.
+func NewHandler(p *Pool) http.Handler {
+	mux := http.NewServeMux()
+
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	writeErr := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	jobResponse := func(j *Job) JobResponse {
+		return JobResponse{Status: j.Status(), Report: reportJSON(j.Report())}
+	}
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var jr JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+			return
+		}
+		req, err := buildRequest(jr)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		j, err := p.Submit(r.Context(), req)
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrQueueFull):
+			writeErr(w, http.StatusTooManyRequests, err)
+			return
+		case errors.Is(err, core.ErrInfeasible):
+			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		case errors.Is(err, ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if !jr.Wait {
+			writeJSON(w, http.StatusAccepted, jobResponse(j))
+			return
+		}
+		if _, err := j.Wait(r.Context()); err != nil && errors.Is(err, r.Context().Err()) {
+			writeErr(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		code := http.StatusOK
+		if err := j.Err(); err != nil {
+			code = http.StatusInternalServerError
+			if errors.Is(err, ErrDeadlineExceeded) {
+				code = http.StatusGatewayTimeout
+			}
+		}
+		writeJSON(w, code, jobResponse(j))
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j := p.Job(r.PathValue("id"))
+		if j == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, jobResponse(j))
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, p.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ok",
+			"devices": len(p.devices),
+			"closed":  p.closed.Load(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg := p.Observer().M()
+		if reg == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("pool has no observer"))
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+
+	return mux
+}

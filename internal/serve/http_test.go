@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+func postJob(t *testing.T, srv *httptest.Server, body string) (*http.Response, JobResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp, jr
+}
+
+// A synchronous materialized submit must come back 200 with a finished
+// job and a populated report.
+func TestHTTPSubmitWaitReturnsReport(t *testing.T) {
+	p := NewPool(WithDevices(gpu.TeslaC870()), WithObserver(obs.New()))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	resp, jr := postJob(t, srv,
+		`{"template":"edge","h":64,"w":48,"mode":"materialized","seed":7,"wait":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %+v", resp.StatusCode, jr)
+	}
+	if jr.State != StateDone || jr.Report == nil {
+		t.Fatalf("job = %+v", jr)
+	}
+	if jr.Report.KernelLaunches == 0 || jr.Report.TotalFloats == 0 {
+		t.Fatalf("report looks empty: %+v", jr.Report)
+	}
+}
+
+// An async submit is 202; polling the job URL must converge to done.
+func TestHTTPAsyncSubmitAndPoll(t *testing.T) {
+	p := NewPool(WithDevices(gpu.TeslaC870()))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	resp, jr := postJob(t, srv, `{"template":"cnn-small","h":64,"w":48}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if jr.ID == "" {
+		t.Fatalf("no job id in %+v", jr)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(srv.URL + "/v1/jobs/" + jr.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobResponse
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if got.State == StateDone {
+			if got.Report == nil || got.Report.SimSeconds <= 0 {
+				t.Fatalf("done job has no report: %+v", got)
+			}
+			break
+		}
+		if got.State == StateFailed {
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Submit errors map onto HTTP status codes.
+func TestHTTPErrorMapping(t *testing.T) {
+	gate := make(chan struct{})
+	p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1), WithQueueDepth(1), withGate(gate))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	if resp, _ := postJob(t, srv, `{"template":"warp","h":8,"w":8}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown template: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, srv, `{"template":"edge","h":-1,"w":8}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad dims: status %d, want 400", resp.StatusCode)
+	}
+	r, err := http.Get(srv.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d, want 404", r.StatusCode)
+	}
+
+	// Freeze the single worker, fill the depth-1 queue, then overflow it.
+	if resp, _ := postJob(t, srv, `{"template":"edge","h":40,"w":32}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first job: status %d", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, srv, `{"template":"edge","h":64,"w":48}`); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, want 429", resp.StatusCode)
+	}
+	close(gate)
+}
+
+// An infeasible template is 422 with the sentinel's message.
+func TestHTTPInfeasibleIs422(t *testing.T) {
+	p := NewPool(WithDevices(gpu.Custom("tiny", 4096)),
+		WithServiceOptions(core.WithCapacity(3)))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+	resp, _ := postJob(t, srv, `{"template":"edge","h":40,"w":32}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+}
+
+// The operational endpoints respond and parse.
+func TestHTTPHealthStatsMetrics(t *testing.T) {
+	o := obs.New()
+	p := NewPool(WithDevices(gpu.TeslaC870(), gpu.GeForce8800GTX()), WithObserver(o))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	if _, jr := postJob(t, srv, `{"template":"edge","h":40,"w":32,"wait":true}`); jr.State != StateDone {
+		t.Fatalf("warmup job: %+v", jr)
+	}
+
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if health["status"] != "ok" || health["devices"].(float64) != 2 {
+		t.Fatalf("healthz = %v", health)
+	}
+
+	r, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(st.Devices) != 2 || st.ModeledMakespanSec <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	r, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text bytes.Buffer
+	if _, err := text.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if !strings.Contains(text.String(), "serve.submitted") {
+		t.Fatalf("metrics text missing serve counters:\n%s", text.String())
+	}
+
+	r, err = http.Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if snap.Counters["serve.submitted"] < 1 {
+		t.Fatalf("metrics json = %+v", snap.Counters)
+	}
+}

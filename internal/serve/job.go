@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+const (
+	StateQueued  State = "queued"  // admitted, waiting for a device stream
+	StateRunning State = "running" // a device stream is executing its batch
+	StateDone    State = "done"    // finished; report available
+	StateFailed  State = "failed"  // rejected at dequeue or failed executing
+)
+
+// Job is one admitted request. The pool returns it from Submit
+// immediately; Wait blocks until a device stream finishes (or fails) it,
+// and Status snapshots it without blocking — the HTTP layer's poll path.
+type Job struct {
+	// ID is the pool-unique identifier ("job-17").
+	ID string
+	// Fingerprint is the canonical hash of the submitted graph — the
+	// coalescing key.
+	Fingerprint string
+
+	inputs   exec.Inputs
+	deadline time.Time // zero = none
+
+	done chan struct{}
+
+	mu        sync.Mutex
+	state     State
+	rep       *exec.Report
+	err       error
+	device    string
+	batchSize int
+	cacheHit  bool
+	coalesced bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// Wait blocks until the job finishes and returns its report, the job's
+// own failure, or ctx's error if the caller gives up first (the job keeps
+// running; poll Status or Wait again).
+func (j *Job) Wait(ctx context.Context) (*exec.Report, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-j.done:
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rep, j.err
+}
+
+// Report returns the finished job's report (nil until StateDone).
+func (j *Job) Report() *exec.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rep
+}
+
+// Err returns the failure of a StateFailed job (nil otherwise or while
+// still in flight).
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Status is a point-in-time snapshot of a job, shaped for JSON.
+type Status struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	State       State  `json:"state"`
+	Error       string `json:"error,omitempty"`
+
+	// Device is the pool device the job was admitted to.
+	Device string `json:"device"`
+	// BatchSize is how many coalesced jobs shared the batch (1 = alone);
+	// set when the batch starts.
+	BatchSize int `json:"batch_size,omitempty"`
+	// CacheHit reports whether admission reused a cached compiled plan.
+	CacheHit bool `json:"cache_hit"`
+	// Coalesced reports whether the job joined an already-queued batch
+	// for the same fingerprint (no compile or admission of its own).
+	Coalesced bool `json:"coalesced"`
+
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ExecMS      float64 `json:"exec_ms,omitempty"`
+	// ModeledSeconds is the simulated device time of the execution —
+	// machine-independent, unlike the wall-clock fields.
+	ModeledSeconds float64 `json:"modeled_seconds,omitempty"`
+}
+
+// Status snapshots the job without blocking.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		State:       j.state,
+		Device:      j.device,
+		BatchSize:   j.batchSize,
+		CacheHit:    j.cacheHit,
+		Coalesced:   j.coalesced,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	switch j.state {
+	case StateQueued:
+		s.QueueWaitMS = time.Since(j.submitted).Seconds() * 1e3
+	case StateRunning:
+		s.QueueWaitMS = j.started.Sub(j.submitted).Seconds() * 1e3
+	case StateDone, StateFailed:
+		if !j.started.IsZero() {
+			s.QueueWaitMS = j.started.Sub(j.submitted).Seconds() * 1e3
+			s.ExecMS = j.finished.Sub(j.started).Seconds() * 1e3
+		} else {
+			// Expired in the queue: never started.
+			s.QueueWaitMS = j.finished.Sub(j.submitted).Seconds() * 1e3
+		}
+	}
+	if j.rep != nil {
+		s.ModeledSeconds = j.rep.Stats.TotalTime()
+	}
+	return s
+}
+
+// start transitions the job to running as its batch is picked up.
+func (j *Job) start(batchSize int, now time.Time) {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.batchSize = batchSize
+	j.started = now
+	j.mu.Unlock()
+}
+
+// finish completes the job (err == nil) or fails it and wakes waiters.
+func (j *Job) finish(rep *exec.Report, err error) {
+	j.mu.Lock()
+	j.rep = rep
+	j.err = err
+	if err != nil {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+}

@@ -1,0 +1,500 @@
+// Package serve is the concurrent serving layer over the compiler and
+// executor: a pool of simulated devices with mixed memory capacities,
+// bounded per-device queues with footprint-aware admission control, and
+// fingerprint-keyed request coalescing.
+//
+// Admission is grounded in the compiled artifact: Submit compiles the
+// template for a candidate device (through the per-device core.Service,
+// so identical templates share one compile via the single-flight plan
+// cache) and admits the job only where the plan's peak residency fits the
+// device. A full queue is backpressure (ErrQueueFull); a template no
+// device can host surfaces core.ErrInfeasible. Identical-fingerprint
+// requests waiting on the same device coalesce into one batch that is
+// compiled and memory-reserved once.
+//
+// Execution is per-device worker streams: each stream pops a batch,
+// reserves the plan's footprint against the device's physical memory
+// (blocking while concurrent streams hold too much), lazily expires jobs
+// whose deadline passed in the queue, and runs the rest through
+// core.Service. Accounting-mode batches execute once and share the
+// report; materialized batches run each job's inputs.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Request is one unit of serving work: a template graph plus optional
+// materialized inputs (nil Inputs = accounting mode, the plan is replayed
+// without data) and an optional per-job deadline overriding the pool
+// default. The graph is compiled on a clone and never mutated.
+type Request struct {
+	Graph  *graph.Graph
+	Inputs exec.Inputs
+	// Deadline bounds queue wait: a job not started this long after
+	// submission fails with ErrDeadlineExceeded. Zero uses the pool
+	// default; negative means no deadline.
+	Deadline time.Duration
+}
+
+// batch is the queue unit: one compiled plan plus every coalesced job
+// sharing it. Memory is reserved once per batch, not per job.
+type batch struct {
+	fp         string
+	compiled   *core.Compiled
+	footprint  int64 // bytes, Plan.PeakFloats*4
+	accounting bool
+
+	// jobs and started are guarded by the pool mutex: Submit appends
+	// only while !started; a worker sets started before snapshotting.
+	jobs    []*Job
+	started bool
+}
+
+// device is one pool member: its spec, its core.Service (own plan cache,
+// shared observer), its bounded queue, and its memory-reservation state.
+type device struct {
+	spec gpu.Spec
+	svc  *core.Service
+
+	queue       chan *batch
+	queuedBytes atomic.Int64 // enqueued-not-started footprint (load signal)
+
+	mu        sync.Mutex // guards committed, counters, streamClock
+	cond      *sync.Cond // committed changed
+	committed int64      // bytes reserved by running batches
+	completed int64
+	failed    int64
+	// streamClock is the modeled simulated-time clock per worker stream:
+	// each execution advances its stream by the report's simulated time.
+	// The max across all pool streams is the modeled makespan.
+	streamClock []float64
+}
+
+func (d *device) load() int64 {
+	d.mu.Lock()
+	committed := d.committed
+	d.mu.Unlock()
+	return committed + d.queuedBytes.Load()
+}
+
+// poolConfig collects the PoolOption knobs.
+type poolConfig struct {
+	devices     []gpu.Spec
+	queueDepth  int
+	streams     int
+	maxBatch    int
+	deadline    time.Duration
+	obs         *obs.Observer
+	serviceOpts []core.Option
+	// gate, when non-nil, is received from by every worker stream before
+	// it dequeues — a test hook that freezes dequeue so tests can fill
+	// queues and coalesce deterministically. Close the channel to open.
+	gate chan struct{}
+}
+
+// PoolOption configures NewPool.
+type PoolOption func(*poolConfig)
+
+// WithDevices sets the pool's device fleet (default: one Tesla C870).
+func WithDevices(specs ...gpu.Spec) PoolOption {
+	return func(c *poolConfig) { c.devices = specs }
+}
+
+// WithQueueDepth bounds each device's queue to n batches (default 64).
+func WithQueueDepth(n int) PoolOption {
+	return func(c *poolConfig) { c.queueDepth = n }
+}
+
+// WithStreams runs n concurrent executor streams per device (default 2) —
+// concurrent batches on one device share its physical memory through the
+// footprint reservation.
+func WithStreams(n int) PoolOption {
+	return func(c *poolConfig) { c.streams = n }
+}
+
+// WithMaxBatch bounds fingerprint coalescing to n jobs per batch
+// (default 8).
+func WithMaxBatch(n int) PoolOption {
+	return func(c *poolConfig) { c.maxBatch = n }
+}
+
+// WithDefaultDeadline sets the queue-wait deadline applied to requests
+// that don't carry their own (default: none).
+func WithDefaultDeadline(d time.Duration) PoolOption {
+	return func(c *poolConfig) { c.deadline = d }
+}
+
+// WithObserver threads the observability layer through the pool: serving
+// metrics plus every compile and execution the pool runs.
+func WithObserver(o *obs.Observer) PoolOption {
+	return func(c *poolConfig) { c.obs = o }
+}
+
+// WithServiceOptions forwards extra core options (planner, capacity,
+// pipeline, faults...) to every per-device service. The pool still owns
+// WithDevice and WithObserver.
+func WithServiceOptions(opts ...core.Option) PoolOption {
+	return func(c *poolConfig) { c.serviceOpts = append(c.serviceOpts, opts...) }
+}
+
+// Pool is the serving front end. Safe for concurrent use.
+type Pool struct {
+	cfg     poolConfig
+	devices []*device
+	obs     *obs.Observer
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	pending map[string]*batch // un-started batch per fingerprint (coalescing)
+	jobs    map[string]*Job
+	nextID  atomic.Int64
+}
+
+// NewPool assembles a pool and starts its worker streams.
+func NewPool(opts ...PoolOption) *Pool {
+	cfg := poolConfig{queueDepth: 64, streams: 2, maxBatch: 8}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if len(cfg.devices) == 0 {
+		cfg.devices = []gpu.Spec{gpu.TeslaC870()}
+	}
+	if cfg.queueDepth < 1 {
+		cfg.queueDepth = 1
+	}
+	if cfg.streams < 1 {
+		cfg.streams = 1
+	}
+	if cfg.maxBatch < 1 {
+		cfg.maxBatch = 1
+	}
+	p := &Pool{
+		cfg:     cfg,
+		obs:     cfg.obs,
+		pending: make(map[string]*batch),
+		jobs:    make(map[string]*Job),
+	}
+	for _, spec := range cfg.devices {
+		svcOpts := append([]core.Option{}, cfg.serviceOpts...)
+		svcOpts = append(svcOpts, core.WithDevice(spec), core.WithObserver(cfg.obs))
+		d := &device{
+			spec:        spec,
+			svc:         core.NewService(svcOpts...),
+			queue:       make(chan *batch, cfg.queueDepth),
+			streamClock: make([]float64, cfg.streams),
+		}
+		d.cond = sync.NewCond(&d.mu)
+		p.devices = append(p.devices, d)
+		for s := 0; s < cfg.streams; s++ {
+			p.wg.Add(1)
+			go p.worker(d, s)
+		}
+	}
+	return p
+}
+
+// Submit admits one request: coalesce into a waiting identical batch, or
+// compile for the least-loaded feasible device and enqueue. The returned
+// Job is already registered for polling; Wait on it for the result.
+// ctx bounds the admission compile only — execution is asynchronous.
+func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	if req.Graph == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	p.obs.M().Counter("serve.submitted").Inc()
+
+	j := &Job{
+		ID:          fmt.Sprintf("job-%d", p.nextID.Add(1)),
+		Fingerprint: req.Graph.Fingerprint(),
+		inputs:      req.Inputs,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submitted:   time.Now(),
+	}
+	switch {
+	case req.Deadline > 0:
+		j.deadline = j.submitted.Add(req.Deadline)
+	case req.Deadline == 0 && p.cfg.deadline > 0:
+		j.deadline = j.submitted.Add(p.cfg.deadline)
+	}
+	accounting := req.Inputs == nil
+
+	// Coalesce: an un-started batch for the same fingerprint and mode
+	// absorbs the job with no compile or admission work of its own.
+	p.mu.Lock()
+	if b := p.pending[j.Fingerprint]; b != nil && !b.started &&
+		b.accounting == accounting && len(b.jobs) < p.cfg.maxBatch {
+		b.jobs = append(b.jobs, j)
+		j.device = b.jobs[0].device
+		j.coalesced = true
+		p.jobs[j.ID] = j
+		p.mu.Unlock()
+		p.obs.M().Counter("serve.coalesced").Inc()
+		return j, nil
+	}
+	p.mu.Unlock()
+
+	// Admit: devices in least-loaded order; first one whose compiled
+	// plan fits and whose queue has room wins.
+	order := make([]*device, len(p.devices))
+	copy(order, p.devices)
+	sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
+
+	sawFull := false
+	var lastInfeasible error
+	for _, d := range order {
+		c, hit, err := d.svc.Compile(ctx, req.Graph)
+		if err != nil {
+			if errors.Is(err, core.ErrInfeasible) {
+				lastInfeasible = err
+				continue // try a larger device
+			}
+			return nil, err // infrastructure failure or ctx cancelled
+		}
+		footprint := c.Plan.PeakFloats * 4
+		if footprint > d.spec.MemoryBytes {
+			lastInfeasible = fmt.Errorf("%w: plan peak %d B exceeds %s memory %d B",
+				core.ErrInfeasible, footprint, d.spec.Name, d.spec.MemoryBytes)
+			continue
+		}
+		b := &batch{
+			fp:         j.Fingerprint,
+			compiled:   c,
+			footprint:  footprint,
+			accounting: accounting,
+			jobs:       []*Job{j},
+		}
+		j.device = d.spec.Name
+		j.cacheHit = hit
+
+		p.mu.Lock()
+		if p.closed.Load() { // Close closes queues under this mutex
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		select {
+		case d.queue <- b:
+			p.pending[j.Fingerprint] = b
+			p.jobs[j.ID] = j
+			p.mu.Unlock()
+			d.queuedBytes.Add(footprint)
+			p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(len(d.queue)))
+			return j, nil
+		default:
+			p.mu.Unlock()
+			sawFull = true // queue full — try the next device
+		}
+	}
+
+	if sawFull {
+		p.obs.M().Counter("serve.rejected", "reason", "queue_full").Inc()
+		return nil, fmt.Errorf("%w: all feasible devices at queue depth %d", ErrQueueFull, p.cfg.queueDepth)
+	}
+	p.obs.M().Counter("serve.rejected", "reason", "infeasible").Inc()
+	if lastInfeasible == nil {
+		lastInfeasible = core.ErrInfeasible
+	}
+	return nil, fmt.Errorf("serve: no device can host template: %w", lastInfeasible)
+}
+
+// Job returns a submitted job by ID (nil when unknown).
+func (p *Pool) Job(id string) *Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.jobs[id]
+}
+
+// worker is one executor stream of one device.
+func (p *Pool) worker(d *device, stream int) {
+	defer p.wg.Done()
+	name := d.spec.Name
+	for {
+		if p.cfg.gate != nil {
+			<-p.cfg.gate
+		}
+		b, ok := <-d.queue
+		if !ok {
+			return
+		}
+		p.mu.Lock()
+		b.started = true
+		if p.pending[b.fp] == b {
+			delete(p.pending, b.fp)
+		}
+		jobs := b.jobs
+		p.mu.Unlock()
+		d.queuedBytes.Add(-b.footprint)
+		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(len(d.queue)))
+
+		// Reserve the plan's footprint against physical memory; block
+		// while concurrent streams hold too much of the device.
+		d.mu.Lock()
+		for d.committed+b.footprint > d.spec.MemoryBytes {
+			d.cond.Wait()
+		}
+		d.committed += b.footprint
+		p.obs.M().Gauge("serve.device.committed_bytes", "device", name).Set(float64(d.committed))
+		d.mu.Unlock()
+
+		now := time.Now()
+		live := jobs[:0:0]
+		for _, j := range jobs {
+			if !j.deadline.IsZero() && now.After(j.deadline) {
+				j.finish(nil, fmt.Errorf("%w: queued %.0f ms on %s",
+					ErrDeadlineExceeded, now.Sub(j.submitted).Seconds()*1e3, name))
+				p.obs.M().Counter("serve.failed", "reason", "deadline").Inc()
+				d.mu.Lock()
+				d.failed++
+				d.mu.Unlock()
+				continue
+			}
+			j.start(len(jobs), now)
+			p.obs.M().Histogram("serve.queue.wait_seconds").Observe(now.Sub(j.submitted).Seconds())
+			live = append(live, j)
+		}
+		if len(live) > 0 {
+			p.obs.M().Histogram("serve.batch.size").Observe(float64(len(live)))
+			p.runBatch(d, stream, b, live)
+		}
+
+		d.mu.Lock()
+		d.committed -= b.footprint
+		p.obs.M().Gauge("serve.device.committed_bytes", "device", name).Set(float64(d.committed))
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// runBatch executes the batch's live jobs: accounting batches simulate
+// once and share the report; materialized batches run each job's inputs
+// against the shared compiled plan.
+func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
+	ctx := context.Background()
+	name := d.spec.Name
+	finish := func(j *Job, rep *exec.Report, err error, wall time.Duration) {
+		d.mu.Lock()
+		if err != nil {
+			d.failed++
+		} else {
+			d.completed++
+			d.streamClock[stream] += rep.Stats.TotalTime()
+		}
+		d.mu.Unlock()
+		if err != nil {
+			p.obs.M().Counter("serve.failed", "reason", "exec").Inc()
+		} else {
+			p.obs.M().Counter("serve.completed", "device", name).Inc()
+			p.obs.M().Histogram("serve.exec.seconds").Observe(wall.Seconds())
+		}
+		j.finish(rep, err)
+	}
+	if b.accounting {
+		t0 := time.Now()
+		rep, err := d.svc.Simulate(ctx, b.compiled)
+		wall := time.Since(t0)
+		for _, j := range live {
+			finish(j, rep, err, wall)
+		}
+		return
+	}
+	for _, j := range live {
+		t0 := time.Now()
+		rep, err := d.svc.Execute(ctx, b.compiled, j.inputs)
+		finish(j, rep, err, time.Since(t0))
+	}
+}
+
+// DeviceStats is one device's slice of Pool.Stats.
+type DeviceStats struct {
+	Name           string  `json:"name"`
+	MemoryBytes    int64   `json:"memory_bytes"`
+	QueueDepth     int     `json:"queue_depth"`
+	CommittedBytes int64   `json:"committed_bytes"`
+	Completed      int64   `json:"completed"`
+	Failed         int64   `json:"failed"`
+	ModeledBusySec float64 `json:"modeled_busy_seconds"`
+	// Utilization is modeled busy time over streams × modeled makespan —
+	// how evenly the admission policy spread simulated work.
+	Utilization float64 `json:"utilization"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+// Stats is a pool-wide snapshot.
+type Stats struct {
+	Devices []DeviceStats `json:"devices"`
+	// ModeledMakespanSec is the largest per-stream simulated clock — the
+	// machine-independent "how long would this batch of work have taken"
+	// number the serving benchmark compares against a serial baseline.
+	ModeledMakespanSec float64 `json:"modeled_makespan_seconds"`
+	ModeledBusySec     float64 `json:"modeled_busy_seconds"`
+}
+
+// Stats snapshots the pool.
+func (p *Pool) Stats() Stats {
+	var st Stats
+	for _, d := range p.devices {
+		d.mu.Lock()
+		ds := DeviceStats{
+			Name:           d.spec.Name,
+			MemoryBytes:    d.spec.MemoryBytes,
+			QueueDepth:     len(d.queue),
+			CommittedBytes: d.committed,
+			Completed:      d.completed,
+			Failed:         d.failed,
+		}
+		for _, c := range d.streamClock {
+			ds.ModeledBusySec += c
+			if c > st.ModeledMakespanSec {
+				st.ModeledMakespanSec = c
+			}
+		}
+		d.mu.Unlock()
+		cs := d.svc.CacheStats()
+		ds.CacheHits, ds.CacheMisses = cs.Hits, cs.Misses
+		st.ModeledBusySec += ds.ModeledBusySec
+		st.Devices = append(st.Devices, ds)
+	}
+	if st.ModeledMakespanSec > 0 {
+		for i := range st.Devices {
+			streams := float64(p.cfg.streams)
+			st.Devices[i].Utilization = st.Devices[i].ModeledBusySec / (streams * st.ModeledMakespanSec)
+		}
+	}
+	return st
+}
+
+// Observer returns the pool's observer (nil when observability is off).
+func (p *Pool) Observer() *obs.Observer { return p.obs }
+
+// Close stops accepting work, drains already-queued batches, and waits
+// for every worker stream to finish. Idempotent.
+func (p *Pool) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	for _, d := range p.devices {
+		close(d.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -16,12 +16,19 @@
 package split
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
+
+// ErrInfeasible marks splitting failures where no row-wise partitioning
+// brings an oversized operator under capacity (unsplittable operator, or
+// no feasible split factor). Detect with errors.Is; core wraps it as
+// core.ErrInfeasible.
+var ErrInfeasible = errors.New("split: infeasible under capacity")
 
 // Options configures the split pass.
 type Options struct {
@@ -259,7 +266,7 @@ type inputPlan struct {
 func partGeometry(n *graph.Node, k int) (outRegs []graph.Region, plans [][]inputPlan, err error) {
 	sp, ok := n.Op.(graph.Splittable)
 	if !ok {
-		return nil, nil, fmt.Errorf("operator %s is not splittable", n.Op.Kind())
+		return nil, nil, fmt.Errorf("%w: operator %s is not splittable", ErrInfeasible, n.Op.Kind())
 	}
 	outR := n.Out.Region
 	if k > outR.Rows {
@@ -400,7 +407,7 @@ func chooseParts(n *graph.Node, opt Options) (int, error) {
 		return bestK, nil // best-effort: strictly shrinks the largest part
 	}
 	if lastErr != nil {
-		return 0, fmt.Errorf("no feasible split factor: %w", lastErr)
+		return 0, fmt.Errorf("%w: no feasible split factor: %w", ErrInfeasible, lastErr)
 	}
-	return 0, fmt.Errorf("no split factor up to %d makes parts fit", maxK)
+	return 0, fmt.Errorf("%w: no split factor up to %d makes parts fit", ErrInfeasible, maxK)
 }
