@@ -45,11 +45,13 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, or serve")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, or chaos")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
 	benchOut  = flag.String("benchout", "", "smoke run: append a metrics snapshot to this JSON file")
+	seedFlag  = flag.Int64("seed", 2009, "chaos run: fault-schedule seed")
+	roundsFl  = flag.Int("rounds", 0, "chaos run: rounds of the 8 paper workloads per scenario (0 = default)")
 )
 
 func emit(t *report.Table) {
@@ -344,6 +346,68 @@ func extServe() error {
 	return nil
 }
 
+// chaosBenchRecord is one appended entry of the chaos -benchout log.
+type chaosBenchRecord struct {
+	Date   string                        `json:"date"`
+	Result *experiments.ServeChaosResult `json:"result"`
+}
+
+// extChaos runs the serve chaos harness: the 8 paper workloads replayed
+// through the fault-tolerant pool under three seeded fault schedules
+// (permanent device loss, correlated transients, a flapping device). It
+// exits non-zero if any invariant breaks: a lost job, a clean execution
+// whose stats diverge from the fault-free reference, unbounded
+// modeled-time inflation, or a device that fails to quarantine/recover.
+func extChaos() error {
+	res, err := experiments.ServeChaos(*seedFlag, *roundsFl, 0)
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("Extension: serve chaos harness (C870+8800, seed %d, %d jobs/scenario)",
+			res.Seed, res.Rounds*8),
+		"Scenario", "Jobs", "Lost", "Clean", "Stat-identical", "Recovered", "Migrated", "Max inflation")
+	for _, sc := range res.Scenarios {
+		t.Add(sc.Name, fmt.Sprint(sc.Jobs), fmt.Sprint(sc.Lost), fmt.Sprint(sc.Clean),
+			fmt.Sprint(sc.StatIdentical), fmt.Sprint(sc.Recovered), fmt.Sprint(sc.Migrated),
+			fmt.Sprintf("%.2fx", sc.MaxInflation))
+	}
+	emit(t)
+	d := report.New("Per-device", "Scenario", "Device", "Health", "Completed",
+		"Migrated out", "Migrated in", "Quarantines", "Probes", "Recoveries", "Faults")
+	for _, sc := range res.Scenarios {
+		for _, dev := range sc.Devices {
+			d.Add(sc.Name, dev.Name, dev.Health, fmt.Sprint(dev.Completed),
+				fmt.Sprint(dev.MigratedOut), fmt.Sprint(dev.MigratedIn),
+				fmt.Sprint(dev.Quarantines), fmt.Sprint(dev.Probes),
+				fmt.Sprint(dev.Recoveries), fmt.Sprint(dev.Faults))
+		}
+	}
+	emit(d)
+	fmt.Println("Invariants held: zero lost jobs, clean executions stat-identical to the")
+	fmt.Println("fault-free reference, modeled-time inflation bounded, quarantine and")
+	fmt.Println("probe-recovery transitions observed where the schedule demanded them.")
+	if *benchOut != "" {
+		rec := chaosBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
+		var log []chaosBenchRecord
+		if data, err := os.ReadFile(*benchOut); err == nil {
+			if err := json.Unmarshal(data, &log); err != nil {
+				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
+			}
+		}
+		log = append(log, rec)
+		data, err := json.MarshalIndent(log, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended chaos snapshot %d to %s\n", len(log), *benchOut)
+	}
+	return nil
+}
+
 // writePipelineTrace runs one pipelined edge workload through the full
 // core path (Pipeline config → prefetch pass → RunPipelined) under
 // instrumentation and exports the Chrome trace: the pipe:dma and
@@ -606,6 +670,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "serve" {
 		run("serve", extServe)
+		did = true
+	}
+	if *allFlag || *extFlag == "chaos" {
+		run("chaos", extChaos)
 		did = true
 	}
 	if !did {

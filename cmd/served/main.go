@@ -8,6 +8,13 @@
 //	curl -s localhost:8080/v1/jobs/job-1
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
+//
+// Fault tolerance can be exercised end to end with the chaos flags: the
+// command below loses the c870 on its 40th device operation, so the
+// pool quarantines it, migrates its queue, and probes it back into
+// rotation (watch /healthz flip degraded -> ok):
+//
+//	served -devices c870,8800 -chaos-lost c870:40 -probe-interval 50ms
 package main
 
 import (
@@ -37,7 +44,42 @@ var (
 	deadline = flag.Duration("deadline", 0, "default queue-wait deadline (0 = none)")
 	cache    = flag.Int("cache", 0, "compiled-plan cache entries per device (0 = default)")
 	planner  = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb-optimal")
+
+	// Fault-tolerance knobs. -chaos-lost scripts a one-shot device loss
+	// on a named pool device (<device>:<op> fails the op-th fallible
+	// device operation and the replay budget behind it, forcing a
+	// quarantine); -chaos-rate injects a transient fault rate on every
+	// device. Both exist to demonstrate and smoke-test the health state
+	// machine end to end over HTTP.
+	chaosLost = flag.String("chaos-lost", "", "inject device loss: <device>:<op>[,<op>...] (ops index fallible device operations)")
+	chaosRate = flag.Float64("chaos-rate", 0, "per-call transient fault probability on transfers and launches (all devices)")
+	chaosSeed = flag.Int64("chaos-seed", 2009, "fault injection seed")
+	probeIvl  = flag.Duration("probe-interval", 0, "quarantine re-probe interval (0 = default 100ms)")
 )
+
+// parseChaosLost turns "<device>:<op>[,<op>...]" into a seeded injector
+// scripting a device-lost window wide enough to outlast the executor's
+// replay budget, keyed by the target device name.
+func parseChaosLost(s string, seed int64) (string, *gpu.Injector, error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 {
+		return "", nil, fmt.Errorf("chaos-lost %q: want <device>:<op>[,<op>...]", s)
+	}
+	name := s[:i]
+	inj := gpu.NewInjector(seed)
+	for _, tok := range strings.Split(s[i+1:], ",") {
+		var op int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &op); err != nil || op < 0 {
+			return "", nil, fmt.Errorf("chaos-lost %q: bad op %q", s, tok)
+		}
+		// A window of ops, not a single one: device loss is retried via
+		// checkpoint replay, and each replay burns the next op.
+		for w := 0; w < 8; w++ {
+			inj.FailAt(gpu.FaultDeviceLost, op+w, gpu.Persistent)
+		}
+	}
+	return name, inj, nil
+}
 
 func parseDevices(s string) ([]gpu.Spec, error) {
 	var specs []gpu.Spec
@@ -89,14 +131,47 @@ func main() {
 		log.Fatalf("unknown planner %q", *planner)
 	}
 
-	pool := serve.NewPool(
+	opts := []serve.PoolOption{
 		serve.WithDevices(specs...),
 		serve.WithStreams(*streams),
 		serve.WithQueueDepth(*queue),
 		serve.WithDefaultDeadline(*deadline),
 		serve.WithObserver(obs.New()),
 		serve.WithServiceOptions(core.WithPlanner(pl), core.WithCache(*cache)),
-	)
+	}
+	if *probeIvl > 0 {
+		opts = append(opts, serve.WithHealthPolicy(serve.HealthPolicy{ProbeInterval: *probeIvl}))
+	}
+	if *chaosLost != "" {
+		name, inj, err := parseChaosLost(*chaosLost, *chaosSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Accept either the full spec name or the same short alias
+		// -devices takes ("c870" for "Tesla C870", and so on).
+		if alias, err := parseDevices(name); err == nil && len(alias) == 1 {
+			name = alias[0].Name
+		}
+		found := false
+		for _, s := range specs {
+			found = found || s.Name == name
+		}
+		if !found {
+			log.Fatalf("chaos-lost: device %q not in pool", name)
+		}
+		opts = append(opts, serve.WithDeviceFaults(name, inj))
+		log.Printf("chaos: scripted device loss on %s", name)
+	}
+	if *chaosRate > 0 {
+		for i, s := range specs {
+			inj := gpu.NewInjector(*chaosSeed + int64(i))
+			inj.SetRate(gpu.FaultH2D, *chaosRate, gpu.Transient)
+			inj.SetRate(gpu.FaultLaunch, *chaosRate/2, gpu.Transient)
+			opts = append(opts, serve.WithDeviceFaults(s.Name, inj))
+		}
+		log.Printf("chaos: transient fault rate %g on all devices", *chaosRate)
+	}
+	pool := serve.NewPool(opts...)
 
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(pool)}
 	go func() {

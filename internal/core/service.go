@@ -138,6 +138,24 @@ func (s *Service) Simulate(ctx context.Context, c *Compiled) (*exec.Report, erro
 	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Simulate(ctx) })
 }
 
+// ExecuteResilient runs an already-compiled artifact with real data under
+// the resilient executor (exec.RunResilient): transient faults retry in
+// place, device loss replays from the last checkpoint, persistent OOM
+// walks the degradation ladder. The service's configured fault injector
+// (WithFaults) is installed on the execution's device. Safe for
+// concurrent use; with no faults the result is bit- and stat-identical
+// to Execute.
+func (s *Service) ExecuteResilient(ctx context.Context, c *Compiled, in exec.Inputs) (*exec.Report, error) {
+	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.ExecuteResilient(ctx, in, nil) })
+}
+
+// SimulateResilient replays an already-compiled artifact in accounting
+// mode under the resilient executor, with the service's configured fault
+// injector installed. Safe for concurrent use.
+func (s *Service) SimulateResilient(ctx context.Context, c *Compiled) (*exec.Report, error) {
+	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
+}
+
 // CompileAndSimulate compiles g (or hits the cache) and replays the plan
 // in accounting mode. Safe for concurrent use.
 func (s *Service) CompileAndSimulate(ctx context.Context, g *graph.Graph) (*exec.Report, error) {

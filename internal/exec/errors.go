@@ -9,3 +9,14 @@ import "repro/internal/gpu"
 // device substrate; the resilient executor's degradation ladder keys its
 // replan decisions on it.
 var ErrOOM = gpu.ErrOOM
+
+// IsDeviceFault reports an execution error that indicts the device
+// itself rather than the plan or the workload: device loss, or an
+// injected persistent non-OOM fault, surfaced after the resilient
+// executor exhausted its in-place recovery (retry and checkpoint
+// replay). A device pool uses this classification to quarantine the
+// device and migrate its queue, as opposed to OOM (a planning problem
+// the degradation ladder owns) or plan bugs (not the device's fault).
+func IsDeviceFault(err error) bool {
+	return gpu.IsDeviceLost(err) || isPersistentFault(err)
+}

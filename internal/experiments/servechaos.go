@@ -1,0 +1,396 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The serve chaos harness: the eight paper workloads replayed through
+// the fault-tolerant pool under seeded fault schedules, asserting the
+// pool's invariants instead of just measuring it. Three scenarios:
+//
+//   - single-device-lost: one device dies permanently on first touch;
+//     every job must still complete on the survivor (quarantine + queue
+//     drain + migration), and the dead device must end quarantined.
+//   - correlated-transients: both devices suffer a low per-call
+//     transient fault rate; the resilient executor must absorb every
+//     fault in place with zero migrations needed and bounded modeled-
+//     time inflation.
+//   - flapping-device: one device flips between lost and fine (scripted
+//     op-index windows); the pool must quarantine it, probe it back into
+//     rotation, and lose nothing across the flaps.
+//
+// Invariants checked in every scenario: zero lost jobs (a submission
+// either completes or the harness fails), clean executions are
+// stat-identical to a fault-free reference run on the same device, and
+// modeled-time inflation from recovery stays bounded. Wall-clock numbers
+// are recorded but never asserted — they depend on the host.
+
+// ServeChaosRef is the fault-free reference for one (workload, device)
+// pair: the exact stats any clean execution must reproduce.
+type ServeChaosRef struct {
+	KernelLaunches int     `json:"kernel_launches"`
+	H2DCalls       int     `json:"h2d_calls"`
+	D2HCalls       int     `json:"d2h_calls"`
+	TotalFloats    int64   `json:"total_floats"`
+	SimSeconds     float64 `json:"sim_seconds"`
+}
+
+// ServeChaosDevice is one device's post-scenario accounting.
+type ServeChaosDevice struct {
+	Name        string `json:"name"`
+	Health      string `json:"health"`
+	Completed   int64  `json:"completed"`
+	Failed      int64  `json:"failed"`
+	MigratedOut int64  `json:"migrated_out"`
+	MigratedIn  int64  `json:"migrated_in"`
+	Quarantines int64  `json:"quarantines"`
+	Probes      int64  `json:"probes"`
+	Recoveries  int64  `json:"recoveries"`
+	Faults      int    `json:"faults_injected"`
+}
+
+// ServeChaosScenario is one fault schedule's outcome.
+type ServeChaosScenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+
+	Jobs      int `json:"jobs"`
+	Lost      int `json:"lost"`      // invariant: 0
+	Completed int `json:"completed"` // invariant: == Jobs
+	// Clean counts jobs whose final execution needed no recovery;
+	// StatIdentical counts how many of those matched the fault-free
+	// reference exactly (invariant: all with a reference available).
+	Clean         int `json:"clean"`
+	StatIdentical int `json:"stat_identical"`
+	Recovered     int `json:"recovered"` // completed only through recovery
+	Migrated      int `json:"migrated"`  // re-placed onto another device
+
+	// MaxInflation is the worst modeled-time ratio versus the fault-free
+	// reference on the device each job finished on (1.0 = no overhead).
+	MaxInflation float64 `json:"max_inflation"`
+	// P99InflationPct is the 99th-percentile modeled-time inflation.
+	P99InflationPct float64 `json:"p99_inflation_pct"`
+
+	WallSec      float64            `json:"wall_seconds"`
+	BreakerOpens int64              `json:"breaker_opens"`
+	Devices      []ServeChaosDevice `json:"devices"`
+}
+
+// ServeChaosResult is the whole harness run.
+type ServeChaosResult struct {
+	Seed      int64                `json:"seed"`
+	Rounds    int                  `json:"rounds"`
+	Clients   int                  `json:"clients"`
+	Scenarios []ServeChaosScenario `json:"scenarios"`
+}
+
+// maxChaosInflation bounds the modeled-time ratio of a recovered
+// execution versus its fault-free reference: retries, checkpoint
+// replays, and backoff may stretch a run, but never past this factor.
+const maxChaosInflation = 8.0
+
+type chaosScenarioSpec struct {
+	name, desc string
+	// faults builds the per-device injectors (keyed by device name).
+	faults func(seed int64) map[string]*gpu.Injector
+	// policy overrides the pool health policy (zero fields = defaults).
+	policy serve.HealthPolicy
+	// wantQuarantined names a device that must end the scenario
+	// quarantined ("" = none may).
+	wantQuarantined string
+	// wantRecovered names a device that must have been probed back into
+	// rotation at least once.
+	wantRecovered string
+}
+
+// ServeChaos runs the chaos harness: rounds×8 paper workloads per
+// scenario, submitted by a closed-loop client fleet to a Tesla C870 +
+// GeForce 8800 GTX pool with scripted per-device fault injectors. It
+// returns an error (rather than a result) the moment any invariant
+// breaks — a lost job, a clean execution whose stats drifted, unbounded
+// inflation, or a device that failed to quarantine or recover on cue.
+func ServeChaos(seed int64, rounds, clients int) (*ServeChaosResult, error) {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if clients <= 0 {
+		clients = 6
+	}
+	workloads := PaperWorkloads()
+	specs := []gpu.Spec{gpu.TeslaC870(), gpu.GeForce8800GTX()}
+
+	// Fault-free references, one per (workload, device) pair. Infeasible
+	// pairs (template too big for the card even split) have no entry —
+	// the pool never places such a job there either.
+	refs := make(map[string]ServeChaosRef)
+	for _, spec := range specs {
+		svc := core.NewService(core.WithDevice(spec))
+		for _, w := range workloads {
+			g, err := w.Build()
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", w.Name, w.Input, err)
+			}
+			rep, err := svc.CompileAndSimulate(context.Background(), g)
+			if err != nil {
+				if errors.Is(err, core.ErrInfeasible) {
+					continue
+				}
+				return nil, fmt.Errorf("reference %s %s on %s: %w", w.Name, w.Input, spec.Name, err)
+			}
+			refs[w.Name+"|"+w.Input+"|"+spec.Name] = ServeChaosRef{
+				KernelLaunches: rep.Stats.KernelLaunches,
+				H2DCalls:       rep.Stats.H2DCalls,
+				D2HCalls:       rep.Stats.D2HCalls,
+				TotalFloats:    rep.Stats.TotalFloats(),
+				SimSeconds:     rep.Stats.TotalTime(),
+			}
+		}
+	}
+
+	// The flapper and the permanently-lost device are the smaller
+	// GeForce 8800 GTX, so migrated work always fits the survivor.
+	const flapper = "GeForce 8800 GTX"
+	scenarios := []chaosScenarioSpec{
+		{
+			name: "single-device-lost",
+			desc: "8800 GTX lost permanently on first touch; every job completes on the surviving C870",
+			faults: func(seed int64) map[string]*gpu.Injector {
+				return map[string]*gpu.Injector{
+					flapper: gpu.NewInjector(seed).SetRate(gpu.FaultDeviceLost, 1.0, gpu.Persistent),
+				}
+			},
+			wantQuarantined: flapper,
+		},
+		{
+			name: "correlated-transients",
+			desc: "both devices suffer low-rate transient transfer/launch faults; all absorbed in place",
+			faults: func(seed int64) map[string]*gpu.Injector {
+				injs := make(map[string]*gpu.Injector)
+				for i, spec := range specs {
+					injs[spec.Name] = gpu.NewInjector(seed + int64(i)).
+						SetRate(gpu.FaultH2D, 0.01, gpu.Transient).
+						SetRate(gpu.FaultLaunch, 0.005, gpu.Transient)
+				}
+				return injs
+			},
+			// Paper-scale jobs issue thousands of fallible ops, so at
+			// these rates nearly every execution needs some recovery; a
+			// dirty-streak quarantine would be the wrong response to a
+			// fleet-wide transient storm. Keep both devices in rotation
+			// and let the resilient executor absorb it.
+			policy: serve.HealthPolicy{QuarantineAfter: 1 << 20},
+		},
+		{
+			name: "flapping-device",
+			desc: "8800 GTX loses two scripted op windows; quarantined, probed back into rotation, loses nothing",
+			faults: func(seed int64) map[string]*gpu.Injector {
+				inj := gpu.NewInjector(seed)
+				// Two dense device-lost windows on the global op index.
+				// Failed probes burn one op each, so the prober walks the
+				// injector out of a window and the next clean probe
+				// readmits the device; the second window re-quarantines it
+				// if traffic reaches that deep again.
+				for op := 5; op <= 13; op++ {
+					inj.FailAt(gpu.FaultDeviceLost, op, gpu.Persistent)
+				}
+				for op := 300; op <= 308; op++ {
+					inj.FailAt(gpu.FaultDeviceLost, op, gpu.Persistent)
+				}
+				return map[string]*gpu.Injector{flapper: inj}
+			},
+			wantRecovered: flapper,
+		},
+	}
+
+	res := &ServeChaosResult{Seed: seed, Rounds: rounds, Clients: clients}
+	for _, sc := range scenarios {
+		out, err := runServeChaosScenario(sc, seed, rounds, clients, workloads, specs, refs)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		res.Scenarios = append(res.Scenarios, out)
+	}
+	return res, nil
+}
+
+func runServeChaosScenario(sc chaosScenarioSpec, seed int64, rounds, clients int,
+	workloads []TemplateSpec, specs []gpu.Spec, refs map[string]ServeChaosRef) (ServeChaosScenario, error) {
+
+	out := ServeChaosScenario{Name: sc.name, Description: sc.desc}
+
+	o := obs.New()
+	injs := sc.faults(seed)
+	policy := sc.policy
+	// Fast probe cadence so recovery happens within the harness run.
+	policy.ProbeInterval = 5 * time.Millisecond
+	opts := []serve.PoolOption{
+		serve.WithDevices(specs...),
+		serve.WithStreams(2),
+		serve.WithQueueDepth(4 * rounds * len(workloads)),
+		serve.WithObserver(o),
+		serve.WithHealthPolicy(policy),
+	}
+	for name, inj := range injs {
+		opts = append(opts, serve.WithDeviceFaults(name, inj))
+	}
+	pool := serve.NewPool(opts...)
+	defer pool.Close()
+
+	type outcome struct {
+		wi     int
+		status serve.Status
+		sim    float64
+		ref    ServeChaosRef
+		hasRef bool
+		match  bool
+		err    error
+	}
+	var jobs []int
+	for r := 0; r < rounds; r++ {
+		for wi := range workloads {
+			jobs = append(jobs, wi)
+		}
+	}
+	out.Jobs = len(jobs)
+	assign := make([][]int, clients)
+	for i, wi := range jobs {
+		assign[i%clients] = append(assign[i%clients], wi)
+	}
+
+	outcomes := make(chan outcome, len(jobs))
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(mine []int) {
+			defer wg.Done()
+			for _, wi := range mine {
+				w := workloads[wi]
+				g, err := w.Build()
+				if err != nil {
+					outcomes <- outcome{wi: wi, err: err}
+					continue
+				}
+				j, err := pool.Submit(context.Background(), serve.Request{Graph: g})
+				if err != nil {
+					outcomes <- outcome{wi: wi, err: err}
+					continue
+				}
+				rep, err := j.Wait(context.Background())
+				oc := outcome{wi: wi, status: j.Status(), err: err}
+				if err == nil {
+					oc.sim = rep.Stats.TotalTime()
+					oc.ref, oc.hasRef = refs[w.Name+"|"+w.Input+"|"+oc.status.Device]
+					oc.match = oc.hasRef &&
+						rep.Stats.KernelLaunches == oc.ref.KernelLaunches &&
+						rep.Stats.H2DCalls == oc.ref.H2DCalls &&
+						rep.Stats.D2HCalls == oc.ref.D2HCalls &&
+						rep.Stats.TotalFloats() == oc.ref.TotalFloats &&
+						rep.Stats.TotalTime() == oc.ref.SimSeconds
+				}
+				outcomes <- oc
+			}
+		}(assign[c])
+	}
+	wg.Wait()
+	close(outcomes)
+	out.WallSec = time.Since(wall).Seconds()
+
+	var inflations []float64
+	var firstLost error
+	for oc := range outcomes {
+		if oc.err != nil {
+			out.Lost++
+			if firstLost == nil {
+				firstLost = fmt.Errorf("%s %s: %w", workloads[oc.wi].Name, workloads[oc.wi].Input, oc.err)
+			}
+			continue
+		}
+		out.Completed++
+		if oc.status.Migrated > 0 {
+			out.Migrated++
+		}
+		if oc.status.Recovered {
+			out.Recovered++
+		} else {
+			out.Clean++
+			if oc.hasRef {
+				if !oc.match {
+					return out, fmt.Errorf("clean %s %s on %s diverged from fault-free reference",
+						workloads[oc.wi].Name, workloads[oc.wi].Input, oc.status.Device)
+				}
+				out.StatIdentical++
+			}
+		}
+		if oc.hasRef && oc.ref.SimSeconds > 0 {
+			inflations = append(inflations, oc.sim/oc.ref.SimSeconds)
+		}
+	}
+	if out.Lost > 0 {
+		return out, fmt.Errorf("%d jobs lost (first: %v)", out.Lost, firstLost)
+	}
+	sort.Float64s(inflations)
+	if n := len(inflations); n > 0 {
+		idx := (n * 99) / 100
+		if idx >= n {
+			idx = n - 1
+		}
+		out.MaxInflation = inflations[n-1]
+		out.P99InflationPct = (inflations[idx] - 1) * 100
+	}
+	if out.MaxInflation > maxChaosInflation {
+		return out, fmt.Errorf("modeled-time inflation %.2fx exceeds bound %.1fx",
+			out.MaxInflation, maxChaosInflation)
+	}
+
+	recoveries := func(dev string) int64 {
+		return o.M().Counter("serve.health.transition",
+			"device", dev, "from", "quarantined", "to", "recovered").Value()
+	}
+	// The flapper may still be on probation when the last job drains;
+	// give the prober a moment to readmit it before asserting.
+	if sc.wantRecovered != "" {
+		deadline := time.Now().Add(5 * time.Second)
+		for recoveries(sc.wantRecovered) == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	st := pool.Stats()
+	out.BreakerOpens = st.BreakerOpens
+	for _, d := range st.Devices {
+		recoveries := recoveries(d.Name)
+		out.Devices = append(out.Devices, ServeChaosDevice{
+			Name:        d.Name,
+			Health:      d.Health,
+			Completed:   d.Completed,
+			Failed:      d.Failed,
+			MigratedOut: d.MigratedOut,
+			MigratedIn:  d.MigratedIn,
+			Quarantines: d.Quarantines,
+			Probes:      d.Probes,
+			Recoveries:  recoveries,
+			Faults:      len(injs[d.Name].Faults()),
+		})
+		if sc.wantQuarantined == d.Name && d.Health != "quarantined" {
+			return out, fmt.Errorf("%s expected quarantined, is %s", d.Name, d.Health)
+		}
+		if sc.wantQuarantined == "" && d.Health == "quarantined" {
+			return out, fmt.Errorf("%s unexpectedly quarantined", d.Name)
+		}
+		if sc.wantRecovered == d.Name && recoveries == 0 {
+			return out, fmt.Errorf("%s was never probed back into rotation", d.Name)
+		}
+	}
+	return out, nil
+}

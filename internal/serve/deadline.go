@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Eager deadline expiry. Jobs with deadlines are tracked in a min-heap
+// keyed by deadline; a single sweeper goroutine sleeps until the earliest
+// one and expires it the moment it passes — removing its batch from the
+// device queue so the slot frees immediately, instead of waiting for a
+// worker stream to dequeue past it. Terminal jobs (finished, cancelled,
+// or expired by the dequeue-side check) are dropped lazily as they
+// surface at the heap root.
+
+// jobHeap orders jobs by deadline (earliest first).
+type jobHeap []*Job
+
+func (h jobHeap) Len() int            { return len(h) }
+func (h jobHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*Job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// trackDeadline registers a deadline-bearing job with the sweeper,
+// kicking it awake when the new job becomes the earliest.
+func (p *Pool) trackDeadline(j *Job) {
+	if j.deadline.IsZero() {
+		return
+	}
+	p.dlMu.Lock()
+	heap.Push(&p.dl, j)
+	first := p.dl[0] == j
+	p.dlMu.Unlock()
+	if first {
+		select {
+		case p.dlKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// sweeper is the pool's deadline clock: wake at the earliest tracked
+// deadline, expire everything due, sleep again.
+func (p *Pool) sweeper() {
+	defer p.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		var expired []*Job
+		wait := time.Hour
+		now := time.Now()
+		p.dlMu.Lock()
+		for p.dl.Len() > 0 {
+			j := p.dl[0]
+			switch {
+			case j.terminal():
+				heap.Pop(&p.dl) // finished some other way; forget it
+			case !j.deadline.After(now):
+				heap.Pop(&p.dl)
+				expired = append(expired, j)
+			default:
+				wait = j.deadline.Sub(now)
+				p.dlMu.Unlock()
+				goto sleep
+			}
+		}
+		p.dlMu.Unlock()
+	sleep:
+		for _, j := range expired {
+			p.abortQueued(j, ErrDeadlineExceeded, "deadline")
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-p.stop:
+			return
+		case <-p.dlKick:
+		case <-timer.C:
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 // Sentinel errors of the serving layer. Submit and Job.Wait wrap these
 // with situation detail; detect them with errors.Is. Infeasibility is not
@@ -20,4 +24,52 @@ var (
 	// ErrClosed is returned by Submit after Close: the pool no longer
 	// accepts work (already-queued jobs still drain).
 	ErrClosed = errors.New("serve: pool closed")
+
+	// ErrRetryAfter is the overload-shedding signal: the pool is
+	// temporarily unable to take the request — the circuit breaker is
+	// open, or every device is quarantined — but is expected to recover.
+	// The HTTP layer maps it to 503 with a Retry-After header; use
+	// RetryAfter to extract the suggested backoff.
+	ErrRetryAfter = errors.New("serve: temporarily unavailable, retry later")
+
+	// ErrCancelled marks a job cancelled by its caller (Job.Cancel, a
+	// cancelled Request.Ctx, or DELETE /v1/jobs/{id}) — before execution
+	// or mid-flight; either way the job never produces a report. The HTTP
+	// layer reads it back as the 499-style "client closed request" code.
+	ErrCancelled = errors.New("serve: job cancelled")
 )
+
+// retryAfterError carries the shed signal's suggested backoff; it
+// unwraps to ErrRetryAfter so errors.Is keeps working.
+type retryAfterError struct {
+	after  time.Duration
+	reason string
+}
+
+func (e *retryAfterError) Error() string {
+	return fmt.Sprintf("serve: %s, retry after %s", e.reason, e.after)
+}
+
+func (e *retryAfterError) Unwrap() error { return ErrRetryAfter }
+
+// shedError builds an ErrRetryAfter-wrapping rejection with a suggested
+// backoff (floored at one second so Retry-After headers stay sane).
+func shedError(reason string, after time.Duration) error {
+	if after < time.Second {
+		after = time.Second
+	}
+	return &retryAfterError{after: after, reason: reason}
+}
+
+// RetryAfter extracts the suggested backoff from an ErrRetryAfter
+// rejection (ok=false for any other error).
+func RetryAfter(err error) (time.Duration, bool) {
+	var e *retryAfterError
+	if errors.As(err, &e) {
+		return e.after, true
+	}
+	if errors.Is(err, ErrRetryAfter) {
+		return time.Second, true
+	}
+	return 0, false
+}

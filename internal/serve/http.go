@@ -125,17 +125,50 @@ func buildRequest(jr JobRequest) (Request, error) {
 	}, nil
 }
 
+// StatusClientClosedRequest is the nginx-convention 499 code the API
+// uses for jobs cancelled by their caller (Job.Cancel, a dropped
+// Request.Ctx, or DELETE /v1/jobs/{id}).
+const StatusClientClosedRequest = 499
+
+// jobCode maps a job's terminal error to its HTTP status: nil (or still
+// in flight) 200, cancelled 499, queue-deadline expiry 504, shed 503,
+// migration ran out of queue room 429 or of feasible devices 422,
+// anything else 500.
+func jobCode(j *Job) int {
+	err := j.Err()
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrCancelled):
+		return StatusClientClosedRequest
+	case errors.Is(err, ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrRetryAfter):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // NewHandler exposes the pool over HTTP JSON:
 //
-//	POST /v1/jobs        submit (Wait=true blocks for the report)
-//	GET  /v1/jobs/{id}   poll one job
-//	GET  /v1/stats       pool snapshot
-//	GET  /healthz        liveness
-//	GET  /metrics        registry text (?format=json for a snapshot)
+//	POST   /v1/jobs        submit (Wait=true blocks for the report)
+//	GET    /v1/jobs/{id}   poll one job
+//	DELETE /v1/jobs/{id}   cancel one job
+//	GET    /v1/stats       pool snapshot (incl. per-device health)
+//	GET    /healthz        liveness + pool health summary
+//	GET    /metrics        registry text (?format=json for a snapshot)
 //
 // Submit errors map to status codes: full queue 429, infeasible template
-// 422, bad request 400, closed pool 503; a job that expired in the queue
-// reads back (or returns on Wait) as 504.
+// 422, bad request 400, closed pool 503, load shed 503 with a
+// Retry-After header (breaker open or no device in rotation). A job that
+// expired in the queue reads back (or returns on Wait) as 504; a
+// cancelled one as 499. Wait=true submissions adopt the HTTP request
+// context as the job context, so a dropped connection cancels the job.
 func NewHandler(p *Pool) http.Handler {
 	mux := http.NewServeMux()
 
@@ -162,6 +195,10 @@ func NewHandler(p *Pool) http.Handler {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if jr.Wait {
+			// Synchronous submissions live and die with the connection.
+			req.Ctx = r.Context()
+		}
 		j, err := p.Submit(r.Context(), req)
 		switch {
 		case err == nil:
@@ -170,6 +207,11 @@ func NewHandler(p *Pool) http.Handler {
 			return
 		case errors.Is(err, core.ErrInfeasible):
 			writeErr(w, http.StatusUnprocessableEntity, err)
+			return
+		case errors.Is(err, ErrRetryAfter):
+			after, _ := RetryAfter(err)
+			w.Header().Set("Retry-After", fmt.Sprint(int64((after+time.Second-1)/time.Second)))
+			writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		case errors.Is(err, ErrClosed):
 			writeErr(w, http.StatusServiceUnavailable, err)
@@ -186,14 +228,7 @@ func NewHandler(p *Pool) http.Handler {
 			writeErr(w, http.StatusGatewayTimeout, err)
 			return
 		}
-		code := http.StatusOK
-		if err := j.Err(); err != nil {
-			code = http.StatusInternalServerError
-			if errors.Is(err, ErrDeadlineExceeded) {
-				code = http.StatusGatewayTimeout
-			}
-		}
-		writeJSON(w, code, jobResponse(j))
+		writeJSON(w, jobCode(j), jobResponse(j))
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -202,7 +237,17 @@ func NewHandler(p *Pool) http.Handler {
 			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, jobResponse(j))
+		writeJSON(w, jobCode(j), jobResponse(j))
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j := p.Job(r.PathValue("id"))
+		if j == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		j.Cancel()
+		writeJSON(w, http.StatusAccepted, jobResponse(j))
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -210,10 +255,30 @@ func NewHandler(p *Pool) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		deviceHealth := make(map[string]string, len(p.devices))
+		inRotation := 0
+		for _, d := range p.devices {
+			h := d.health.current()
+			deviceHealth[d.spec.Name] = h.String()
+			if h != Quarantined {
+				inRotation++
+			}
+		}
+		breakerOpen, _ := p.breaker.snapshot()
+		status := "ok"
+		switch {
+		case inRotation == 0:
+			status = "unavailable"
+		case breakerOpen || inRotation < len(p.devices):
+			status = "degraded"
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status":  "ok",
-			"devices": len(p.devices),
-			"closed":  p.closed.Load(),
+			"status":        status,
+			"devices":       len(p.devices),
+			"in_rotation":   inRotation,
+			"device_health": deviceHealth,
+			"breaker_open":  breakerOpen,
+			"closed":        p.closed.Load(),
 		})
 	})
 

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func doReq(t *testing.T, method, url, body string) (*http.Response, JobResponse) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	_ = json.NewDecoder(resp.Body).Decode(&jr)
+	return resp, jr
+}
+
+// The full error ladder, one documented status per serve sentinel,
+// including the async polling states. Each case builds the exact pool
+// condition that produces its error.
+func TestHTTPErrorLadder(t *testing.T) {
+	cases := []struct {
+		name       string
+		wantCode   int
+		wantErr    string // substring of the error body ("" = none)
+		retryAfter bool   // Retry-After header must be present
+		run        func(t *testing.T) (*http.Response, JobResponse)
+	}{
+		{
+			name: "bad body is 400", wantCode: http.StatusBadRequest, wantErr: "bad body",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.TeslaC870()))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":`)
+			},
+		},
+		{
+			name: "unknown template is 400", wantCode: http.StatusBadRequest, wantErr: "template",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.TeslaC870()))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":"warp","h":8,"w":8}`)
+			},
+		},
+		{
+			name: "unknown job is 404", wantCode: http.StatusNotFound, wantErr: "unknown job",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.TeslaC870()))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "GET", srv.URL+"/v1/jobs/job-404", "")
+			},
+		},
+		{
+			name: "unknown job cancel is 404", wantCode: http.StatusNotFound, wantErr: "unknown job",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.TeslaC870()))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "DELETE", srv.URL+"/v1/jobs/job-404", "")
+			},
+		},
+		{
+			name: "full queue is 429", wantCode: http.StatusTooManyRequests, wantErr: "queue full",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				gate := make(chan struct{})
+				p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1),
+					WithQueueDepth(1), withGate(gate))
+				t.Cleanup(func() { close(gate); p.Close() })
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				if resp, _ := postJob(t, srv, `{"template":"edge","h":40,"w":32}`); resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("filler job: %d", resp.StatusCode)
+				}
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":"edge","h":64,"w":48}`)
+			},
+		},
+		{
+			name: "infeasible template is 422", wantCode: http.StatusUnprocessableEntity,
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.Custom("tiny", 4096)),
+					WithServiceOptions(core.WithCapacity(3)))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":"edge","h":40,"w":32}`)
+			},
+		},
+		{
+			name: "closed pool is 503", wantCode: http.StatusServiceUnavailable, wantErr: "pool closed",
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				p := NewPool(WithDevices(gpu.TeslaC870()))
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				p.Close()
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":"edge","h":40,"w":32}`)
+			},
+		},
+		{
+			name: "no device in rotation is 503 with Retry-After",
+			wantCode: http.StatusServiceUnavailable, wantErr: "retry", retryAfter: true,
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				inj := gpu.NewInjector(1).SetRate(gpu.FaultDeviceLost, 1.0, gpu.Persistent)
+				p := NewPool(WithDevices(gpu.TeslaC870()),
+					WithDeviceFaults("Tesla C870", inj),
+					WithHealthPolicy(HealthPolicy{ProbeInterval: time.Hour}))
+				t.Cleanup(p.Close)
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				// Kill the only device, then submit into the empty rotation.
+				resp, jr := postJob(t, srv, `{"template":"edge","h":40,"w":32,"wait":true}`)
+				if resp.StatusCode == http.StatusOK {
+					t.Fatalf("job on dead device succeeded: %+v", jr)
+				}
+				return doReq(t, "POST", srv.URL+"/v1/jobs", `{"template":"edge","h":48,"w":32}`)
+			},
+		},
+		{
+			name: "queue-deadline expiry is 504", wantCode: http.StatusGatewayTimeout,
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				gate := make(chan struct{})
+				p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1), withGate(gate))
+				t.Cleanup(func() { close(gate); p.Close() })
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				return doReq(t, "POST", srv.URL+"/v1/jobs",
+					`{"template":"edge","h":40,"w":32,"deadline_ms":10,"wait":true}`)
+			},
+		},
+		{
+			name: "cancelled job reads back 499", wantCode: StatusClientClosedRequest,
+			run: func(t *testing.T) (*http.Response, JobResponse) {
+				gate := make(chan struct{})
+				p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1), withGate(gate))
+				t.Cleanup(func() { close(gate); p.Close() })
+				srv := httptest.NewServer(NewHandler(p))
+				t.Cleanup(srv.Close)
+				resp, jr := postJob(t, srv, `{"template":"edge","h":40,"w":32}`)
+				if resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("submit: %d", resp.StatusCode)
+				}
+				if resp, del := doReq(t, "DELETE", srv.URL+"/v1/jobs/"+jr.ID, ""); resp.StatusCode != http.StatusAccepted {
+					t.Fatalf("cancel: %d %+v", resp.StatusCode, del)
+				}
+				return doReq(t, "GET", srv.URL+"/v1/jobs/"+jr.ID, "")
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, jr := tc.run(t)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status %d, want %d (body %+v)", resp.StatusCode, tc.wantCode, jr)
+			}
+			if tc.retryAfter && resp.Header.Get("Retry-After") == "" {
+				t.Fatal("missing Retry-After header")
+			}
+		})
+	}
+}
+
+// Polling a cancelled job converges to 499 + StateFailed with the
+// ErrCancelled message; the async states before that are 200.
+func TestHTTPAsyncPollingStates(t *testing.T) {
+	gate := make(chan struct{})
+	p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1), withGate(gate))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	resp, jr := postJob(t, srv, `{"template":"edge","h":40,"w":32}`)
+	if resp.StatusCode != http.StatusAccepted || jr.State != StateQueued {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, jr)
+	}
+	// Queued jobs poll as 200.
+	if resp, got := doReq(t, "GET", srv.URL+"/v1/jobs/"+jr.ID, ""); resp.StatusCode != http.StatusOK || got.State != StateQueued {
+		t.Fatalf("queued poll: %d %+v", resp.StatusCode, got)
+	}
+	if resp, _ := doReq(t, "DELETE", srv.URL+"/v1/jobs/"+jr.ID, ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d", resp.StatusCode)
+	}
+	resp2, got := doReq(t, "GET", srv.URL+"/v1/jobs/"+jr.ID, "")
+	if resp2.StatusCode != StatusClientClosedRequest || got.State != StateFailed ||
+		!strings.Contains(got.Error, "cancelled") {
+		t.Fatalf("cancelled poll: %d %+v", resp2.StatusCode, got)
+	}
+	close(gate)
+
+	// A healthy async job still converges to done with 200 at every poll.
+	resp, jr = postJob(t, srv, `{"template":"edge","h":48,"w":32}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, got := doReq(t, "GET", srv.URL+"/v1/jobs/"+jr.ID, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %d %+v", resp.StatusCode, got)
+		}
+		if got.State == StateDone {
+			break
+		}
+		if got.State == StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// /healthz reflects pool health in the fault-free case.
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if health["status"] != "ok" || health["in_rotation"].(float64) != 1 {
+		t.Fatalf("healthz = %v", health)
+	}
+}
+
+// /healthz turns degraded when a device leaves rotation, and reports
+// per-device health.
+func TestHTTPHealthzDegradedOnQuarantine(t *testing.T) {
+	inj := gpu.NewInjector(1).SetRate(gpu.FaultDeviceLost, 1.0, gpu.Persistent)
+	p := NewPool(
+		WithDevices(gpu.TeslaC870(), gpu.GeForce8800GTX()),
+		WithDeviceFaults("Tesla C870", inj),
+		WithHealthPolicy(HealthPolicy{ProbeInterval: time.Hour}),
+	)
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	if resp, jr := postJob(t, srv, `{"template":"edge","h":40,"w":32,"wait":true}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("job should migrate and succeed: %d %+v", resp.StatusCode, jr)
+	}
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status       string            `json:"status"`
+		InRotation   int               `json:"in_rotation"`
+		DeviceHealth map[string]string `json:"device_health"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if health.Status != "degraded" || health.InRotation != 1 ||
+		health.DeviceHealth["Tesla C870"] != "quarantined" ||
+		health.DeviceHealth["GeForce 8800 GTX"] != "healthy" {
+		t.Fatalf("healthz = %+v", health)
+	}
+}

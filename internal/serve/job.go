@@ -29,18 +29,24 @@ type Job struct {
 	Fingerprint string
 
 	inputs   exec.Inputs
-	deadline time.Time // zero = none
+	deadline time.Time       // zero = none
+	reqCtx   context.Context // per-job caller context (never nil)
+	pool     *Pool
 
-	done chan struct{}
+	done       chan struct{}
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
 
 	mu        sync.Mutex
 	state     State
 	rep       *exec.Report
 	err       error
 	device    string
+	batch     *batch // admitted batch; nil once started (pool.mu guards)
 	batchSize int
 	cacheHit  bool
 	coalesced bool
+	migrated  int // times the job's batch was migrated to another device
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
@@ -58,6 +64,58 @@ func (j *Job) Wait(ctx context.Context) (*exec.Report, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.rep, j.err
+}
+
+// Cancel withdraws the job: a queued job fails immediately with
+// ErrCancelled and frees its queue slot; an in-flight job's execution
+// context is cancelled and the job fails once the executor unwinds (the
+// device stays pristine). Finished jobs are unaffected. Idempotent and
+// safe for concurrent use.
+func (j *Job) Cancel() {
+	j.cancelOnce.Do(func() {
+		close(j.cancelCh)
+		if j.pool != nil {
+			j.pool.abortQueued(j, ErrCancelled, "cancelled")
+		}
+	})
+}
+
+// cancelled reports whether Cancel was called or the caller's Request.Ctx
+// expired.
+func (j *Job) cancelled() bool {
+	select {
+	case <-j.cancelCh:
+		return true
+	default:
+	}
+	return j.reqCtx.Err() != nil
+}
+
+// cancelSignal returns a channel closed when the job is cancelled either
+// way (Cancel or Request.Ctx). The second return stops the bridge
+// goroutine; always call it.
+func (j *Job) cancelSignal() (<-chan struct{}, func()) {
+	if j.reqCtx.Done() == nil {
+		return j.cancelCh, func() {}
+	}
+	ch := make(chan struct{})
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-j.cancelCh:
+		case <-j.reqCtx.Done():
+		case <-stop:
+		}
+		close(ch)
+	}()
+	return ch, func() { close(stop) }
+}
+
+// terminal reports whether the job already finished (done or failed).
+func (j *Job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == StateDone || j.state == StateFailed
 }
 
 // Report returns the finished job's report (nil until StateDone).
@@ -82,7 +140,8 @@ type Status struct {
 	State       State  `json:"state"`
 	Error       string `json:"error,omitempty"`
 
-	// Device is the pool device the job was admitted to.
+	// Device is the pool device the job was admitted to (updated when
+	// quarantine migration re-places the job).
 	Device string `json:"device"`
 	// BatchSize is how many coalesced jobs shared the batch (1 = alone);
 	// set when the batch starts.
@@ -92,12 +151,18 @@ type Status struct {
 	// Coalesced reports whether the job joined an already-queued batch
 	// for the same fingerprint (no compile or admission of its own).
 	Coalesced bool `json:"coalesced"`
+	// Migrated counts how many times the job was re-placed onto another
+	// device after its original device was quarantined.
+	Migrated int `json:"migrated,omitempty"`
 
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	ExecMS      float64 `json:"exec_ms,omitempty"`
 	// ModeledSeconds is the simulated device time of the execution —
 	// machine-independent, unlike the wall-clock fields.
 	ModeledSeconds float64 `json:"modeled_seconds,omitempty"`
+	// Recovered reports that the execution needed fault recovery
+	// (retries, checkpoint replays, or replans) to complete.
+	Recovered bool `json:"recovered,omitempty"`
 }
 
 // Status snapshots the job without blocking.
@@ -112,6 +177,7 @@ func (j *Job) Status() Status {
 		BatchSize:   j.batchSize,
 		CacheHit:    j.cacheHit,
 		Coalesced:   j.coalesced,
+		Migrated:    j.migrated,
 	}
 	if j.err != nil {
 		s.Error = j.err.Error()
@@ -132,22 +198,47 @@ func (j *Job) Status() Status {
 	}
 	if j.rep != nil {
 		s.ModeledSeconds = j.rep.Stats.TotalTime()
+		if j.rep.Recovery != nil && !j.rep.Recovery.Clean() {
+			s.Recovered = true
+		}
 	}
 	return s
 }
 
-// start transitions the job to running as its batch is picked up.
-func (j *Job) start(batchSize int, now time.Time) {
+// start transitions the job to running as its batch is picked up; false
+// when the job already finished (expired or cancelled eagerly).
+func (j *Job) start(batchSize int, now time.Time) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateDone || j.state == StateFailed {
+		return false
+	}
 	j.state = StateRunning
 	j.batchSize = batchSize
 	j.started = now
+	return true
+}
+
+// setDevice records the device the job is (re-)placed on; migration
+// bumps the counter.
+func (j *Job) setDevice(name string, migration bool) {
+	j.mu.Lock()
+	j.device = name
+	if migration {
+		j.migrated++
+	}
 	j.mu.Unlock()
 }
 
 // finish completes the job (err == nil) or fails it and wakes waiters.
-func (j *Job) finish(rep *exec.Report, err error) {
+// The first finisher wins (eager expiry, cancellation, and the worker
+// may race); false means the job was already terminal.
+func (j *Job) finish(rep *exec.Report, err error) bool {
 	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed {
+		j.mu.Unlock()
+		return false
+	}
 	j.rep = rep
 	j.err = err
 	if err != nil {
@@ -158,4 +249,5 @@ func (j *Job) finish(rep *exec.Report, err error) {
 	j.finished = time.Now()
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }

@@ -1,7 +1,7 @@
 // Package serve is the concurrent serving layer over the compiler and
 // executor: a pool of simulated devices with mixed memory capacities,
-// bounded per-device queues with footprint-aware admission control, and
-// fingerprint-keyed request coalescing.
+// bounded per-device queues with footprint-aware admission control,
+// fingerprint-keyed request coalescing, and pool-level fault tolerance.
 //
 // Admission is grounded in the compiled artifact: Submit compiles the
 // template for a candidate device (through the per-device core.Service,
@@ -12,12 +12,19 @@
 // requests waiting on the same device coalesce into one batch that is
 // compiled and memory-reserved once.
 //
-// Execution is per-device worker streams: each stream pops a batch,
-// reserves the plan's footprint against the device's physical memory
-// (blocking while concurrent streams hold too much), lazily expires jobs
-// whose deadline passed in the queue, and runs the rest through
-// core.Service. Accounting-mode batches execute once and share the
-// report; materialized batches run each job's inputs.
+// Execution is per-device worker streams running the resilient executor
+// (exec.RunResilient): each stream pops a batch, reserves the plan's
+// footprint against the device's physical memory, expires or cancels
+// dead jobs, and runs the rest through core.Service. Transient faults
+// are absorbed in place; a terminal device fault (device loss, a
+// persistent fault the executor could not replay around) quarantines the
+// device, drains its queue, and migrates the un-started batches onto
+// healthy devices — recompiled for the new target through its plan
+// cache, re-checked against its memory. Quarantined devices are
+// re-probed on an interval and return to rotation once a probe job runs
+// clean (see health.go for the state machine). A pool-level circuit
+// breaker sheds load with ErrRetryAfter when jobs are dying faster than
+// the pool can absorb.
 package serve
 
 import (
@@ -34,12 +41,15 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/templates"
 )
 
 // Request is one unit of serving work: a template graph plus optional
 // materialized inputs (nil Inputs = accounting mode, the plan is replayed
 // without data) and an optional per-job deadline overriding the pool
-// default. The graph is compiled on a clone and never mutated.
+// default. The graph is compiled on a clone and never mutated by the
+// pool; the caller must not mutate it after Submit either (quarantine
+// migration recompiles it for the replacement device).
 type Request struct {
 	Graph  *graph.Graph
 	Inputs exec.Inputs
@@ -47,15 +57,24 @@ type Request struct {
 	// submission fails with ErrDeadlineExceeded. Zero uses the pool
 	// default; negative means no deadline.
 	Deadline time.Duration
+	// Ctx, when non-nil, is the job's caller context: its cancellation
+	// propagates into the queued or in-flight execution exactly like
+	// Job.Cancel (the job fails with ErrCancelled). For a coalesced
+	// batch the shared execution is cancelled only when every member
+	// job's context is cancelled.
+	Ctx context.Context
 }
 
 // batch is the queue unit: one compiled plan plus every coalesced job
 // sharing it. Memory is reserved once per batch, not per job.
 type batch struct {
 	fp         string
+	graph      *graph.Graph // original template; migration recompiles it
 	compiled   *core.Compiled
 	footprint  int64 // bytes, Plan.PeakFloats*4
 	accounting bool
+	dev        *device
+	migrations int // how many devices already gave up on this batch
 
 	// jobs and started are guarded by the pool mutex: Submit appends
 	// only while !started; a worker sets started before snapshotting.
@@ -64,19 +83,26 @@ type batch struct {
 }
 
 // device is one pool member: its spec, its core.Service (own plan cache,
-// shared observer), its bounded queue, and its memory-reservation state.
+// shared observer), its bounded queue, its health tracker, and its
+// memory-reservation state.
 type device struct {
 	spec gpu.Spec
 	svc  *core.Service
 
-	queue       chan *batch
+	queue       *devQueue
 	queuedBytes atomic.Int64 // enqueued-not-started footprint (load signal)
+	health      *healthTracker
 
 	mu        sync.Mutex // guards committed, counters, streamClock
 	cond      *sync.Cond // committed changed
 	committed int64      // bytes reserved by running batches
 	completed int64
 	failed    int64
+	// migration accounting: jobs moved off this device (queue drained on
+	// quarantine or in-flight escalation) and onto it.
+	migratedOut int64
+	migratedIn  int64
+	probes      int64
 	// streamClock is the modeled simulated-time clock per worker stream:
 	// each execution advances its stream by the report's simulated time.
 	// The max across all pool streams is the modeled makespan.
@@ -99,6 +125,10 @@ type poolConfig struct {
 	deadline    time.Duration
 	obs         *obs.Observer
 	serviceOpts []core.Option
+	faults      map[string]*gpu.Injector
+	health      HealthPolicy
+	breakThresh int
+	breakCool   time.Duration
 	// gate, when non-nil, is received from by every worker stream before
 	// it dequeues — a test hook that freezes dequeue so tests can fill
 	// queues and coalesce deterministically. Close the channel to open.
@@ -150,19 +180,54 @@ func WithServiceOptions(opts ...core.Option) PoolOption {
 	return func(c *poolConfig) { c.serviceOpts = append(c.serviceOpts, opts...) }
 }
 
+// WithDeviceFaults installs a deterministic fault injector on one named
+// device: every execution (and probe) the pool runs on that device draws
+// its fault schedule from inj. This is the chaos harness's wiring — each
+// device gets its own seeded injector so fault schedules are scripted
+// per device, not pool-wide.
+func WithDeviceFaults(device string, inj *gpu.Injector) PoolOption {
+	return func(c *poolConfig) {
+		if c.faults == nil {
+			c.faults = make(map[string]*gpu.Injector)
+		}
+		c.faults[device] = inj
+	}
+}
+
+// WithHealthPolicy overrides the health state machine thresholds and the
+// quarantine probe cadence (zero fields keep their defaults).
+func WithHealthPolicy(hp HealthPolicy) PoolOption {
+	return func(c *poolConfig) { c.health = hp }
+}
+
+// WithBreaker configures the pool circuit breaker: threshold consecutive
+// terminal job failures open it for cooldown (defaults 8, 2s).
+func WithBreaker(threshold int, cooldown time.Duration) PoolOption {
+	return func(c *poolConfig) { c.breakThresh, c.breakCool = threshold, cooldown }
+}
+
 // Pool is the serving front end. Safe for concurrent use.
 type Pool struct {
 	cfg     poolConfig
 	devices []*device
 	obs     *obs.Observer
+	breaker *breaker
 
 	closed atomic.Bool
+	stop   chan struct{}
 	wg     sync.WaitGroup
 
 	mu      sync.Mutex
 	pending map[string]*batch // un-started batch per fingerprint (coalescing)
 	jobs    map[string]*Job
 	nextID  atomic.Int64
+
+	// Eager deadline expiry: a min-heap of queued jobs by deadline and a
+	// sweeper goroutine that frees their queue slots the moment they
+	// expire (see deadline.go).
+	dlMu   sync.Mutex
+	dl     jobHeap
+	dlKick chan struct{}
 }
 
 // NewPool assembles a pool and starts its worker streams.
@@ -183,19 +248,27 @@ func NewPool(opts ...PoolOption) *Pool {
 	if cfg.maxBatch < 1 {
 		cfg.maxBatch = 1
 	}
+	cfg.health = cfg.health.withDefaults()
 	p := &Pool{
 		cfg:     cfg,
 		obs:     cfg.obs,
+		breaker: newBreaker(cfg.breakThresh, cfg.breakCool, cfg.obs),
+		stop:    make(chan struct{}),
 		pending: make(map[string]*batch),
 		jobs:    make(map[string]*Job),
+		dlKick:  make(chan struct{}, 1),
 	}
 	for _, spec := range cfg.devices {
 		svcOpts := append([]core.Option{}, cfg.serviceOpts...)
 		svcOpts = append(svcOpts, core.WithDevice(spec), core.WithObserver(cfg.obs))
+		if inj := cfg.faults[spec.Name]; inj != nil {
+			svcOpts = append(svcOpts, core.WithFaults(inj))
+		}
 		d := &device{
 			spec:        spec,
 			svc:         core.NewService(svcOpts...),
-			queue:       make(chan *batch, cfg.queueDepth),
+			queue:       newDevQueue(cfg.queueDepth),
+			health:      newHealthTracker(spec.Name, cfg.health, cfg.obs),
 			streamClock: make([]float64, cfg.streams),
 		}
 		d.cond = sync.NewCond(&d.mu)
@@ -205,13 +278,19 @@ func NewPool(opts ...PoolOption) *Pool {
 			go p.worker(d, s)
 		}
 	}
+	p.wg.Add(1)
+	go p.sweeper()
 	return p
 }
 
 // Submit admits one request: coalesce into a waiting identical batch, or
-// compile for the least-loaded feasible device and enqueue. The returned
-// Job is already registered for polling; Wait on it for the result.
-// ctx bounds the admission compile only — execution is asynchronous.
+// compile for the least-loaded in-rotation feasible device and enqueue.
+// The returned Job is already registered for polling; Wait on it for the
+// result. ctx bounds the admission compile only — execution is
+// asynchronous and governed by Request.Ctx / Job.Cancel. When the
+// circuit breaker is open or no device is in rotation, Submit sheds the
+// request with an error matching errors.Is(err, ErrRetryAfter); extract
+// the suggested backoff with RetryAfter.
 func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 	if p.closed.Load() {
 		return nil, ErrClosed
@@ -219,13 +298,24 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 	if req.Graph == nil {
 		return nil, fmt.Errorf("serve: nil graph")
 	}
+	if ok, wait := p.breaker.allow(); !ok {
+		p.obs.M().Counter("serve.rejected", "reason", "breaker_open").Inc()
+		return nil, shedError("circuit breaker open", wait)
+	}
 	p.obs.M().Counter("serve.submitted").Inc()
 
+	reqCtx := req.Ctx
+	if reqCtx == nil {
+		reqCtx = context.Background()
+	}
 	j := &Job{
 		ID:          fmt.Sprintf("job-%d", p.nextID.Add(1)),
 		Fingerprint: req.Graph.Fingerprint(),
 		inputs:      req.Inputs,
+		reqCtx:      reqCtx,
+		pool:        p,
 		done:        make(chan struct{}),
+		cancelCh:    make(chan struct{}),
 		state:       StateQueued,
 		submitted:   time.Now(),
 	}
@@ -243,25 +333,51 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 	if b := p.pending[j.Fingerprint]; b != nil && !b.started &&
 		b.accounting == accounting && len(b.jobs) < p.cfg.maxBatch {
 		b.jobs = append(b.jobs, j)
-		j.device = b.jobs[0].device
+		j.device = b.dev.spec.Name
 		j.coalesced = true
+		j.batch = b
 		p.jobs[j.ID] = j
 		p.mu.Unlock()
 		p.obs.M().Counter("serve.coalesced").Inc()
+		p.trackDeadline(j)
 		return j, nil
 	}
 	p.mu.Unlock()
 
-	// Admit: devices in least-loaded order; first one whose compiled
-	// plan fits and whose queue has room wins.
-	order := make([]*device, len(p.devices))
-	copy(order, p.devices)
+	if _, err := p.place(ctx, req.Graph, accounting, []*Job{j}, nil, 0, false); err != nil {
+		return nil, err
+	}
+	p.trackDeadline(j)
+	return j, nil
+}
+
+// place compiles g for each candidate device in least-loaded order and
+// enqueues a new batch carrying jobs on the first one whose compiled
+// plan fits and whose queue has room. Quarantined devices and the
+// exclude set are skipped. Fresh submissions (migration=false) register
+// the batch for coalescing and the lead job for polling; migrated
+// batches are not coalescable. Failures are typed: ErrQueueFull,
+// core.ErrInfeasible, ErrRetryAfter (no device in rotation), ErrClosed.
+func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs []*Job,
+	exclude map[*device]bool, migrations int, migration bool) (*device, error) {
+
+	var order []*device
+	for _, d := range p.devices {
+		if exclude[d] || !d.health.inRotation() {
+			continue
+		}
+		order = append(order, d)
+	}
+	if len(order) == 0 {
+		p.obs.M().Counter("serve.rejected", "reason", "no_device").Inc()
+		return nil, shedError("no device in rotation", p.cfg.health.ProbeInterval)
+	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
 
 	sawFull := false
 	var lastInfeasible error
 	for _, d := range order {
-		c, hit, err := d.svc.Compile(ctx, req.Graph)
+		c, hit, err := d.svc.Compile(ctx, g)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
 				lastInfeasible = err
@@ -276,32 +392,43 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 			continue
 		}
 		b := &batch{
-			fp:         j.Fingerprint,
+			fp:         jobs[0].Fingerprint,
+			graph:      g,
 			compiled:   c,
 			footprint:  footprint,
 			accounting: accounting,
-			jobs:       []*Job{j},
+			dev:        d,
+			migrations: migrations,
+			jobs:       jobs,
 		}
-		j.device = d.spec.Name
-		j.cacheHit = hit
+		for _, j := range jobs {
+			j.setDevice(d.spec.Name, migration)
+		}
+		if !migration {
+			jobs[0].cacheHit = hit // not yet visible to other goroutines
+		}
 
 		p.mu.Lock()
 		if p.closed.Load() { // Close closes queues under this mutex
 			p.mu.Unlock()
 			return nil, ErrClosed
 		}
-		select {
-		case d.queue <- b:
-			p.pending[j.Fingerprint] = b
-			p.jobs[j.ID] = j
-			p.mu.Unlock()
-			d.queuedBytes.Add(footprint)
-			p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(len(d.queue)))
-			return j, nil
-		default:
+		if !d.queue.tryPush(b) {
 			p.mu.Unlock()
 			sawFull = true // queue full — try the next device
+			continue
 		}
+		for _, j := range jobs {
+			j.batch = b
+		}
+		if !migration {
+			p.pending[b.fp] = b
+			p.jobs[jobs[0].ID] = jobs[0]
+		}
+		p.mu.Unlock()
+		d.queuedBytes.Add(b.footprint)
+		p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(d.queue.len()))
+		return d, nil
 	}
 
 	if sawFull {
@@ -322,6 +449,57 @@ func (p *Pool) Job(id string) *Job {
 	return p.jobs[id]
 }
 
+// abortQueued removes a still-queued job eagerly (deadline expiry or
+// cancellation), freeing its batch's queue slot immediately when no
+// live jobs remain. In-flight and finished jobs are left alone — the
+// execution context owns cancellation there.
+func (p *Pool) abortQueued(j *Job, sentinel error, reason string) {
+	p.mu.Lock()
+	b := j.batch
+	if b == nil || b.started {
+		p.mu.Unlock()
+		return
+	}
+	for i, jj := range b.jobs {
+		if jj == j {
+			b.jobs = append(b.jobs[:i], b.jobs[i+1:]...)
+			break
+		}
+	}
+	empty := len(b.jobs) == 0
+	if empty {
+		b.started = true // no more coalescing into a dead batch
+		if p.pending[b.fp] == b {
+			delete(p.pending, b.fp)
+		}
+	}
+	d := b.dev
+	p.mu.Unlock()
+
+	err := fmt.Errorf("%w: queued %.0f ms on %s",
+		sentinel, time.Since(j.submitted).Seconds()*1e3, d.spec.Name)
+	if j.finish(nil, err) {
+		p.noteFailure(d, reason, false)
+		p.obs.M().Counter("serve."+reason+".queued").Inc()
+	}
+	if empty && d.queue.remove(b) {
+		d.queuedBytes.Add(-b.footprint)
+		p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(d.queue.len()))
+	}
+}
+
+// noteFailure accounts one failed job; breakerCounts marks failures that
+// feed the circuit breaker (the pool's fault, not the caller's).
+func (p *Pool) noteFailure(d *device, reason string, breakerCounts bool) {
+	p.obs.M().Counter("serve.failed", "reason", reason).Inc()
+	d.mu.Lock()
+	d.failed++
+	d.mu.Unlock()
+	if breakerCounts {
+		p.breaker.recordFailure()
+	}
+}
+
 // worker is one executor stream of one device.
 func (p *Pool) worker(d *device, stream int) {
 	defer p.wg.Done()
@@ -330,7 +508,7 @@ func (p *Pool) worker(d *device, stream int) {
 		if p.cfg.gate != nil {
 			<-p.cfg.gate
 		}
-		b, ok := <-d.queue
+		b, ok := d.queue.pop()
 		if !ok {
 			return
 		}
@@ -339,10 +517,17 @@ func (p *Pool) worker(d *device, stream int) {
 		if p.pending[b.fp] == b {
 			delete(p.pending, b.fp)
 		}
-		jobs := b.jobs
+		jobs := append([]*Job(nil), b.jobs...)
 		p.mu.Unlock()
 		d.queuedBytes.Add(-b.footprint)
-		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(len(d.queue)))
+		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(d.queue.len()))
+
+		// A batch popped off a quarantined device (raced with the drain)
+		// is migrated, never executed there.
+		if !d.health.inRotation() {
+			p.migrate(d, b, jobs, fmt.Errorf("%s quarantined", name))
+			continue
+		}
 
 		// Reserve the plan's footprint against physical memory; block
 		// while concurrent streams hold too much of the device.
@@ -357,18 +542,24 @@ func (p *Pool) worker(d *device, stream int) {
 		now := time.Now()
 		live := jobs[:0:0]
 		for _, j := range jobs {
-			if !j.deadline.IsZero() && now.After(j.deadline) {
-				j.finish(nil, fmt.Errorf("%w: queued %.0f ms on %s",
-					ErrDeadlineExceeded, now.Sub(j.submitted).Seconds()*1e3, name))
-				p.obs.M().Counter("serve.failed", "reason", "deadline").Inc()
-				d.mu.Lock()
-				d.failed++
-				d.mu.Unlock()
-				continue
+			switch {
+			case j.terminal():
+				// Already expired or cancelled eagerly.
+			case j.cancelled():
+				if j.finish(nil, fmt.Errorf("%w before execution on %s", ErrCancelled, name)) {
+					p.noteFailure(d, "cancelled", false)
+				}
+			case !j.deadline.IsZero() && now.After(j.deadline):
+				if j.finish(nil, fmt.Errorf("%w: queued %.0f ms on %s",
+					ErrDeadlineExceeded, now.Sub(j.submitted).Seconds()*1e3, name)) {
+					p.noteFailure(d, "deadline", false)
+				}
+			default:
+				if j.start(len(jobs), now) {
+					p.obs.M().Histogram("serve.queue.wait_seconds").Observe(now.Sub(j.submitted).Seconds())
+					live = append(live, j)
+				}
 			}
-			j.start(len(jobs), now)
-			p.obs.M().Histogram("serve.queue.wait_seconds").Observe(now.Sub(j.submitted).Seconds())
-			live = append(live, j)
 		}
 		if len(live) > 0 {
 			p.obs.M().Histogram("serve.batch.size").Observe(float64(len(live)))
@@ -383,43 +574,263 @@ func (p *Pool) worker(d *device, stream int) {
 	}
 }
 
-// runBatch executes the batch's live jobs: accounting batches simulate
-// once and share the report; materialized batches run each job's inputs
-// against the shared compiled plan.
-func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
-	ctx := context.Background()
-	name := d.spec.Name
-	finish := func(j *Job, rep *exec.Report, err error, wall time.Duration) {
-		d.mu.Lock()
-		if err != nil {
-			d.failed++
-		} else {
-			d.completed++
-			d.streamClock[stream] += rep.Stats.TotalTime()
-		}
-		d.mu.Unlock()
-		if err != nil {
-			p.obs.M().Counter("serve.failed", "reason", "exec").Inc()
-		} else {
-			p.obs.M().Counter("serve.completed", "device", name).Inc()
-			p.obs.M().Histogram("serve.exec.seconds").Observe(wall.Seconds())
-		}
-		j.finish(rep, err)
+// poolCtx adapts pool-side job cancellation to context.Context for the
+// executors. Err consults the base context directly (so caller contexts
+// that only override Err — deterministic test clocks — keep working) and
+// the all-jobs-cancelled channel; Done exposes the latter.
+type poolCtx struct {
+	context.Context               // base: the job's Request.Ctx, or Background for shared batches
+	all             chan struct{} // closed when every batch member is cancelled
+}
+
+func (c *poolCtx) Err() error {
+	select {
+	case <-c.all:
+		return context.Canceled
+	default:
 	}
-	if b.accounting {
-		t0 := time.Now()
-		rep, err := d.svc.Simulate(ctx, b.compiled)
-		wall := time.Since(t0)
-		for _, j := range live {
-			finish(j, rep, err, wall)
+	return c.Context.Err()
+}
+
+func (c *poolCtx) Done() <-chan struct{} { return c.all }
+
+// batchContext builds the execution context for a batch: cancelled only
+// when every live job has been cancelled (one caller giving up must not
+// kill a shared accounting run serving others). The returned stop frees
+// the watcher; always call it.
+func batchContext(live []*Job) (context.Context, func()) {
+	all := make(chan struct{})
+	stopped := make(chan struct{})
+	sigs := make([]<-chan struct{}, len(live))
+	stops := make([]func(), len(live))
+	for i, j := range live {
+		sigs[i], stops[i] = j.cancelSignal()
+	}
+	go func() {
+		for _, ch := range sigs {
+			select {
+			case <-ch:
+			case <-stopped:
+				return
+			}
 		}
+		close(all)
+	}()
+	base := context.Background()
+	if len(live) == 1 {
+		base = live[0].reqCtx
+	}
+	stop := func() {
+		close(stopped)
+		for _, s := range stops {
+			s()
+		}
+	}
+	return &poolCtx{Context: base, all: all}, stop
+}
+
+// runBatch executes the batch's live jobs under the resilient executor:
+// accounting batches simulate once and share the report; materialized
+// batches run each job's inputs against the shared compiled plan. A
+// terminal device fault quarantines the device and migrates the
+// unfinished jobs.
+func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
+	if b.accounting {
+		ctx, stop := batchContext(live)
+		t0 := time.Now()
+		rep, err := d.svc.SimulateResilient(ctx, b.compiled)
+		stop()
+		wall := time.Since(t0)
+		if err != nil && exec.IsDeviceFault(err) {
+			p.escalate(d, b, live, err)
+			return
+		}
+		for _, j := range live {
+			p.settleOne(d, stream, j, rep, err, wall)
+		}
+		p.noteHealth(d, rep, err)
 		return
 	}
-	for _, j := range live {
+	for i, j := range live {
+		if j.cancelled() {
+			if j.finish(nil, fmt.Errorf("%w before execution on %s", ErrCancelled, d.spec.Name)) {
+				p.noteFailure(d, "cancelled", false)
+			}
+			continue
+		}
+		ctx, stop := batchContext(live[i : i+1])
 		t0 := time.Now()
-		rep, err := d.svc.Execute(ctx, b.compiled, j.inputs)
-		finish(j, rep, err, time.Since(t0))
+		rep, err := d.svc.ExecuteResilient(ctx, b.compiled, j.inputs)
+		stop()
+		if err != nil && exec.IsDeviceFault(err) {
+			p.escalate(d, b, live[i:], err)
+			return
+		}
+		p.settleOne(d, stream, j, rep, err, time.Since(t0))
+		p.noteHealth(d, rep, err)
 	}
+}
+
+// settleOne finishes one job from its execution outcome.
+func (p *Pool) settleOne(d *device, stream int, j *Job, rep *exec.Report, err error, wall time.Duration) {
+	name := d.spec.Name
+	switch {
+	case err == nil:
+		d.mu.Lock()
+		d.completed++
+		d.streamClock[stream] += rep.Stats.TotalTime()
+		d.mu.Unlock()
+		p.obs.M().Counter("serve.completed", "device", name).Inc()
+		p.obs.M().Histogram("serve.exec.seconds").Observe(wall.Seconds())
+		p.breaker.recordSuccess()
+		j.finish(rep, nil)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.finish(nil, fmt.Errorf("%w mid-flight on %s: %v", ErrCancelled, name, err)) {
+			p.noteFailure(d, "cancelled", false)
+		}
+	default:
+		if j.finish(rep, err) {
+			p.noteFailure(d, "exec", true)
+		}
+	}
+}
+
+// noteHealth feeds one execution outcome to the device's health state
+// machine (cancellations say nothing about the device).
+func (p *Pool) noteHealth(d *device, rep *exec.Report, err error) {
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+	case err != nil:
+		d.health.noteDirty()
+	case rep != nil && rep.Recovery != nil && !rep.Recovery.Clean():
+		d.health.noteDirty()
+	default:
+		d.health.noteClean()
+	}
+}
+
+// escalate handles a terminal device fault: quarantine the device (first
+// escalation drains its queue onto healthy devices and starts the
+// prober) and migrate the failing batch's unfinished jobs.
+func (p *Pool) escalate(d *device, b *batch, jobs []*Job, cause error) {
+	name := d.spec.Name
+	p.obs.M().Counter("serve.device.fault", "device", name).Inc()
+	if d.health.quarantine(cause.Error()) {
+		for _, qb := range d.queue.drain() {
+			p.mu.Lock()
+			qb.started = true
+			if p.pending[qb.fp] == qb {
+				delete(p.pending, qb.fp)
+			}
+			qjobs := append([]*Job(nil), qb.jobs...)
+			p.mu.Unlock()
+			d.queuedBytes.Add(-qb.footprint)
+			p.migrate(d, qb, qjobs, cause)
+		}
+		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(d.queue.len()))
+		p.wg.Add(1)
+		go p.probeLoop(d)
+	}
+	p.migrate(d, b, jobs, cause)
+}
+
+// migrate re-places a batch's unfinished jobs onto a healthy device:
+// recompile for the new target (through its plan cache), re-check
+// admission, enqueue. Jobs that cannot be placed fail with the typed
+// placement error; a batch that has already bounced MaxMigrations times
+// fails with the causing fault.
+func (p *Pool) migrate(from *device, b *batch, jobs []*Job, cause error) {
+	live := jobs[:0:0]
+	for _, j := range jobs {
+		switch {
+		case j.terminal():
+		case j.cancelled():
+			if j.finish(nil, fmt.Errorf("%w before execution on %s", ErrCancelled, from.spec.Name)) {
+				p.noteFailure(from, "cancelled", false)
+			}
+		default:
+			live = append(live, j)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	fail := func(err error) {
+		for _, j := range live {
+			if j.finish(nil, err) {
+				p.noteFailure(from, "migration", true)
+			}
+		}
+	}
+	if b.migrations >= p.cfg.health.MaxMigrations {
+		fail(fmt.Errorf("serve: batch migrated %d times without completing: %w", b.migrations, cause))
+		return
+	}
+	to, err := p.place(context.Background(), b.graph, b.accounting, live, map[*device]bool{from: true}, b.migrations+1, true)
+	if err != nil {
+		fail(fmt.Errorf("serve: migration off %s failed (original fault: %v): %w", from.spec.Name, cause, err))
+		return
+	}
+	from.mu.Lock()
+	from.migratedOut += int64(len(live))
+	from.mu.Unlock()
+	to.mu.Lock()
+	to.migratedIn += int64(len(live))
+	to.mu.Unlock()
+	p.obs.M().Counter("serve.migrate.batches", "from", from.spec.Name, "to", to.spec.Name).Inc()
+	p.obs.M().Counter("serve.migrate.jobs").Add(int64(len(live)))
+	p.obs.T().MarkWall("migrate", "serve", map[string]string{
+		"from": from.spec.Name, "to": to.spec.Name,
+		"jobs": fmt.Sprint(len(live)), "cause": cause.Error(),
+	})
+}
+
+// probeLoop re-probes a quarantined device on the policy interval until
+// a probe runs clean (the health tracker flips to recovered) or the pool
+// closes.
+func (p *Pool) probeLoop(d *device) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(p.cfg.health.ProbeInterval):
+		}
+		if p.closed.Load() {
+			return
+		}
+		if d.health.probeResult(p.probe(d)) {
+			return
+		}
+	}
+}
+
+// probe runs a tiny canonical template through the quarantined device's
+// service under the resilient executor; a clean, recovery-free run is
+// the readmission signal. Probe time is synthetic and never charged to
+// the device's stream clocks.
+func (p *Pool) probe(d *device) bool {
+	name := d.spec.Name
+	d.mu.Lock()
+	d.probes++
+	d.mu.Unlock()
+	g, _, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 32, ImageW: 24, KernelSize: 3, Orientations: 2})
+	if err != nil {
+		return false
+	}
+	clean := false
+	if c, _, cerr := d.svc.Compile(context.Background(), g); cerr == nil {
+		rep, rerr := d.svc.SimulateResilient(context.Background(), c)
+		clean = rerr == nil && rep != nil && rep.Recovery != nil && rep.Recovery.Clean()
+	}
+	result := "failed"
+	if clean {
+		result = "clean"
+	}
+	p.obs.M().Counter("serve.probe", "device", name, "result", result).Inc()
+	p.obs.T().MarkWall("probe", "serve", map[string]string{"device": name, "result": result})
+	return clean
 }
 
 // DeviceStats is one device's slice of Pool.Stats.
@@ -430,6 +841,17 @@ type DeviceStats struct {
 	CommittedBytes int64   `json:"committed_bytes"`
 	Completed      int64   `json:"completed"`
 	Failed         int64   `json:"failed"`
+	// Health is the device's fault-tolerance state (healthy, degraded,
+	// quarantined, recovered); Quarantines counts how many times it left
+	// rotation, Probes how many probe jobs it has been sent.
+	Health      string `json:"health"`
+	Quarantines int64  `json:"quarantines,omitempty"`
+	Probes      int64  `json:"probes,omitempty"`
+	// MigratedOut/MigratedIn count jobs moved off this device after a
+	// quarantine (queue drain or in-flight escalation) and re-placed
+	// jobs it accepted from sick peers.
+	MigratedOut    int64   `json:"migrated_out,omitempty"`
+	MigratedIn     int64   `json:"migrated_in,omitempty"`
 	ModeledBusySec float64 `json:"modeled_busy_seconds"`
 	// Utilization is modeled busy time over streams × modeled makespan —
 	// how evenly the admission policy spread simulated work.
@@ -441,6 +863,15 @@ type DeviceStats struct {
 // Stats is a pool-wide snapshot.
 type Stats struct {
 	Devices []DeviceStats `json:"devices"`
+	// HealthyDevices counts devices in rotation (not quarantined).
+	HealthyDevices int `json:"healthy_devices"`
+	// BreakerOpen reports the circuit breaker shedding load right now;
+	// BreakerOpens counts how many times it has tripped.
+	BreakerOpen  bool  `json:"breaker_open"`
+	BreakerOpens int64 `json:"breaker_opens,omitempty"`
+	// MigratedJobs is the pool-wide count of jobs re-placed off
+	// quarantined devices.
+	MigratedJobs int64 `json:"migrated_jobs,omitempty"`
 	// ModeledMakespanSec is the largest per-stream simulated clock — the
 	// machine-independent "how long would this batch of work have taken"
 	// number the serving benchmark compares against a serial baseline.
@@ -452,14 +883,20 @@ type Stats struct {
 func (p *Pool) Stats() Stats {
 	var st Stats
 	for _, d := range p.devices {
+		health := d.health.current()
 		d.mu.Lock()
 		ds := DeviceStats{
 			Name:           d.spec.Name,
 			MemoryBytes:    d.spec.MemoryBytes,
-			QueueDepth:     len(d.queue),
+			QueueDepth:     d.queue.len(),
 			CommittedBytes: d.committed,
 			Completed:      d.completed,
 			Failed:         d.failed,
+			Health:         health.String(),
+			Quarantines:    d.health.quarantineCount(),
+			Probes:         d.probes,
+			MigratedOut:    d.migratedOut,
+			MigratedIn:     d.migratedIn,
 		}
 		for _, c := range d.streamClock {
 			ds.ModeledBusySec += c
@@ -471,8 +908,13 @@ func (p *Pool) Stats() Stats {
 		cs := d.svc.CacheStats()
 		ds.CacheHits, ds.CacheMisses = cs.Hits, cs.Misses
 		st.ModeledBusySec += ds.ModeledBusySec
+		st.MigratedJobs += ds.MigratedOut
+		if health != Quarantined {
+			st.HealthyDevices++
+		}
 		st.Devices = append(st.Devices, ds)
 	}
+	st.BreakerOpen, st.BreakerOpens = p.breaker.snapshot()
 	if st.ModeledMakespanSec > 0 {
 		for i := range st.Devices {
 			streams := float64(p.cfg.streams)
@@ -486,14 +928,16 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) Observer() *obs.Observer { return p.obs }
 
 // Close stops accepting work, drains already-queued batches, and waits
-// for every worker stream to finish. Idempotent.
+// for every worker stream (and the sweeper and probers) to finish.
+// Idempotent.
 func (p *Pool) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
+	close(p.stop)
 	p.mu.Lock()
 	for _, d := range p.devices {
-		close(d.queue)
+		d.queue.close()
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
