@@ -18,6 +18,15 @@
 // (-benchout):
 //
 //	paperbench -ext smoke -trace /tmp/t.json -benchout BENCH_obs.json
+//
+// The serving extensions accept -trace too: -ext chaos merges every
+// scenario's pool tracer (worker/queue/probe lanes plus device
+// timelines) into one Chrome trace, and -ext obsserve measures the
+// observability overhead of the serving pool (instrumented vs bare run)
+// with a per-workload SLO table:
+//
+//	paperbench -ext chaos -rounds 1 -trace /tmp/chaos.json
+//	paperbench -ext obsserve -benchout BENCH_obsserve.json
 package main
 
 import (
@@ -45,13 +54,14 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, or chaos")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, chaos, or obsserve")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
 	benchOut  = flag.String("benchout", "", "smoke run: append a metrics snapshot to this JSON file")
 	seedFlag  = flag.Int64("seed", 2009, "chaos run: fault-schedule seed")
-	roundsFl  = flag.Int("rounds", 0, "chaos run: rounds of the 8 paper workloads per scenario (0 = default)")
+	roundsFl  = flag.Int("rounds", 0, "chaos/obsserve run: rounds of the 8 paper workloads per scenario (0 = default)")
+	maxOvhFl  = flag.Float64("maxoverhead", 0, "obsserve run: fail if observability wall overhead exceeds this percent (0 = record only)")
 )
 
 func emit(t *report.Table) {
@@ -359,7 +369,20 @@ type chaosBenchRecord struct {
 // whose stats diverge from the fault-free reference, unbounded
 // modeled-time inflation, or a device that fails to quarantine/recover.
 func extChaos() error {
-	res, err := experiments.ServeChaos(*seedFlag, *roundsFl, 0)
+	var res *experiments.ServeChaosResult
+	var err error
+	if *traceFlag != "" {
+		fh, ferr := os.Create(*traceFlag)
+		if ferr != nil {
+			return ferr
+		}
+		res, err = experiments.ServeChaosTraced(*seedFlag, *roundsFl, 0, fh)
+		if cerr := fh.Close(); err == nil && cerr != nil {
+			return cerr
+		}
+	} else {
+		res, err = experiments.ServeChaos(*seedFlag, *roundsFl, 0)
+	}
 	if err != nil {
 		return err
 	}
@@ -384,6 +407,9 @@ func extChaos() error {
 		}
 	}
 	emit(d)
+	if *traceFlag != "" {
+		fmt.Printf("wrote merged pool Chrome trace to %s\n", *traceFlag)
+	}
 	fmt.Println("Invariants held: zero lost jobs, clean executions stat-identical to the")
 	fmt.Println("fault-free reference, modeled-time inflation bounded, quarantine and")
 	fmt.Println("probe-recovery transitions observed where the schedule demanded them.")
@@ -404,6 +430,72 @@ func extChaos() error {
 			return err
 		}
 		fmt.Printf("appended chaos snapshot %d to %s\n", len(log), *benchOut)
+	}
+	return nil
+}
+
+// obsserveBenchRecord is one appended entry of the obsserve -benchout log.
+type obsserveBenchRecord struct {
+	Date   string                      `json:"date"`
+	Result *experiments.ServeObsResult `json:"result"`
+}
+
+// extObsServe measures what request observability costs the serving
+// pool: the same fleet served bare and fully instrumented, asserting
+// every job stat-identical to its fault-free reference in both runs and
+// every instrumented job's trace consistent with its reported timings.
+func extObsServe() error {
+	res, err := experiments.ServeObs(*roundsFl, 0, *maxOvhFl)
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("Extension: serving observability overhead (C870+8800, %d jobs/run, %d clients)",
+			res.On.Jobs, res.Clients),
+		"Run", "Jobs", "Stat-identical", "Traced", "Wall (s)")
+	t.Add("observability off", fmt.Sprint(res.Off.Jobs), fmt.Sprint(res.Off.StatIdentical),
+		"n/a", fmt.Sprintf("%.2f", res.Off.WallSec))
+	t.Add("observability on", fmt.Sprint(res.On.Jobs), fmt.Sprint(res.On.StatIdentical),
+		fmt.Sprint(res.TracedJobs), fmt.Sprintf("%.2f", res.On.WallSec))
+	emit(t)
+	s := report.New("Per-workload SLOs (instrumented run, wall ms)",
+		"Fingerprint", "Count", "Queue p50", "Queue p99", "Exec p50", "Exec p99", "E2E p50", "E2E p99")
+	ms := func(sec float64) string { return fmt.Sprintf("%.1f", sec*1e3) }
+	for _, slo := range res.SLOs {
+		fp := slo.Fingerprint
+		if len(fp) > 12 {
+			fp = fp[:12]
+		}
+		s.Add(fp, fmt.Sprint(slo.EndToEnd.Count),
+			ms(slo.QueueWait.P50), ms(slo.QueueWait.P99),
+			ms(slo.Exec.P50), ms(slo.Exec.P99),
+			ms(slo.EndToEnd.P50), ms(slo.EndToEnd.P99))
+	}
+	emit(s)
+	fmt.Printf("wall overhead of full instrumentation: %.1f%%", res.OverheadPct)
+	if res.MaxOverheadPct > 0 {
+		fmt.Printf(" (bound %.1f%%)", res.MaxOverheadPct)
+	}
+	fmt.Println()
+	fmt.Println("Both runs were stat-identical to the fault-free references: the modeled")
+	fmt.Println("results are unchanged by instrumentation; only wall time can differ.")
+	if *benchOut != "" {
+		rec := obsserveBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
+		var log []obsserveBenchRecord
+		if data, err := os.ReadFile(*benchOut); err == nil {
+			if err := json.Unmarshal(data, &log); err != nil {
+				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
+			}
+		}
+		log = append(log, rec)
+		data, err := json.MarshalIndent(log, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("appended obsserve snapshot %d to %s\n", len(log), *benchOut)
 	}
 	return nil
 }
@@ -674,6 +766,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "chaos" {
 		run("chaos", extChaos)
+		did = true
+	}
+	if *allFlag || *extFlag == "obsserve" {
+		run("obsserve", extObsServe)
 		did = true
 	}
 	if !did {

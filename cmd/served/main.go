@@ -6,7 +6,10 @@
 //
 //	curl -s localhost:8080/v1/jobs -d '{"template":"edge","h":512,"w":512,"wait":true}'
 //	curl -s localhost:8080/v1/jobs/job-1
+//	curl -s localhost:8080/v1/jobs/job-1/trace
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/trace > pool-trace.json
+//	curl -s localhost:8080/v1/debug/flightrecorder
 //	curl -s localhost:8080/metrics
 //
 // Fault tolerance can be exercised end to end with the chaos flags: the
@@ -55,6 +58,14 @@ var (
 	chaosRate = flag.Float64("chaos-rate", 0, "per-call transient fault probability on transfers and launches (all devices)")
 	chaosSeed = flag.Int64("chaos-seed", 2009, "fault injection seed")
 	probeIvl  = flag.Duration("probe-interval", 0, "quarantine re-probe interval (0 = default 100ms)")
+
+	// Observability outputs. The pool always serves /v1/jobs/{id}/trace,
+	// /v1/trace, and /v1/debug/flightrecorder while running; these flags
+	// additionally persist the evidence: -trace-out writes the pool-wide
+	// Chrome trace on shutdown, -flight-dump makes quarantines and
+	// breaker trips auto-dump the flight ring to numbered JSON snapshots.
+	traceOut  = flag.String("trace-out", "", "write the pool Chrome trace to this file on shutdown")
+	flightOut = flag.String("flight-dump", "", "auto-dump flight-recorder snapshots to this file on quarantine or breaker trip")
 )
 
 // parseChaosLost turns "<device>:<op>[,<op>...]" into a seeded injector
@@ -142,6 +153,9 @@ func main() {
 	if *probeIvl > 0 {
 		opts = append(opts, serve.WithHealthPolicy(serve.HealthPolicy{ProbeInterval: *probeIvl}))
 	}
+	if *flightOut != "" {
+		opts = append(opts, serve.WithFlightDump(*flightOut))
+	}
 	if *chaosLost != "" {
 		name, inj, err := parseChaosLost(*chaosLost, *chaosSeed)
 		if err != nil {
@@ -192,4 +206,17 @@ func main() {
 	defer cancel()
 	_ = srv.Shutdown(ctx)
 	pool.Close()
+	if *traceOut != "" {
+		fh, err := os.Create(*traceOut)
+		if err != nil {
+			log.Printf("trace-out: %v", err)
+			return
+		}
+		if err := pool.WriteTrace(fh); err != nil {
+			log.Printf("trace-out: %v", err)
+		} else {
+			log.Printf("wrote pool Chrome trace to %s", *traceOut)
+		}
+		fh.Close()
+	}
 }

@@ -125,6 +125,27 @@ func (s *Service) run(c *Compiled, fn func(*Compiled) (*exec.Report, error)) (*e
 	return rep, err
 }
 
+// runTraced is run with a per-execution trace sink: the forked child
+// observer's spans and instants are merged into sink as well as joined
+// back into the service observer, so a caller holding per-request state
+// (the serving pool's job traces) receives this execution's device
+// timeline without re-parsing the shared trace. A nil sink degrades to
+// run exactly; a sink with a nil service observer still receives spans
+// through a standalone fork.
+func (s *Service) runTraced(c *Compiled, sink *obs.Tracer, fn func(*Compiled) (*exec.Report, error)) (*exec.Report, error) {
+	o := s.eng.cfg.Obs
+	cc := *c
+	child := o.Fork()
+	if child == nil && sink != nil {
+		child = &obs.Observer{Trace: sink.Fork()}
+	}
+	cc.Obs = child
+	rep, err := fn(&cc)
+	sink.Merge(child.T())
+	o.Join(child)
+	return rep, err
+}
+
 // Execute runs an already-compiled artifact with real data on a fresh
 // device under a per-call forked observer. Safe for concurrent use — a
 // serving layer compiles once via Compile and fans executions out here.
@@ -154,6 +175,21 @@ func (s *Service) ExecuteResilient(ctx context.Context, c *Compiled, in exec.Inp
 // injector installed. Safe for concurrent use.
 func (s *Service) SimulateResilient(ctx context.Context, c *Compiled) (*exec.Report, error) {
 	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
+}
+
+// ExecuteResilientTraced is ExecuteResilient with a per-execution trace
+// sink: the execution's device-phase spans (H2D/compute/D2H on the
+// simulated clock) and recovery instants are merged into sink in
+// addition to the service's own trace. With a nil sink it is exactly
+// ExecuteResilient.
+func (s *Service) ExecuteResilientTraced(ctx context.Context, c *Compiled, in exec.Inputs, sink *obs.Tracer) (*exec.Report, error) {
+	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) { return cc.ExecuteResilient(ctx, in, nil) })
+}
+
+// SimulateResilientTraced is SimulateResilient with a per-execution
+// trace sink (see ExecuteResilientTraced).
+func (s *Service) SimulateResilientTraced(ctx context.Context, c *Compiled, sink *obs.Tracer) (*exec.Report, error) {
+	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
 }
 
 // CompileAndSimulate compiles g (or hits the cache) and replays the plan

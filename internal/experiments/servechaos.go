@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
@@ -120,6 +121,15 @@ type chaosScenarioSpec struct {
 // breaks — a lost job, a clean execution whose stats drifted, unbounded
 // inflation, or a device that failed to quarantine or recover on cue.
 func ServeChaos(seed int64, rounds, clients int) (*ServeChaosResult, error) {
+	return ServeChaosTraced(seed, rounds, clients, nil)
+}
+
+// ServeChaosTraced is ServeChaos with request tracing on: each scenario
+// runs under its own observer, and when traceOut is non-nil the
+// scenarios' pool tracers (worker, queue, and probe lanes plus the
+// simulated device timelines) are merged into one Chrome trace and
+// written to it.
+func ServeChaosTraced(seed int64, rounds, clients int, traceOut io.Writer) (*ServeChaosResult, error) {
 	if rounds <= 0 {
 		rounds = 2
 	}
@@ -213,22 +223,33 @@ func ServeChaos(seed int64, rounds, clients int) (*ServeChaosResult, error) {
 	}
 
 	res := &ServeChaosResult{Seed: seed, Rounds: rounds, Clients: clients}
+	var master *obs.Tracer
+	if traceOut != nil {
+		master = obs.NewTracer()
+	}
 	for _, sc := range scenarios {
-		out, err := runServeChaosScenario(sc, seed, rounds, clients, workloads, specs, refs)
+		o := obs.New()
+		out, err := runServeChaosScenario(sc, o, seed, rounds, clients, workloads, specs, refs)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: %w", sc.name, err)
 		}
 		res.Scenarios = append(res.Scenarios, out)
+		if master != nil {
+			master.Merge(o.T())
+		}
+	}
+	if master != nil {
+		if err := master.WriteChrome(traceOut); err != nil {
+			return nil, fmt.Errorf("chaos trace: %w", err)
+		}
 	}
 	return res, nil
 }
 
-func runServeChaosScenario(sc chaosScenarioSpec, seed int64, rounds, clients int,
+func runServeChaosScenario(sc chaosScenarioSpec, o *obs.Observer, seed int64, rounds, clients int,
 	workloads []TemplateSpec, specs []gpu.Spec, refs map[string]ServeChaosRef) (ServeChaosScenario, error) {
 
 	out := ServeChaosScenario{Name: sc.name, Description: sc.desc}
-
-	o := obs.New()
 	injs := sc.faults(seed)
 	policy := sc.policy
 	// Fast probe cadence so recovery happens within the harness run.

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// The observability-overhead experiment: the same closed-loop fleet of
+// paper workloads is served twice by an identical two-device pool — once
+// with observability off (no observer: no traces, no SLO histograms, no
+// flight recorder) and once fully instrumented. The claim under test is
+// the tentpole's "free when off, cheap when on" contract:
+//
+//   - in BOTH runs every job's execution report is bit-identical to the
+//     fault-free reference for the (workload, device) pair it landed on
+//     — instrumentation must not perturb modeled results;
+//   - in the instrumented run every job yields a lifecycle trace whose
+//     queue/exec phase durations equal its reported timings exactly;
+//   - the instrumented run's wall time stays within a small factor of
+//     the bare run's.
+//
+// Wall overhead depends on the host, so the bound is a parameter and the
+// measured percentage is recorded rather than asserted by default.
+
+// ServeObsRun is one fleet pass (observability off or on).
+type ServeObsRun struct {
+	Observability bool    `json:"observability"`
+	Jobs          int     `json:"jobs"`
+	StatIdentical int     `json:"stat_identical"` // invariant: == Jobs
+	WallSec       float64 `json:"wall_seconds"`
+}
+
+// ServeObsResult is the whole experiment.
+type ServeObsResult struct {
+	Rounds  int `json:"rounds"`
+	Clients int `json:"clients"`
+
+	Off ServeObsRun `json:"off"`
+	On  ServeObsRun `json:"on"`
+
+	// OverheadPct is the instrumented run's wall-time overhead versus the
+	// bare run ((on/off - 1) × 100). Host-dependent; recorded always,
+	// asserted only when the caller passes a positive bound.
+	OverheadPct    float64 `json:"overhead_pct"`
+	MaxOverheadPct float64 `json:"max_overhead_pct,omitempty"`
+
+	// TracedJobs counts jobs in the instrumented run whose lifecycle
+	// trace was retrievable and phase-consistent (invariant: == Jobs).
+	TracedJobs int `json:"traced_jobs"`
+
+	// SLOs is the instrumented pool's per-fingerprint latency table.
+	SLOs []serve.SLOStats `json:"slos"`
+}
+
+// ServeObs runs the observability-overhead experiment. maxOverheadPct
+// bounds the instrumented run's wall overhead (<= 0 disables the
+// assertion — wall time on a shared host is noise, the stat-identity
+// invariants are what always hold).
+func ServeObs(rounds, clients int, maxOverheadPct float64) (*ServeObsResult, error) {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	if clients <= 0 {
+		clients = 6
+	}
+	workloads := PaperWorkloads()
+	specs := []gpu.Spec{gpu.TeslaC870(), gpu.GeForce8800GTX()}
+
+	// Fault-free references per (workload, device) pair — identical to the
+	// chaos harness's. Placement is load-dependent, so runs are compared
+	// against the reference for wherever each job landed, not job-by-job
+	// across runs.
+	refs := make(map[string]ServeChaosRef)
+	for _, spec := range specs {
+		svc := core.NewService(core.WithDevice(spec))
+		for _, w := range workloads {
+			g, err := w.Build()
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", w.Name, w.Input, err)
+			}
+			rep, err := svc.CompileAndSimulate(context.Background(), g)
+			if err != nil {
+				if errors.Is(err, core.ErrInfeasible) {
+					continue
+				}
+				return nil, fmt.Errorf("reference %s %s on %s: %w", w.Name, w.Input, spec.Name, err)
+			}
+			refs[w.Name+"|"+w.Input+"|"+spec.Name] = ServeChaosRef{
+				KernelLaunches: rep.Stats.KernelLaunches,
+				H2DCalls:       rep.Stats.H2DCalls,
+				D2HCalls:       rep.Stats.D2HCalls,
+				TotalFloats:    rep.Stats.TotalFloats(),
+				SimSeconds:     rep.Stats.TotalTime(),
+			}
+		}
+	}
+
+	res := &ServeObsResult{Rounds: rounds, Clients: clients, MaxOverheadPct: maxOverheadPct}
+	var err error
+	if res.Off, _, _, err = serveObsFleet(false, rounds, clients, workloads, specs, refs); err != nil {
+		return nil, fmt.Errorf("observability off: %w", err)
+	}
+	var traced int
+	if res.On, res.SLOs, traced, err = serveObsFleet(true, rounds, clients, workloads, specs, refs); err != nil {
+		return nil, fmt.Errorf("observability on: %w", err)
+	}
+	res.TracedJobs = traced
+	if res.TracedJobs != res.On.Jobs {
+		return nil, fmt.Errorf("only %d of %d instrumented jobs yielded a consistent trace",
+			res.TracedJobs, res.On.Jobs)
+	}
+	if res.Off.WallSec > 0 {
+		res.OverheadPct = (res.On.WallSec/res.Off.WallSec - 1) * 100
+	}
+	if maxOverheadPct > 0 && res.OverheadPct > maxOverheadPct {
+		return nil, fmt.Errorf("observability wall overhead %.1f%% exceeds bound %.1f%%",
+			res.OverheadPct, maxOverheadPct)
+	}
+	return res, nil
+}
+
+// serveObsFleet serves rounds×workloads through a fresh pool, with or
+// without an observer, asserting stat-identity against the fault-free
+// references. With observability on it also checks every job's trace is
+// retrievable and phase-consistent, and returns the pool's SLO table.
+func serveObsFleet(observe bool, rounds, clients int, workloads []TemplateSpec,
+	specs []gpu.Spec, refs map[string]ServeChaosRef) (ServeObsRun, []serve.SLOStats, int, error) {
+
+	run := ServeObsRun{Observability: observe}
+	opts := []serve.PoolOption{
+		serve.WithDevices(specs...),
+		serve.WithStreams(2),
+		serve.WithQueueDepth(4 * rounds * len(workloads)),
+	}
+	if observe {
+		opts = append(opts, serve.WithObserver(obs.New()))
+	}
+	pool := serve.NewPool(opts...)
+	defer pool.Close()
+
+	var jobs []int
+	for r := 0; r < rounds; r++ {
+		for wi := range workloads {
+			jobs = append(jobs, wi)
+		}
+	}
+	run.Jobs = len(jobs)
+	assign := make([][]int, clients)
+	for i, wi := range jobs {
+		assign[i%clients] = append(assign[i%clients], wi)
+	}
+
+	type outcome struct {
+		wi  int
+		job *serve.Job
+		err error
+	}
+	outcomes := make(chan outcome, len(jobs))
+	wall := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(mine []int) {
+			defer wg.Done()
+			for _, wi := range mine {
+				w := workloads[wi]
+				g, err := w.Build()
+				if err != nil {
+					outcomes <- outcome{wi: wi, err: err}
+					continue
+				}
+				j, err := pool.Submit(context.Background(), serve.Request{Graph: g})
+				if err != nil {
+					outcomes <- outcome{wi: wi, err: err}
+					continue
+				}
+				_, err = j.Wait(context.Background())
+				outcomes <- outcome{wi: wi, job: j, err: err}
+			}
+		}(assign[c])
+	}
+	wg.Wait()
+	close(outcomes)
+	run.WallSec = time.Since(wall).Seconds()
+
+	traced := 0
+	for oc := range outcomes {
+		w := workloads[oc.wi]
+		if oc.err != nil {
+			return run, nil, 0, fmt.Errorf("%s %s: %w", w.Name, w.Input, oc.err)
+		}
+		st := oc.job.Status()
+		rep := oc.job.Report()
+		ref, ok := refs[w.Name+"|"+w.Input+"|"+st.Device]
+		if !ok {
+			return run, nil, 0, fmt.Errorf("%s %s landed on %s, which has no reference",
+				w.Name, w.Input, st.Device)
+		}
+		if rep == nil ||
+			rep.Stats.KernelLaunches != ref.KernelLaunches ||
+			rep.Stats.H2DCalls != ref.H2DCalls ||
+			rep.Stats.D2HCalls != ref.D2HCalls ||
+			rep.Stats.TotalFloats() != ref.TotalFloats ||
+			rep.Stats.TotalTime() != ref.SimSeconds {
+			return run, nil, 0, fmt.Errorf("%s %s on %s diverged from the fault-free reference (observability %v)",
+				w.Name, w.Input, st.Device, observe)
+		}
+		run.StatIdentical++
+
+		tr := oc.job.Trace()
+		if !observe {
+			if tr != nil {
+				return run, nil, 0, fmt.Errorf("%s %s has a trace with observability off", w.Name, w.Input)
+			}
+			continue
+		}
+		if tr == nil {
+			return run, nil, 0, fmt.Errorf("%s %s has no trace with observability on", w.Name, w.Input)
+		}
+		if tr.QueueWaitMS != st.QueueWaitMS || tr.ExecMS != st.ExecMS {
+			return run, nil, 0, fmt.Errorf("%s %s trace timings (%v, %v) != status (%v, %v)",
+				w.Name, w.Input, tr.QueueWaitMS, tr.ExecMS, st.QueueWaitMS, st.ExecMS)
+		}
+		traced++
+	}
+
+	var slos []serve.SLOStats
+	if observe {
+		slos = pool.Stats().SLOs
+		if len(slos) == 0 {
+			return run, nil, 0, fmt.Errorf("instrumented pool reported no SLO histograms")
+		}
+	}
+	return run, slos, traced, nil
+}

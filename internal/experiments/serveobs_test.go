@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// ServeObs errors whenever an invariant breaks — a job whose report
+// diverged from its fault-free reference in either run, a trace missing
+// or inconsistent with the reported timings, or a trace appearing with
+// observability off — so a passing run IS the assertion. The wall
+// overhead bound stays disabled here: wall time on a shared test host
+// is noise.
+func TestServeObsInvariantsHold(t *testing.T) {
+	res, err := ServeObs(1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Off.StatIdentical != res.Off.Jobs || res.On.StatIdentical != res.On.Jobs {
+		t.Fatalf("stat-identity: off %d/%d, on %d/%d",
+			res.Off.StatIdentical, res.Off.Jobs, res.On.StatIdentical, res.On.Jobs)
+	}
+	if res.TracedJobs != res.On.Jobs {
+		t.Fatalf("traced %d of %d instrumented jobs", res.TracedJobs, res.On.Jobs)
+	}
+	if len(res.SLOs) == 0 {
+		t.Fatal("no SLO table from the instrumented run")
+	}
+}

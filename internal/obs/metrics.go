@@ -19,6 +19,16 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	// descs keeps the structured (name, label pairs) identity behind each
+	// rendered key, so exporters with their own syntax (Prometheus) don't
+	// have to re-parse the canonical name{k=v,...} form.
+	descs map[string]metricDesc
+}
+
+// metricDesc is the structured identity of one instrument.
+type metricDesc struct {
+	name   string
+	labels []string // alternating key, value
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -27,6 +37,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		descs:    make(map[string]metricDesc),
 	}
 }
 
@@ -206,6 +217,7 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[k] = c
+		r.descs[k] = metricDesc{name: name, labels: labels}
 	}
 	return c
 }
@@ -222,6 +234,7 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[k] = g
+		r.descs[k] = metricDesc{name: name, labels: labels}
 	}
 	return g
 }
@@ -238,6 +251,7 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 	if !ok {
 		h = &Histogram{}
 		r.hists[k] = h
+		r.descs[k] = metricDesc{name: name, labels: labels}
 	}
 	return h
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// A registry with every instrument kind, awkward names, and labels that
+// need escaping must render a conformant exposition document.
+func TestWritePrometheusConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.submitted").Add(3)
+	r.Counter("serve.completed", "device", "GeForce 8800 GTX").Add(2)
+	r.Counter("serve.completed", "device", `odd"quote\and
+newline`).Inc()
+	r.Gauge("serve.health.state", "device", "Tesla C870").Set(2)
+	h := r.Histogram("serve.queue.wait_seconds")
+	for _, v := range []float64{0.0001, 0.003, 0.003, 1.5, 40, -1} {
+		h.Observe(v)
+	}
+	r.Histogram("serve.exec.seconds", "device", "Tesla C870").Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	check, err := ValidatePrometheus([]byte(out))
+	if err != nil {
+		t.Fatalf("exposition not conformant: %v\n%s", err, out)
+	}
+	if check.Families != 5 || check.Histograms != 2 {
+		t.Fatalf("check = %+v, want 5 families / 2 histograms\n%s", check, out)
+	}
+
+	for _, want := range []string{
+		"# TYPE serve_submitted counter",
+		"# HELP serve_submitted serve.submitted",
+		"serve_submitted 3",
+		`serve_completed{device="GeForce 8800 GTX"} 2`,
+		`serve_completed{device="odd\"quote\\and\nnewline"} 1`,
+		"# TYPE serve_queue_wait_seconds histogram",
+		`serve_queue_wait_seconds_bucket{le="+Inf"} 6`,
+		"serve_queue_wait_seconds_count 6",
+		`serve_queue_wait_seconds_bucket{le="0"} 1`, // the non-positive sentinel
+		`serve_exec_seconds_bucket{device="Tesla C870",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "serve.") {
+		// Dots are only legal inside HELP text, never in sample names.
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "#") && strings.Contains(line, "serve.") {
+				t.Fatalf("sample line with unsanitized name: %q", line)
+			}
+		}
+	}
+}
+
+// Histogram buckets must be cumulative and ascending per series even
+// when several label sets share one family.
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	ha := r.Histogram("lat", "device", "a")
+	hb := r.Histogram("lat", "device", "b")
+	for _, v := range []float64{0.5, 1.5, 3, 3, 10} {
+		ha.Observe(v)
+	}
+	hb.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidatePrometheus([]byte(b.String())); err != nil {
+		t.Fatalf("multi-series histogram not conformant: %v\n%s", err, b.String())
+	}
+}
+
+func TestValidatePrometheusRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"no families":      "\n",
+		"sample sans TYPE": "foo 1\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"unquoted label":   "# TYPE a counter\na{k=v} 1\n",
+		"bad escape":       "# TYPE a counter\na{k=\"\\x\"} 1\n",
+		"bad value":        "# TYPE a counter\na zzz\n",
+		"type after sample": "# TYPE a counter\na 1\n# TYPE a gauge\n",
+		"no inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for name, doc := range cases {
+		if _, err := ValidatePrometheus([]byte(doc)); err == nil {
+			t.Errorf("%s: validated bad document:\n%s", name, doc)
+		}
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, b.String())
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Fork/Merge under heavy concurrency: many goroutines fork the shared
+// tracer, record nested wall spans, sim spans, and instants, then merge
+// back — half of them also merging into a second "sink" tracer, the
+// serving pool's per-execution hand-off pattern (one child observer
+// merged into both the job-trace sink and the service tracer, as happens
+// mid-migration). Run under -race this exercises every lock path; the
+// invariant checked is that no merge leaves orphaned open spans and no
+// span is lost.
+func TestTracerForkMergeStress(t *testing.T) {
+	parent := NewTracer()
+	sink := NewTracer()
+
+	const workers = 16
+	const rounds = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				child := parent.Fork()
+				outer := child.Begin(fmt.Sprintf("w%d.r%d", w, r), "stress")
+				inner := child.Begin("inner", "stress")
+				child.AddSim("compute", "kernel", "launch", float64(r), float64(r)+1)
+				child.MarkSim(RecoveryTrack, "retry", "recovery", float64(r), nil)
+				inner.End()
+				if r%3 != 0 {
+					outer.End() // every third round leaks the outer span on purpose
+				}
+				if w%2 == 0 {
+					sink.Merge(child) // the mid-migration double hand-off
+				}
+				parent.Merge(child)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := parent.OpenSpans(); n != 0 {
+		t.Fatalf("parent has %d orphaned open spans after merge", n)
+	}
+	if n := sink.OpenSpans(); n != 0 {
+		t.Fatalf("sink has %d orphaned open spans after merge", n)
+	}
+	spans := parent.Spans()
+	want := workers * rounds * 3 // outer + inner + sim kernel per round
+	if len(spans) != want {
+		t.Fatalf("parent spans = %d, want %d", len(spans), want)
+	}
+	// Merge closes spans left open by the child; nothing may survive with
+	// a negative end.
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %s merged with End %v < Start %v", s.Name, s.End, s.Start)
+		}
+	}
+	if n := len(parent.Instants()); n != workers*rounds {
+		t.Fatalf("parent instants = %d, want %d", n, workers*rounds)
+	}
+	if n := len(sink.Spans()); n != workers/2*rounds*3 {
+		t.Fatalf("sink spans = %d, want %d", n, workers/2*rounds*3)
+	}
+}

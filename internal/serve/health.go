@@ -99,6 +99,7 @@ type healthTracker struct {
 	device string
 	policy HealthPolicy
 	obs    *obs.Observer
+	flight *flightRec
 
 	mu          sync.Mutex
 	state       Health
@@ -107,9 +108,9 @@ type healthTracker struct {
 	quarantines int64
 }
 
-func newHealthTracker(device string, policy HealthPolicy, o *obs.Observer) *healthTracker {
-	h := &healthTracker{device: device, policy: policy, obs: o}
-	o.M().Gauge("serve.health.state", "device", device).Set(float64(Healthy))
+func newHealthTracker(device string, policy HealthPolicy, o *obs.Observer, f *flightRec) *healthTracker {
+	h := &healthTracker{device: device, policy: policy, obs: o, flight: f}
+	metricGauge(o, metricHealthState, float64(Healthy), "device", device)
 	return h
 }
 
@@ -132,13 +133,20 @@ func (h *healthTracker) transition(to Health, reason string) {
 	if to == Quarantined {
 		h.quarantines++
 	}
-	h.obs.M().Counter("serve.health.transition",
-		"device", h.device, "from", from.String(), "to", to.String()).Inc()
-	h.obs.M().Gauge("serve.health.state", "device", h.device).Set(float64(to))
+	metricInc(h.obs, metricHealthTransition,
+		"device", h.device, "from", from.String(), "to", to.String())
+	metricGauge(h.obs, metricHealthState, float64(to), "device", h.device)
 	h.obs.T().MarkWall("health:"+from.String()+"->"+to.String(), "serve", map[string]string{
 		"device": h.device,
 		"reason": reason,
 	})
+	h.flight.note(flightHealth,
+		"device", h.device, "from", from.String(), "to", to.String(), "reason", reason)
+	if to == Quarantined {
+		// Quarantine is an incident: dump the flight ring so the lead-up
+		// survives even if the process dies before anyone asks.
+		h.flight.dump("quarantine:" + h.device)
+	}
 }
 
 // noteClean records an execution that needed no recovery.
@@ -219,6 +227,7 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	obs       *obs.Observer
+	flight    *flightRec
 
 	mu        sync.Mutex
 	failures  int // consecutive terminal failures
@@ -226,14 +235,14 @@ type breaker struct {
 	opens     int64
 }
 
-func newBreaker(threshold int, cooldown time.Duration, o *obs.Observer) *breaker {
+func newBreaker(threshold int, cooldown time.Duration, o *obs.Observer, f *flightRec) *breaker {
 	if threshold <= 0 {
 		threshold = 8
 	}
 	if cooldown <= 0 {
 		cooldown = 2 * time.Second
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, obs: o}
+	return &breaker{threshold: threshold, cooldown: cooldown, obs: o, flight: f}
 }
 
 // allow reports whether the breaker admits traffic; when open it returns
@@ -263,11 +272,13 @@ func (b *breaker) recordFailure() {
 	b.openUntil = time.Now().Add(b.cooldown)
 	b.opens++
 	b.failures = 0
-	b.obs.M().Counter("serve.breaker.open").Inc()
-	b.obs.M().Gauge("serve.breaker.state").Set(1)
+	metricInc(b.obs, metricBreakerOpen)
+	metricGauge(b.obs, metricBreakerState, 1)
 	b.obs.T().MarkWall("breaker:open", "serve", map[string]string{
 		"cooldown": b.cooldown.String(),
 	})
+	b.flight.note(flightBreaker, "cooldown", b.cooldown.String())
+	b.flight.dump("breaker-open")
 }
 
 // snapshot reports (open, opens-so-far) for Stats.
@@ -276,7 +287,7 @@ func (b *breaker) snapshot() (bool, int64) {
 	defer b.mu.Unlock()
 	open := time.Now().Before(b.openUntil)
 	if !open {
-		b.obs.M().Gauge("serve.breaker.state").Set(0)
+		metricGauge(b.obs, metricBreakerState, 0)
 	}
 	return open, b.opens
 }

@@ -156,12 +156,18 @@ func jobCode(j *Job) int {
 
 // NewHandler exposes the pool over HTTP JSON:
 //
-//	POST   /v1/jobs        submit (Wait=true blocks for the report)
-//	GET    /v1/jobs/{id}   poll one job
-//	DELETE /v1/jobs/{id}   cancel one job
-//	GET    /v1/stats       pool snapshot (incl. per-device health)
-//	GET    /healthz        liveness + pool health summary
-//	GET    /metrics        registry text (?format=json for a snapshot)
+//	POST   /v1/jobs                  submit (Wait=true blocks for the report)
+//	GET    /v1/jobs/{id}             poll one job
+//	GET    /v1/jobs/{id}/trace       the job's lifecycle trace (404 when
+//	                                 the pool has no observer)
+//	DELETE /v1/jobs/{id}             cancel one job
+//	GET    /v1/stats                 pool snapshot (incl. health and SLOs)
+//	GET    /v1/trace                 pool-wide Chrome trace (one lane per
+//	                                 device worker, queue, and prober)
+//	GET    /v1/debug/flightrecorder  flight-recorder ring snapshot
+//	GET    /healthz                  liveness + pool health summary
+//	GET    /metrics                  Prometheus text exposition
+//	                                 (?format=json for a JSON snapshot)
 //
 // Submit errors map to status codes: full queue 429, infeasible template
 // 422, bad request 400, closed pool 503, load shed 503 with a
@@ -240,6 +246,20 @@ func NewHandler(p *Pool) http.Handler {
 		writeJSON(w, jobCode(j), jobResponse(j))
 	})
 
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		j := p.Job(r.PathValue("id"))
+		if j == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		t := j.Trace()
+		if t == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("job %s has no trace (pool runs without an observer)", j.ID))
+			return
+		}
+		writeJSON(w, http.StatusOK, t)
+	})
+
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j := p.Job(r.PathValue("id"))
 		if j == nil {
@@ -252,6 +272,24 @@ func NewHandler(p *Pool) http.Handler {
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, p.Stats())
+	})
+
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, r *http.Request) {
+		if p.Observer().T() == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("pool has no observer"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = p.WriteTrace(w)
+	})
+
+	mux.HandleFunc("GET /v1/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		snap := p.FlightSnapshot()
+		if snap.Capacity == 0 {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("flight recorder disabled"))
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -293,8 +331,8 @@ func NewHandler(p *Pool) http.Handler {
 			_ = reg.WriteJSON(w)
 			return
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = reg.WriteText(w)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
 	})
 
 	return mux

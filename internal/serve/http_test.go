@@ -173,6 +173,9 @@ func TestHTTPHealthStatsMetrics(t *testing.T) {
 	if len(st.Devices) != 2 || st.ModeledMakespanSec <= 0 {
 		t.Fatalf("stats = %+v", st)
 	}
+	if len(st.SLOs) == 0 || st.SLOs[0].EndToEnd.Count < 1 {
+		t.Fatalf("stats missing SLO section: %+v", st.SLOs)
+	}
 
 	r, err = http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -183,7 +186,17 @@ func TestHTTPHealthStatsMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Body.Close()
-	if !strings.Contains(text.String(), "serve.submitted") {
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	check, err := obs.ValidatePrometheus(text.Bytes())
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus exposition: %v\n%s", err, text.String())
+	}
+	if check.Families == 0 {
+		t.Fatal("/metrics exposed no families")
+	}
+	if !strings.Contains(text.String(), "serve_submitted") {
 		t.Fatalf("metrics text missing serve counters:\n%s", text.String())
 	}
 
@@ -198,5 +211,89 @@ func TestHTTPHealthStatsMetrics(t *testing.T) {
 	r.Body.Close()
 	if snap.Counters["serve.submitted"] < 1 {
 		t.Fatalf("metrics json = %+v", snap.Counters)
+	}
+}
+
+// The observability endpoints: a finished job's lifecycle trace, the
+// pool-wide Chrome trace, and the flight-recorder snapshot — plus their
+// 404s on an unobserved pool.
+func TestHTTPTraceAndFlightEndpoints(t *testing.T) {
+	o := obs.New()
+	p := NewPool(WithDevices(gpu.TeslaC870()), WithObserver(o))
+	defer p.Close()
+	srv := httptest.NewServer(NewHandler(p))
+	defer srv.Close()
+
+	_, jr := postJob(t, srv, `{"template":"edge","h":64,"w":48,"wait":true}`)
+	if jr.State != StateDone {
+		t.Fatalf("job = %+v", jr)
+	}
+
+	r, err := http.Get(srv.URL + "/v1/jobs/" + jr.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", r.StatusCode)
+	}
+	var tr JobTrace
+	if err := json.NewDecoder(r.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if tr.ID != jr.ID || tr.State != StateDone || len(tr.Phases) == 0 {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	if r, err = http.Get(srv.URL + "/v1/jobs/nope/trace"); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job trace status = %d", r.StatusCode)
+	}
+
+	if r, err = http.Get(srv.URL + "/v1/trace"); err != nil {
+		t.Fatal(err)
+	}
+	var chrome bytes.Buffer
+	if _, err := chrome.ReadFrom(r.Body); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("pool trace status = %d", r.StatusCode)
+	}
+	if _, err := obs.ValidateChrome(chrome.Bytes()); err != nil {
+		t.Fatalf("pool trace invalid: %v", err)
+	}
+
+	if r, err = http.Get(srv.URL + "/v1/debug/flightrecorder"); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.FlightSnapshot
+	if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if snap.Capacity == 0 {
+		t.Fatalf("flight snapshot = %+v", snap)
+	}
+
+	// An unobserved pool 404s all three.
+	bare := NewPool(WithDevices(gpu.TeslaC870()))
+	defer bare.Close()
+	bsrv := httptest.NewServer(NewHandler(bare))
+	defer bsrv.Close()
+	_, jr = postJob(t, bsrv, `{"template":"edge","h":64,"w":48,"wait":true}`)
+	for _, path := range []string{"/v1/jobs/" + jr.ID + "/trace", "/v1/trace", "/v1/debug/flightrecorder"} {
+		r, err := http.Get(bsrv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on unobserved pool = %d, want 404", path, r.StatusCode)
+		}
 	}
 }

@@ -37,6 +37,10 @@ type Job struct {
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 
+	// trace is the job's lifecycle recorder (nil when the pool runs
+	// without an observer; see trace.go). Its own mutex guards it.
+	trace *jobTrace
+
 	mu        sync.Mutex
 	state     State
 	rep       *exec.Report

@@ -1,0 +1,58 @@
+// Canonical serve.* metric names. Every instrument the serving layer
+// touches is declared here and formatted through the helpers below, so
+// one naming convention holds across the package: dotted metric names,
+// dimensions as labels (never interpolated into the name). The golden
+// metrics test renders these exactly; the Prometheus encoder sanitizes
+// dots to underscores at the exposition boundary.
+package serve
+
+import "repro/internal/obs"
+
+const (
+	// Admission and lifecycle counters.
+	metricSubmitted = "serve.submitted"
+	metricCoalesced = "serve.coalesced"
+	metricCompleted = "serve.completed" // label: device
+	metricRejected  = "serve.rejected"  // label: reason (breaker_open, no_device, queue_full, infeasible)
+	metricFailed    = "serve.failed"    // label: reason (cancelled, deadline, exec, migration)
+	// Aborted counts jobs removed from the queue before execution,
+	// labeled by reason — previously the drifted serve.<reason>.queued.
+	metricAborted = "serve.aborted" // label: reason (cancelled, deadline)
+
+	// Queue and memory gauges/histograms.
+	metricQueueDepth     = "serve.queue.depth"             // label: device
+	metricQueueWait      = "serve.queue.wait_seconds"      // histogram
+	metricBatchSize      = "serve.batch.size"              // histogram
+	metricCommittedBytes = "serve.device.committed_bytes"  // label: device
+	metricExecSeconds    = "serve.exec.seconds"            // histogram
+
+	// Fault tolerance.
+	metricDeviceFault      = "serve.device.fault"      // label: device
+	metricMigrateBatches   = "serve.migrate.batches"   // labels: from, to
+	metricMigrateJobs      = "serve.migrate.jobs"
+	metricProbe            = "serve.probe"             // labels: device, result
+	metricHealthTransition = "serve.health.transition" // labels: device, from, to
+	metricHealthState      = "serve.health.state"      // label: device
+	metricBreakerOpen      = "serve.breaker.open"
+	metricBreakerState     = "serve.breaker.state"
+)
+
+// metricInc, metricAdd, metricGauge, and metricObserve are the one
+// label-formatting path for serve metrics: labels go to the registry as
+// alternating key/value pairs and are rendered canonically there. All
+// are nil-safe through the observer chain.
+func metricInc(o *obs.Observer, name string, labels ...string) {
+	o.M().Counter(name, labels...).Inc()
+}
+
+func metricAdd(o *obs.Observer, name string, n int64, labels ...string) {
+	o.M().Counter(name, labels...).Add(n)
+}
+
+func metricGauge(o *obs.Observer, name string, v float64, labels ...string) {
+	o.M().Gauge(name, labels...).Set(v)
+}
+
+func metricObserve(o *obs.Observer, name string, v float64, labels ...string) {
+	o.M().Histogram(name, labels...).Observe(v)
+}

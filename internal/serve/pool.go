@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -74,7 +75,8 @@ type batch struct {
 	footprint  int64 // bytes, Plan.PeakFloats*4
 	accounting bool
 	dev        *device
-	migrations int // how many devices already gave up on this batch
+	migrations int       // how many devices already gave up on this batch
+	enqueuedAt time.Time // when the batch entered its device queue (trace lane)
 
 	// jobs and started are guarded by the pool mutex: Submit appends
 	// only while !started; a worker sets started before snapshotting.
@@ -129,6 +131,8 @@ type poolConfig struct {
 	health      HealthPolicy
 	breakThresh int
 	breakCool   time.Duration
+	flightCap   int
+	flightDump  string
 	// gate, when non-nil, is received from by every worker stream before
 	// it dequeues — a test hook that freezes dequeue so tests can fill
 	// queues and coalesce deterministically. Close the channel to open.
@@ -206,12 +210,29 @@ func WithBreaker(threshold int, cooldown time.Duration) PoolOption {
 	return func(c *poolConfig) { c.breakThresh, c.breakCool = threshold, cooldown }
 }
 
+// WithFlightRecorder sizes the pool flight recorder's event ring
+// (default obs.DefaultFlightCapacity). The recorder runs whenever the
+// pool has an observer; this option also enables it without one.
+func WithFlightRecorder(capacity int) PoolOption {
+	return func(c *poolConfig) { c.flightCap = capacity }
+}
+
+// WithFlightDump sets the path the flight ring is snapshotted to when a
+// device is quarantined or the breaker trips (successive incidents get
+// numbered suffixes). Without it, incident dumps only add a marker event
+// and the ring stays query-only.
+func WithFlightDump(path string) PoolOption {
+	return func(c *poolConfig) { c.flightDump = path }
+}
+
 // Pool is the serving front end. Safe for concurrent use.
 type Pool struct {
 	cfg     poolConfig
 	devices []*device
 	obs     *obs.Observer
 	breaker *breaker
+	slo     *sloBoard  // per-fingerprint SLO histograms (nil without observer)
+	flight  *flightRec // pool flight recorder (nil when fully disabled)
 
 	closed atomic.Bool
 	stop   chan struct{}
@@ -252,12 +273,18 @@ func NewPool(opts ...PoolOption) *Pool {
 	p := &Pool{
 		cfg:     cfg,
 		obs:     cfg.obs,
-		breaker: newBreaker(cfg.breakThresh, cfg.breakCool, cfg.obs),
 		stop:    make(chan struct{}),
 		pending: make(map[string]*batch),
 		jobs:    make(map[string]*Job),
 		dlKick:  make(chan struct{}, 1),
 	}
+	if cfg.obs != nil {
+		p.slo = newSLOBoard()
+	}
+	if cfg.obs != nil || cfg.flightCap > 0 || cfg.flightDump != "" {
+		p.flight = newFlightRec(cfg.flightCap, cfg.flightDump)
+	}
+	p.breaker = newBreaker(cfg.breakThresh, cfg.breakCool, cfg.obs, p.flight)
 	for _, spec := range cfg.devices {
 		svcOpts := append([]core.Option{}, cfg.serviceOpts...)
 		svcOpts = append(svcOpts, core.WithDevice(spec), core.WithObserver(cfg.obs))
@@ -268,7 +295,7 @@ func NewPool(opts ...PoolOption) *Pool {
 			spec:        spec,
 			svc:         core.NewService(svcOpts...),
 			queue:       newDevQueue(cfg.queueDepth),
-			health:      newHealthTracker(spec.Name, cfg.health, cfg.obs),
+			health:      newHealthTracker(spec.Name, cfg.health, cfg.obs, p.flight),
 			streamClock: make([]float64, cfg.streams),
 		}
 		d.cond = sync.NewCond(&d.mu)
@@ -299,10 +326,11 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 		return nil, fmt.Errorf("serve: nil graph")
 	}
 	if ok, wait := p.breaker.allow(); !ok {
-		p.obs.M().Counter("serve.rejected", "reason", "breaker_open").Inc()
+		metricInc(p.obs, metricRejected, "reason", "breaker_open")
+		p.flight.note(flightShed, "reason", "breaker_open", "retry_after", wait.String())
 		return nil, shedError("circuit breaker open", wait)
 	}
-	p.obs.M().Counter("serve.submitted").Inc()
+	metricInc(p.obs, metricSubmitted)
 
 	reqCtx := req.Ctx
 	if reqCtx == nil {
@@ -318,6 +346,9 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 		cancelCh:    make(chan struct{}),
 		state:       StateQueued,
 		submitted:   time.Now(),
+	}
+	if p.obs != nil {
+		j.trace = newJobTrace(j.submitted)
 	}
 	switch {
 	case req.Deadline > 0:
@@ -336,17 +367,26 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 		j.device = b.dev.spec.Name
 		j.coalesced = true
 		j.batch = b
+		size := len(b.jobs)
+		dev := b.dev.spec.Name // j.device may be rewritten by a migrating worker after unlock
 		p.jobs[j.ID] = j
 		p.mu.Unlock()
-		p.obs.M().Counter("serve.coalesced").Inc()
+		metricInc(p.obs, metricCoalesced)
+		j.trace.mark("coalesce-join", map[string]string{
+			"device": dev, "batch_size": fmt.Sprint(size)})
+		j.trace.span(PhaseAdmission, j.submitted, time.Now(), map[string]string{
+			"device": dev, "coalesced": "true"})
 		p.trackDeadline(j)
 		return j, nil
 	}
 	p.mu.Unlock()
 
-	if _, err := p.place(ctx, req.Graph, accounting, []*Job{j}, nil, 0, false); err != nil {
+	d, err := p.place(ctx, req.Graph, accounting, []*Job{j}, nil, 0, false)
+	if err != nil {
 		return nil, err
 	}
+	j.trace.span(PhaseAdmission, j.submitted, time.Now(), map[string]string{
+		"device": d.spec.Name, "cache_hit": fmt.Sprint(j.cacheHit)})
 	p.trackDeadline(j)
 	return j, nil
 }
@@ -369,7 +409,8 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		order = append(order, d)
 	}
 	if len(order) == 0 {
-		p.obs.M().Counter("serve.rejected", "reason", "no_device").Inc()
+		metricInc(p.obs, metricRejected, "reason", "no_device")
+		p.flight.note(flightShed, "reason", "no_device")
 		return nil, shedError("no device in rotation", p.cfg.health.ProbeInterval)
 	}
 	sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
@@ -377,9 +418,14 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 	sawFull := false
 	var lastInfeasible error
 	for _, d := range order {
+		compileStart := time.Now()
 		c, hit, err := d.svc.Compile(ctx, g)
 		if err != nil {
 			if errors.Is(err, core.ErrInfeasible) {
+				for _, j := range jobs {
+					j.trace.mark("placement-skip", map[string]string{
+						"device": d.spec.Name, "reason": "infeasible"})
+				}
 				lastInfeasible = err
 				continue // try a larger device
 			}
@@ -387,6 +433,10 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		}
 		footprint := c.Plan.PeakFloats * 4
 		if footprint > d.spec.MemoryBytes {
+			for _, j := range jobs {
+				j.trace.mark("placement-skip", map[string]string{
+					"device": d.spec.Name, "reason": "footprint"})
+			}
 			lastInfeasible = fmt.Errorf("%w: plan peak %d B exceeds %s memory %d B",
 				core.ErrInfeasible, footprint, d.spec.Name, d.spec.MemoryBytes)
 			continue
@@ -408,6 +458,8 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 			jobs[0].cacheHit = hit // not yet visible to other goroutines
 		}
 
+		b.enqueuedAt = time.Now()
+
 		p.mu.Lock()
 		if p.closed.Load() { // Close closes queues under this mutex
 			p.mu.Unlock()
@@ -415,6 +467,10 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		}
 		if !d.queue.tryPush(b) {
 			p.mu.Unlock()
+			for _, j := range jobs {
+				j.trace.mark("placement-skip", map[string]string{
+					"device": d.spec.Name, "reason": "queue_full"})
+			}
 			sawFull = true // queue full — try the next device
 			continue
 		}
@@ -427,15 +483,20 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		}
 		p.mu.Unlock()
 		d.queuedBytes.Add(b.footprint)
-		p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(d.queue.len()))
+		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", d.spec.Name)
+		for _, j := range jobs {
+			j.trace.span(PhaseCompile, compileStart, b.enqueuedAt, map[string]string{
+				"device": d.spec.Name, "cache_hit": fmt.Sprint(hit)})
+			j.trace.mark("enqueue", map[string]string{"device": d.spec.Name})
+		}
 		return d, nil
 	}
 
 	if sawFull {
-		p.obs.M().Counter("serve.rejected", "reason", "queue_full").Inc()
+		metricInc(p.obs, metricRejected, "reason", "queue_full")
 		return nil, fmt.Errorf("%w: all feasible devices at queue depth %d", ErrQueueFull, p.cfg.queueDepth)
 	}
-	p.obs.M().Counter("serve.rejected", "reason", "infeasible").Inc()
+	metricInc(p.obs, metricRejected, "reason", "infeasible")
 	if lastInfeasible == nil {
 		lastInfeasible = core.ErrInfeasible
 	}
@@ -480,18 +541,19 @@ func (p *Pool) abortQueued(j *Job, sentinel error, reason string) {
 		sentinel, time.Since(j.submitted).Seconds()*1e3, d.spec.Name)
 	if j.finish(nil, err) {
 		p.noteFailure(d, reason, false)
-		p.obs.M().Counter("serve."+reason+".queued").Inc()
+		metricInc(p.obs, metricAborted, "reason", reason)
+		p.flight.note(flightAbort, "job", j.ID, "reason", reason, "device", d.spec.Name)
 	}
 	if empty && d.queue.remove(b) {
 		d.queuedBytes.Add(-b.footprint)
-		p.obs.M().Gauge("serve.queue.depth", "device", d.spec.Name).Set(float64(d.queue.len()))
+		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", d.spec.Name)
 	}
 }
 
 // noteFailure accounts one failed job; breakerCounts marks failures that
 // feed the circuit breaker (the pool's fault, not the caller's).
 func (p *Pool) noteFailure(d *device, reason string, breakerCounts bool) {
-	p.obs.M().Counter("serve.failed", "reason", reason).Inc()
+	metricInc(p.obs, metricFailed, "reason", reason)
 	d.mu.Lock()
 	d.failed++
 	d.mu.Unlock()
@@ -520,7 +582,18 @@ func (p *Pool) worker(d *device, stream int) {
 		jobs := append([]*Job(nil), b.jobs...)
 		p.mu.Unlock()
 		d.queuedBytes.Add(-b.footprint)
-		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(d.queue.len()))
+		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", name)
+		if tr := p.obs.T(); tr != nil && !b.enqueuedAt.IsZero() {
+			// Queue lane: one span per batch covering its time in this
+			// device's queue, on its own row of the pool Chrome trace.
+			end := tr.NowSeconds()
+			tr.AddWall("queue:"+name, fmt.Sprintf("batch[%d] %s", len(jobs), shortFP(b.fp)),
+				"serve.queue", end-time.Since(b.enqueuedAt).Seconds(), end)
+		}
+		for _, j := range jobs {
+			j.trace.mark("dequeue", map[string]string{
+				"device": name, "stream": fmt.Sprint(stream)})
+		}
 
 		// A batch popped off a quarantined device (raced with the drain)
 		// is migrated, never executed there.
@@ -536,7 +609,7 @@ func (p *Pool) worker(d *device, stream int) {
 			d.cond.Wait()
 		}
 		d.committed += b.footprint
-		p.obs.M().Gauge("serve.device.committed_bytes", "device", name).Set(float64(d.committed))
+		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
 		d.mu.Unlock()
 
 		now := time.Now()
@@ -556,19 +629,21 @@ func (p *Pool) worker(d *device, stream int) {
 				}
 			default:
 				if j.start(len(jobs), now) {
-					p.obs.M().Histogram("serve.queue.wait_seconds").Observe(now.Sub(j.submitted).Seconds())
+					wait := now.Sub(j.submitted).Seconds()
+					metricObserve(p.obs, metricQueueWait, wait)
+					p.slo.observeQueue(j.Fingerprint, wait, j.ID)
 					live = append(live, j)
 				}
 			}
 		}
 		if len(live) > 0 {
-			p.obs.M().Histogram("serve.batch.size").Observe(float64(len(live)))
+			metricObserve(p.obs, metricBatchSize, float64(len(live)))
 			p.runBatch(d, stream, b, live)
 		}
 
 		d.mu.Lock()
 		d.committed -= b.footprint
-		p.obs.M().Gauge("serve.device.committed_bytes", "device", name).Set(float64(d.committed))
+		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
 		d.cond.Broadcast()
 		d.mu.Unlock()
 	}
@@ -634,13 +709,35 @@ func batchContext(live []*Job) (context.Context, func()) {
 // batches run each job's inputs against the shared compiled plan. A
 // terminal device fault quarantines the device and migrates the
 // unfinished jobs.
+//
+// With an observer attached, each execution runs through the traced
+// service entry points with a fresh sink tracer: the execution's
+// simulated-clock device timeline lands in every member job's lifecycle
+// trace, and the execution interval is drawn on the device worker's lane
+// of the pool Chrome trace. Without one, the sink is nil and the traced
+// entry points degrade to the untraced ones exactly.
 func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
+	lane := fmt.Sprintf("worker:%s#%d", d.spec.Name, stream)
+	tr := p.obs.T()
 	if b.accounting {
 		ctx, stop := batchContext(live)
+		var sink *obs.Tracer
+		if p.obs != nil {
+			sink = obs.NewTracer()
+		}
 		t0 := time.Now()
-		rep, err := d.svc.SimulateResilient(ctx, b.compiled)
+		laneStart := tr.NowSeconds()
+		rep, err := d.svc.SimulateResilientTraced(ctx, b.compiled, sink)
 		stop()
 		wall := time.Since(t0)
+		tr.AddWall(lane, fmt.Sprintf("batch[%d] %s", len(live), shortFP(b.fp)),
+			"serve.exec", laneStart, tr.NowSeconds())
+		for _, j := range live {
+			j.trace.span(PhaseAttempt, t0, t0.Add(wall), map[string]string{
+				"device": d.spec.Name, "stream": fmt.Sprint(stream),
+				"outcome": attemptOutcome(err)})
+			j.trace.addExec(sink)
+		}
 		if err != nil && exec.IsDeviceFault(err) {
 			p.escalate(d, b, live, err)
 			return
@@ -659,15 +756,38 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 			continue
 		}
 		ctx, stop := batchContext(live[i : i+1])
+		var sink *obs.Tracer
+		if p.obs != nil {
+			sink = obs.NewTracer()
+		}
 		t0 := time.Now()
-		rep, err := d.svc.ExecuteResilient(ctx, b.compiled, j.inputs)
+		laneStart := tr.NowSeconds()
+		rep, err := d.svc.ExecuteResilientTraced(ctx, b.compiled, j.inputs, sink)
 		stop()
+		wall := time.Since(t0)
+		tr.AddWall(lane, shortFP(b.fp), "serve.exec", laneStart, tr.NowSeconds())
+		j.trace.span(PhaseAttempt, t0, t0.Add(wall), map[string]string{
+			"device": d.spec.Name, "stream": fmt.Sprint(stream),
+			"outcome": attemptOutcome(err)})
+		j.trace.addExec(sink)
 		if err != nil && exec.IsDeviceFault(err) {
 			p.escalate(d, b, live[i:], err)
 			return
 		}
-		p.settleOne(d, stream, j, rep, err, time.Since(t0))
+		p.settleOne(d, stream, j, rep, err, wall)
 		p.noteHealth(d, rep, err)
+	}
+}
+
+// attemptOutcome labels an execution attempt for its trace span.
+func attemptOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case exec.IsDeviceFault(err):
+		return "device-fault"
+	default:
+		return "error"
 	}
 }
 
@@ -680,10 +800,13 @@ func (p *Pool) settleOne(d *device, stream int, j *Job, rep *exec.Report, err er
 		d.completed++
 		d.streamClock[stream] += rep.Stats.TotalTime()
 		d.mu.Unlock()
-		p.obs.M().Counter("serve.completed", "device", name).Inc()
-		p.obs.M().Histogram("serve.exec.seconds").Observe(wall.Seconds())
+		metricInc(p.obs, metricCompleted, "device", name)
+		metricObserve(p.obs, metricExecSeconds, wall.Seconds())
 		p.breaker.recordSuccess()
-		j.finish(rep, nil)
+		if j.finish(rep, nil) {
+			p.slo.observeDone(j.Fingerprint, wall.Seconds(),
+				time.Since(j.submitted).Seconds(), j.ID)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		if j.finish(nil, fmt.Errorf("%w mid-flight on %s: %v", ErrCancelled, name, err)) {
 			p.noteFailure(d, "cancelled", false)
@@ -714,7 +837,8 @@ func (p *Pool) noteHealth(d *device, rep *exec.Report, err error) {
 // prober) and migrate the failing batch's unfinished jobs.
 func (p *Pool) escalate(d *device, b *batch, jobs []*Job, cause error) {
 	name := d.spec.Name
-	p.obs.M().Counter("serve.device.fault", "device", name).Inc()
+	metricInc(p.obs, metricDeviceFault, "device", name)
+	p.flight.note(flightFault, "device", name, "cause", cause.Error())
 	if d.health.quarantine(cause.Error()) {
 		for _, qb := range d.queue.drain() {
 			p.mu.Lock()
@@ -727,7 +851,7 @@ func (p *Pool) escalate(d *device, b *batch, jobs []*Job, cause error) {
 			d.queuedBytes.Add(-qb.footprint)
 			p.migrate(d, qb, qjobs, cause)
 		}
-		p.obs.M().Gauge("serve.queue.depth", "device", name).Set(float64(d.queue.len()))
+		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", name)
 		p.wg.Add(1)
 		go p.probeLoop(d)
 	}
@@ -756,6 +880,8 @@ func (p *Pool) migrate(from *device, b *batch, jobs []*Job, cause error) {
 		return
 	}
 	fail := func(err error) {
+		p.flight.note(flightMigrFail,
+			"from", from.spec.Name, "jobs", fmt.Sprint(len(live)), "error", err.Error())
 		for _, j := range live {
 			if j.finish(nil, err) {
 				p.noteFailure(from, "migration", true)
@@ -777,12 +903,19 @@ func (p *Pool) migrate(from *device, b *batch, jobs []*Job, cause error) {
 	to.mu.Lock()
 	to.migratedIn += int64(len(live))
 	to.mu.Unlock()
-	p.obs.M().Counter("serve.migrate.batches", "from", from.spec.Name, "to", to.spec.Name).Inc()
-	p.obs.M().Counter("serve.migrate.jobs").Add(int64(len(live)))
+	metricInc(p.obs, metricMigrateBatches, "from", from.spec.Name, "to", to.spec.Name)
+	metricAdd(p.obs, metricMigrateJobs, int64(len(live)))
 	p.obs.T().MarkWall("migrate", "serve", map[string]string{
 		"from": from.spec.Name, "to": to.spec.Name,
 		"jobs": fmt.Sprint(len(live)), "cause": cause.Error(),
 	})
+	p.flight.note(flightMigrate,
+		"from", from.spec.Name, "to", to.spec.Name,
+		"jobs", fmt.Sprint(len(live)), "cause", cause.Error())
+	for _, j := range live {
+		j.trace.mark("migrate", map[string]string{
+			"from": from.spec.Name, "to": to.spec.Name, "cause": cause.Error()})
+	}
 }
 
 // probeLoop re-probes a quarantined device on the policy interval until
@@ -814,6 +947,8 @@ func (p *Pool) probe(d *device) bool {
 	d.mu.Lock()
 	d.probes++
 	d.mu.Unlock()
+	tr := p.obs.T()
+	probeStart := tr.NowSeconds()
 	g, _, err := templates.EdgeDetect(templates.EdgeConfig{
 		ImageH: 32, ImageW: 24, KernelSize: 3, Orientations: 2})
 	if err != nil {
@@ -828,8 +963,10 @@ func (p *Pool) probe(d *device) bool {
 	if clean {
 		result = "clean"
 	}
-	p.obs.M().Counter("serve.probe", "device", name, "result", result).Inc()
+	metricInc(p.obs, metricProbe, "device", name, "result", result)
+	tr.AddWall("probe:"+name, "probe:"+result, "serve.probe", probeStart, tr.NowSeconds())
 	p.obs.T().MarkWall("probe", "serve", map[string]string{"device": name, "result": result})
+	p.flight.note(flightProbe, "device", name, "result", result)
 	return clean
 }
 
@@ -877,6 +1014,10 @@ type Stats struct {
 	// number the serving benchmark compares against a serial baseline.
 	ModeledMakespanSec float64 `json:"modeled_makespan_seconds"`
 	ModeledBusySec     float64 `json:"modeled_busy_seconds"`
+	// SLOs holds per-workload-fingerprint latency quantiles (queue wait,
+	// exec, end-to-end) with exemplar job IDs. Only populated when the
+	// pool runs with an observer, so disabled-pool stats are unchanged.
+	SLOs []SLOStats `json:"slos,omitempty"`
 }
 
 // Stats snapshots the pool.
@@ -915,6 +1056,7 @@ func (p *Pool) Stats() Stats {
 		st.Devices = append(st.Devices, ds)
 	}
 	st.BreakerOpen, st.BreakerOpens = p.breaker.snapshot()
+	st.SLOs = p.slo.stats()
 	if st.ModeledMakespanSec > 0 {
 		for i := range st.Devices {
 			streams := float64(p.cfg.streams)
@@ -926,6 +1068,25 @@ func (p *Pool) Stats() Stats {
 
 // Observer returns the pool's observer (nil when observability is off).
 func (p *Pool) Observer() *obs.Observer { return p.obs }
+
+// FlightSnapshot returns the pool flight recorder's current ring
+// contents (zero value when the recorder is disabled).
+func (p *Pool) FlightSnapshot() obs.FlightSnapshot { return p.flight.snapshot() }
+
+// FlightDump writes the flight ring to the configured dump path on
+// demand, recording the given trigger. No-op when disabled.
+func (p *Pool) FlightDump(trigger string) { p.flight.dump(trigger) }
+
+// WriteTrace writes the pool-wide Chrome trace: the shared observer's
+// compile pipeline plus the per-device worker, queue, and probe lanes
+// the pool draws, one row each.
+func (p *Pool) WriteTrace(w io.Writer) error {
+	tr := p.obs.T()
+	if tr == nil {
+		return fmt.Errorf("serve: pool has no observer")
+	}
+	return tr.WriteChrome(w)
+}
 
 // Close stops accepting work, drains already-queued batches, and waits
 // for every worker stream (and the sweeper and probers) to finish.

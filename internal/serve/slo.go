@@ -1,0 +1,103 @@
+// SLO instrumentation: per-workload-fingerprint latency histograms with
+// fixed bucket boundaries for queue-wait, execution, and end-to-end
+// time, each bucket carrying the last job ID that landed in it. Stats()
+// surfaces p50/p95/p99 per fingerprint, so a bad percentile links
+// straight to a retrievable job trace via the exemplar. The board is
+// nil when the pool runs without an observer — every method is a
+// nil-receiver no-op and Stats stays byte-identical to the untraced
+// pool.
+package serve
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// fpSLO holds one fingerprint's three latency histograms.
+type fpSLO struct {
+	queue *obs.SLOHistogram // submit → start
+	exec  *obs.SLOHistogram // start → finish (wall)
+	e2e   *obs.SLOHistogram // submit → finish (wall)
+}
+
+// sloBoard is the pool's SLO ledger, one entry per workload fingerprint.
+type sloBoard struct {
+	mu   sync.Mutex
+	byFP map[string]*fpSLO
+}
+
+func newSLOBoard() *sloBoard {
+	return &sloBoard{byFP: make(map[string]*fpSLO)}
+}
+
+func (s *sloBoard) get(fp string) *fpSLO {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byFP[fp]
+	if !ok {
+		e = &fpSLO{
+			queue: obs.NewSLOHistogram(),
+			exec:  obs.NewSLOHistogram(),
+			e2e:   obs.NewSLOHistogram(),
+		}
+		s.byFP[fp] = e
+	}
+	return e
+}
+
+// observeQueue records one job's queue wait (seconds) as it starts.
+func (s *sloBoard) observeQueue(fp string, sec float64, jobID string) {
+	if s == nil {
+		return
+	}
+	s.get(fp).queue.Observe(sec, jobID)
+}
+
+// observeDone records a completed job's exec and end-to-end wall times.
+func (s *sloBoard) observeDone(fp string, execSec, e2eSec float64, jobID string) {
+	if s == nil {
+		return
+	}
+	e := s.get(fp)
+	e.exec.Observe(execSec, jobID)
+	e.e2e.Observe(e2eSec, jobID)
+}
+
+// SLOStats is one fingerprint's slice of Pool.Stats: latency quantiles
+// with exemplar job IDs for queue wait, execution, and end-to-end time.
+type SLOStats struct {
+	Fingerprint string      `json:"fingerprint"`
+	QueueWait   obs.SLOStat `json:"queue_wait"`
+	Exec        obs.SLOStat `json:"exec"`
+	EndToEnd    obs.SLOStat `json:"end_to_end"`
+}
+
+// stats snapshots every fingerprint's histograms, sorted by fingerprint
+// for deterministic output. Nil board → nil slice.
+func (s *sloBoard) stats() []SLOStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	fps := make([]string, 0, len(s.byFP))
+	entries := make(map[string]*fpSLO, len(s.byFP))
+	for fp, e := range s.byFP {
+		fps = append(fps, fp)
+		entries[fp] = e
+	}
+	s.mu.Unlock()
+	sort.Strings(fps)
+	out := make([]SLOStats, 0, len(fps))
+	for _, fp := range fps {
+		e := entries[fp]
+		out = append(out, SLOStats{
+			Fingerprint: fp,
+			QueueWait:   e.queue.Stat(),
+			Exec:        e.exec.Stat(),
+			EndToEnd:    e.e2e.Stat(),
+		})
+	}
+	return out
+}
