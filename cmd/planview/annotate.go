@@ -45,6 +45,11 @@ func annotations(g *graph.Graph, plan *sched.Plan) *graph.DOTAnnotations {
 	}
 	for _, b := range g.LiveBuffers() {
 		note := fmt.Sprintf("%d B", b.Bytes())
+		// Data-dependent footprint (e.g. a CSR adjacency): the planner
+		// sees the estimated packed size, not the logical dense extent.
+		if dense := b.Region.Size(); b.Size() != dense {
+			note = fmt.Sprintf("packed %d B of dense %d B", b.Bytes(), dense*4)
+		}
 		if s, ok := firstH2D[b.ID]; ok {
 			note += fmt.Sprintf("\\nH2D@step %d", s)
 		} else {

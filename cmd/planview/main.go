@@ -27,10 +27,11 @@ import (
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/templates"
+	"repro/internal/workload"
 )
 
 var (
-	tmpl       = flag.String("template", "edge", "template: edge, cnn, or fig3")
+	tmpl       = flag.String("template", "edge", "template: edge, cnn, fig3, pagerank, or bfs")
 	dim        = flag.Int("dim", 256, "edge image dimension / CNN height")
 	device     = flag.String("device", "c870", "GPU: c870, 8800, c1060, or mem=<bytes>")
 	dot        = flag.Bool("dot", false, "print the (split) graph in Graphviz dot, annotated with plan positions")
@@ -46,6 +47,7 @@ var (
 	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file and exit")
 	passes     = flag.Bool("passes", false, "print the compile pass pipeline for the chosen device/planner and exit")
 	plannerF   = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb")
+	schedF     = flag.String("schedule", "", "load-balancing schedule: static, mergepath, or worksteal (default static)")
 )
 
 func pickPlanner(name string) core.Planner {
@@ -86,6 +88,14 @@ func main() {
 		g, _, err = templates.CNN(templates.SmallCNN(*dim, w))
 	case "fig3":
 		g, err = templates.EdgeDetectFig3(1)
+	case "pagerank":
+		// Power-law adjacency: the sparse template whose -dot buffer notes
+		// show packed-vs-dense data-dependent footprints.
+		g, _, err = templates.PageRank(templates.SparseConfig{
+			Structure: workload.PowerLawCSR(2009, *dim, 16, 0.85), Iterations: 4})
+	case "bfs":
+		g, _, err = templates.BFSLevels(templates.SparseConfig{
+			Structure: workload.PowerLawCSR(2009, *dim, 16, 0.85), Iterations: 4})
 	default:
 		log.Fatalf("unknown template %q", *tmpl)
 	}
@@ -120,6 +130,7 @@ func main() {
 		core.WithDevice(spec),
 		core.WithPlanner(pickPlanner(*plannerF)),
 		core.WithObserver(o),
+		core.WithSchedule(*schedF),
 	)
 	eng := svc.Engine()
 	if *passes {

@@ -1,0 +1,51 @@
+package compiler
+
+import (
+	"repro/internal/graph"
+	"repro/internal/loadbalance"
+	"repro/internal/obs"
+)
+
+// ScheduleBindPass binds a load-balancing schedule onto every operator
+// that shards a row loop (graph.ScheduleBinder). It runs first in the
+// pipeline — before splitting — so split parts, which share their
+// source node's operator value, inherit the binding for free.
+//
+// Binding is a pure execution-strategy choice: it changes which host
+// goroutine computes which rows, never what is computed or what the
+// device model accounts, so it deliberately stays out of the graph
+// fingerprint. The plan-cache key still distinguishes schedules via the
+// service config string, keeping per-schedule wall-time measurements
+// honest.
+type ScheduleBindPass struct {
+	// Schedule selects the policy by name ("", "static", "mergepath",
+	// "worksteal"); empty keeps the library default.
+	Schedule string
+}
+
+// Name implements Pass.
+func (ScheduleBindPass) Name() string { return "schedule-bind" }
+
+// Run implements Pass.
+func (p ScheduleBindPass) Run(c *Compilation, sp *obs.Span) error {
+	sched, err := loadbalance.ByName(p.Schedule)
+	if err != nil {
+		return err
+	}
+	sp.SetArgf("schedule", "%s", sched.Name())
+	bound := 0
+	for _, n := range c.Graph.Nodes {
+		sb, ok := n.Op.(graph.ScheduleBinder)
+		if !ok {
+			continue
+		}
+		if sb.BoundSchedule() != nil {
+			// A template bound this operator explicitly; respect it.
+			continue
+		}
+		n.Op = sb.BindSchedule(sched)
+		bound++
+	}
+	c.Diagf("schedule-bind: %s bound to %d of %d operators", sched.Name(), bound, len(c.Graph.Nodes))
+	return nil
+}

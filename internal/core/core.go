@@ -104,6 +104,13 @@ type Config struct {
 	// Execute/Simulate creates, so injected failures exercise the
 	// resilient paths (and a serving layer's error handling) end to end.
 	Faults *gpu.Injector
+	// Schedule selects the load-balancing schedule operator kernels shard
+	// their row loops with ("static", "mergepath", "worksteal"; "" =
+	// static). Schedules change host wall time only — outputs and modeled
+	// stats are bit-identical across all of them — so this is the knob
+	// irregular (sparse) workloads tune, per compilation, the way
+	// AutoTuneSplit tunes split depth.
+	Schedule string
 	// AutoTuneSplit is an extension beyond the paper's §3.3.1 heuristic
 	// (which the paper itself notes "does not take into account the GPU
 	// memory limitations" and has "scope for improvement"): the engine
@@ -135,10 +142,13 @@ func (e *Engine) Capacity() int64 {
 }
 
 // Pipeline assembles the compile pass sequence the engine's configuration
-// implies: split → validate → one scheduling pass (chosen by Planner) →
-// prefetch (async devices with Overlap) → verify.
+// implies: schedule-bind → split → validate → one scheduling pass (chosen
+// by Planner) → prefetch (async devices with Overlap) → verify.
 func (e *Engine) Pipeline() *compiler.Pipeline {
 	passes := []compiler.Pass{
+		// Bind before split: parts share their source node's operator
+		// value, so binding the original binds every part.
+		compiler.ScheduleBindPass{Schedule: e.cfg.Schedule},
 		compiler.SplitPass{MaxParts: e.cfg.SplitMaxParts},
 		compiler.ValidatePass{},
 	}

@@ -130,10 +130,20 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	cfg = base
 	cfg.AutoTuneSplit = true
 	perturb["autotune"] = key(cfg, 40)
+	cfg = base
+	cfg.Schedule = "worksteal"
+	perturb["schedule"] = key(cfg, 40)
 	perturb["shape"] = key(base, 48)
 	for name, k := range perturb {
 		if k == ref {
 			t.Errorf("cache key ignores %s difference", name)
 		}
+	}
+	// The empty schedule IS the static schedule: both must share cache
+	// entries, or every default-config caller would compile twice.
+	cfg = base
+	cfg.Schedule = "static"
+	if key(cfg, 40) != ref {
+		t.Error("explicit static schedule does not share the default's cache key")
 	}
 }

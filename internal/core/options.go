@@ -76,6 +76,15 @@ func WithAutoTuneSplit() Option {
 	return func(c *Config) { c.AutoTuneSplit = true }
 }
 
+// WithSchedule selects the load-balancing schedule operator kernels
+// shard their row loops with: "static" (even split, the default),
+// "mergepath" (balanced by per-row work estimate), or "worksteal"
+// (chunked self-scheduling). Outputs and modeled stats are identical
+// under every schedule; only host wall time changes.
+func WithSchedule(name string) Option {
+	return func(c *Config) { c.Schedule = name }
+}
+
 // WithConfig overlays a complete Config (escape hatch for callers that
 // build configurations programmatically). Later options still apply on
 // top.

@@ -77,8 +77,15 @@ func (s *Service) configString() string {
 	c := s.eng.cfg
 	// Pipeline changes the compiled plan (it adds the prefetch pass);
 	// PipelineWorkers only changes execution, so it stays out of the key.
-	return fmt.Sprintf("planner=%s,capacity=%d,pbmax=%d,splitmax=%d,overlap=%t,autotune=%t,pipeline=%t",
-		c.Planner, s.eng.Capacity(), c.PBMaxConflicts, c.SplitMaxParts, c.Overlap, c.AutoTuneSplit, c.Pipeline)
+	// Schedule never changes the plan either, but compiled artifacts
+	// carry bound operators, so each schedule gets its own entry — that
+	// is also what keeps per-schedule wall-time comparisons honest.
+	sched := c.Schedule
+	if sched == "" {
+		sched = "static"
+	}
+	return fmt.Sprintf("planner=%s,capacity=%d,pbmax=%d,splitmax=%d,overlap=%t,autotune=%t,pipeline=%t,sched=%s",
+		c.Planner, s.eng.Capacity(), c.PBMaxConflicts, c.SplitMaxParts, c.Overlap, c.AutoTuneSplit, c.Pipeline, sched)
 }
 
 // Compile returns the compiled artifact for g, from the cache when an

@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/gpu"
+	"repro/internal/graph"
 	"repro/internal/obs"
+	"repro/internal/tensor"
 )
 
 // A second compile of an identical template must be a cache hit that
@@ -211,5 +213,53 @@ func TestServiceCompileAndExecute(t *testing.T) {
 				t.Fatalf("run %d: output differs by %v", i, rep.Outputs[id].MaxAbsDiff(w))
 			}
 		}
+	}
+}
+
+// WithSchedule must surface in the pass pipeline, bind every schedulable
+// operator in the compiled (cloned) graph, and leave the caller's graph
+// untouched.
+func TestServiceBindsScheduleAtCompile(t *testing.T) {
+	svc := NewService(WithDevice(gpu.Custom("svc-sched", 1<<20)), WithSchedule("worksteal"))
+	found := false
+	for _, name := range svc.Engine().PassNames() {
+		if name == "schedule-bind" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("schedule-bind pass missing from pipeline %v", svc.Engine().PassNames())
+	}
+
+	g := edgeGraph(t, 40, 32, 5)
+	c, _, err := svc.Compile(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Graph.Nodes {
+		sb, ok := n.Op.(graph.ScheduleBinder)
+		if !ok {
+			continue
+		}
+		if sb.BoundSchedule() == nil || sb.BoundSchedule().Name() != "worksteal" {
+			t.Fatalf("compiled node %s not bound to worksteal (got %v)", n.Name, sb.BoundSchedule())
+		}
+	}
+	for _, n := range g.Nodes {
+		if sb, ok := n.Op.(graph.ScheduleBinder); ok && sb.BoundSchedule() != nil {
+			t.Fatalf("caller's graph mutated: %s carries a bound schedule", n.Name)
+		}
+	}
+
+	// And the bound compile must still execute.
+	in := exec.Inputs{}
+	for _, b := range c.Graph.InputBuffers() {
+		sh := b.Shape()
+		tn := tensor.New(sh.Rows, sh.Cols)
+		tn.Fill(1)
+		in[b.ID] = tn
+	}
+	if _, err := svc.Execute(context.Background(), c, in); err != nil {
+		t.Fatal(err)
 	}
 }

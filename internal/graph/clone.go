@@ -12,11 +12,13 @@ func (g *Graph) Clone() *Graph {
 	bufMap := make(map[int]*Buffer, len(g.buffers))
 	for id, b := range g.buffers {
 		nb := &Buffer{
-			ID:       b.ID,
-			Name:     b.Name,
-			Region:   b.Region,
-			IsInput:  b.IsInput,
-			IsOutput: b.IsOutput,
+			ID:        b.ID,
+			Name:      b.Name,
+			Region:    b.Region,
+			IsInput:   b.IsInput,
+			IsOutput:  b.IsOutput,
+			Est:       b.Est,
+			EstDigest: b.EstDigest,
 		}
 		bufMap[id] = nb
 		out.buffers[id] = nb

@@ -58,6 +58,11 @@ func (g *Graph) Fingerprint() string {
 			sb.WriteByte(';')
 		}
 		fmt.Fprintf(&sb, "reg=%d,%d,%d,%d", b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols)
+		if b.EstDigest != "" {
+			// Data-dependent footprint: the estimator's source data (e.g.
+			// a CSR sparsity structure) is part of the buffer's identity.
+			fmt.Fprintf(&sb, ";est=%s", b.EstDigest)
+		}
 		if b.IsInput {
 			sb.WriteString(";in")
 		}

@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/ops"
 	"repro/internal/templates"
+	"repro/internal/tensor"
 )
 
 // chain builds in(shape) -> op -> out(shape), with configurable names.
@@ -52,6 +54,75 @@ func TestFingerprintSensitivity(t *testing.T) {
 		if g.Fingerprint() == base {
 			t.Errorf("fingerprint ignores %s difference", name)
 		}
+	}
+}
+
+// spmvGraph builds A,x -> spmv -> y over the given structure, reporting
+// A's footprint via the CSR estimator.
+func spmvGraph(t *testing.T, s *tensor.CSR) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	a := g.NewEstBuffer("A", graph.Shape{Rows: s.Rows, Cols: s.Cols},
+		func(r graph.Region) int64 { return s.PackedFloats(r.Row, r.Row+r.Rows) },
+		s.StructureDigest())
+	a.IsInput = true
+	x := g.NewBuffer("x", graph.Shape{Rows: s.Cols, Cols: 1})
+	x.IsInput = true
+	y := g.NewBuffer("y", graph.Shape{Rows: s.Rows, Cols: 1})
+	y.IsOutput = true
+	g.MustAddNode("spmv", ops.NewSpMV(s),
+		[]graph.Arg{graph.SingleArg(a), graph.SingleArg(x)}, graph.SingleArg(y))
+	return g
+}
+
+// TestFingerprintDistinguishesSparsity is the sparse-op regression test:
+// two SpMV graphs with identical shapes and nnz but different sparsity
+// patterns must not share a fingerprint (the plan cache and serve
+// coalescing would otherwise merge jobs over different structures),
+// while re-building over the same structure must.
+func TestFingerprintDistinguishesSparsity(t *testing.T) {
+	mk := func(cols []int32) *tensor.CSR {
+		s, err := tensor.NewCSR(3, 4, []int32{0, 2, 3, 4}, cols, []float32{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s1 := mk([]int32{0, 2, 1, 3})
+	s1b := mk([]int32{0, 2, 1, 3})
+	s2 := mk([]int32{1, 3, 0, 2}) // same shape, same nnz per row, different columns
+	a, ab, b := spmvGraph(t, s1).Fingerprint(), spmvGraph(t, s1b).Fingerprint(), spmvGraph(t, s2).Fingerprint()
+	if a != ab {
+		t.Fatal("identical sparse graphs fingerprint differently")
+	}
+	if a == b {
+		t.Fatal("fingerprint ignores CSR sparsity structure")
+	}
+	// The estimator digest alone must also matter: same op, different
+	// buffer-level footprint identity.
+	g := spmvGraph(t, s1)
+	for _, buf := range g.Buffers() {
+		if buf.EstDigest != "" {
+			buf.EstDigest = "0000"
+		}
+	}
+	if g.Fingerprint() == a {
+		t.Fatal("fingerprint ignores buffer estimator digest")
+	}
+}
+
+// TestFingerprintInvariantUnderScheduleBinding pins the design rule that
+// a bound load-balancing schedule is not part of the graph's identity:
+// schedules change wall time only, and plan reuse across schedules is
+// keyed by the service config string instead.
+func TestFingerprintInvariantUnderScheduleBinding(t *testing.T) {
+	g := chain(t, "", 8, 8, ops.NewScale(2))
+	base := g.Fingerprint()
+	for _, n := range g.Nodes {
+		n.Op = n.Op.(graph.ScheduleBinder).BindSchedule(loadbalance.WorkSteal{})
+	}
+	if g.Fingerprint() != base {
+		t.Fatal("schedule binding changed the fingerprint")
 	}
 }
 

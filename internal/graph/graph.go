@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -85,14 +86,43 @@ type Buffer struct {
 	// starts); IsOutput marks buffers that must end up in host memory.
 	IsInput  bool
 	IsOutput bool
+
+	// Est, when set on a root buffer, estimates the device footprint in
+	// floats of any region of the buffer, replacing the closed-form
+	// rows×cols rule. Sparse tensors set it so footprints track nnz (the
+	// packed CSR storage) rather than the dense logical extent, and the
+	// planner, splitter, and admission control all consume it through
+	// Size/EstimateRegion without knowing why. Must be deterministic and
+	// monotonic in the region. Child buffers inherit the root's estimator.
+	Est func(Region) int64
+	// EstDigest canonically identifies the data the estimator derives
+	// from (e.g. a CSR structure digest). Fingerprint folds it into the
+	// graph hash so plans for different sparsity structures never share
+	// a cache entry. Required whenever Est is set.
+	EstDigest string
 }
 
 // Shape returns the buffer's own extent.
 func (b *Buffer) Shape() Shape { return b.Region.Shape() }
 
-// Size returns the number of floats in the buffer (the paper counts all
-// data volumes in floats).
-func (b *Buffer) Size() int64 { return b.Region.Size() }
+// EstimateRegion returns the device footprint in floats of the given
+// region of the buffer's root: the root's estimator when present, else
+// the dense rows×cols size.
+func (b *Buffer) EstimateRegion(reg Region) int64 {
+	if b.Root != nil && b.Root.Est != nil {
+		return b.Root.Est(reg)
+	}
+	if b.Est != nil { // root buffer under construction (Root not yet set)
+		return b.Est(reg)
+	}
+	return reg.Size()
+}
+
+// Size returns the number of floats the buffer occupies on a device. For
+// dense buffers this is the region's element count (the paper counts all
+// data volumes in floats); buffers with a footprint estimator report the
+// estimated packed size instead.
+func (b *Buffer) Size() int64 { return b.EstimateRegion(b.Region) }
 
 // Bytes returns the buffer size in bytes (float32 storage).
 func (b *Buffer) Bytes() int64 { return b.Size() * 4 }
@@ -214,6 +244,20 @@ type RegionRunner interface {
 	RunRegion(in []*tensor.Tensor, inRegs []Region, out *tensor.Tensor, outReg Region) error
 }
 
+// ScheduleBinder is implemented by operators whose kernels shard their
+// row loop through a loadbalance.Schedule. BindSchedule returns a copy
+// of the operator with the schedule bound (the receiver is not
+// modified); BoundSchedule returns the bound schedule, or nil when the
+// operator still falls back to loadbalance.Default. The compiler's
+// schedule-bind pass uses this to select a balancing policy per
+// compilation without the choice leaking into the graph fingerprint:
+// schedules change only wall time, never outputs or modeled stats.
+type ScheduleBinder interface {
+	Operator
+	BindSchedule(s loadbalance.Schedule) Operator
+	BoundSchedule() loadbalance.Schedule
+}
+
 // Node is one operator instance in the graph.
 type Node struct {
 	ID   int
@@ -294,6 +338,20 @@ func (g *Graph) NewBuffer(name string, s Shape) *Buffer {
 	b.Root = b
 	g.nextBufID++
 	g.buffers[b.ID] = b
+	return b
+}
+
+// NewEstBuffer creates a fresh root buffer whose device footprint is
+// given by the estimator est (see Buffer.Est) instead of the dense
+// rows×cols rule; digest canonically identifies the data est derives
+// from and is folded into the graph fingerprint.
+func (g *Graph) NewEstBuffer(name string, s Shape, est func(Region) int64, digest string) *Buffer {
+	if est == nil || digest == "" {
+		panic("graph: NewEstBuffer requires an estimator and a digest")
+	}
+	b := g.NewBuffer(name, s)
+	b.Est = est
+	b.EstDigest = digest
 	return b
 }
 

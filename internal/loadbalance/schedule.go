@@ -1,0 +1,278 @@
+// Package loadbalance decouples how row-parallel kernel work is balanced
+// across host workers (the *schedule*) from what each row computes (the
+// *computation*), following the gunrock-loops design. Operator kernels in
+// internal/ops shard their row loops through a Schedule; which schedule
+// runs is selectable per operator and per compilation (core.Config), so
+// the same kernel can execute under static even-splitting, merge-path
+// style work balancing, or work-stealing without changing a line of
+// kernel code.
+//
+// Every schedule partitions [0, rows) into disjoint contiguous ranges and
+// invokes the range function exactly once per range, so a row-local
+// kernel produces bit-identical output under every schedule — only wall
+// time differs. Schedules never touch simulated-device accounting.
+package loadbalance
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MinRowsPerWorker is the default smallest per-goroutine row share for
+// uniform-cost work: below it, goroutine spawn/join overhead exceeds the
+// row work for the small CNN layers, so tiny tensors run inline.
+const MinRowsPerWorker = 64
+
+// DefaultChunk is the work-stealing schedule's default claim granularity
+// in rows.
+const DefaultChunk = 32
+
+// CostFn estimates the relative work of one row (e.g. a CSR row's
+// nonzero count). A nil CostFn means uniform cost per row.
+type CostFn func(row int) int64
+
+// RangeFn is the kernel body: compute output rows [r0, r1). It must be
+// safe to call concurrently for disjoint ranges.
+type RangeFn func(r0, r1 int)
+
+// Schedule balances a row loop across workers. Run partitions [0, rows)
+// into disjoint contiguous ranges, each passed to fn exactly once
+// (possibly concurrently), and returns only when all ranges completed.
+type Schedule interface {
+	// Name returns the stable identifier used for selection and cache
+	// keys ("static", "mergepath", "worksteal").
+	Name() string
+	// Run executes fn over [0, rows) under this schedule's balancing
+	// policy. cost may be nil (uniform rows).
+	Run(rows int, cost CostFn, fn RangeFn)
+}
+
+// Default is the schedule operators fall back to when none was bound:
+// the static even split, byte-for-byte the library's historical row
+// sharding.
+var Default Schedule = Static{}
+
+// Names returns the selectable schedule names in canonical order.
+func Names() []string { return []string{"static", "mergepath", "worksteal"} }
+
+// ByName resolves a schedule by name ("" selects the default static
+// schedule).
+func ByName(name string) (Schedule, error) {
+	switch name {
+	case "", "static":
+		return Static{}, nil
+	case "mergepath", "merge-path":
+		return MergePath{}, nil
+	case "worksteal", "work-steal", "work-stealing":
+		return WorkSteal{}, nil
+	}
+	return nil, fmt.Errorf("loadbalance: unknown schedule %q (want one of %v)", name, Names())
+}
+
+// Static is the even contiguous split: up to GOMAXPROCS workers, each a
+// nearly-equal row range, but never fewer than MinRows rows per worker
+// (small shapes run inline on the calling goroutine). It ignores the
+// cost function entirely, which is exactly what makes it collapse on
+// skewed row distributions: a chunk holding the heavy rows serializes
+// the whole launch.
+type Static struct {
+	// Workers overrides the worker bound (0 = GOMAXPROCS).
+	Workers int
+	// MinRows overrides the per-worker row threshold
+	// (0 = MinRowsPerWorker).
+	MinRows int
+}
+
+// Name implements Schedule.
+func (Static) Name() string { return "static" }
+
+// Run implements Schedule.
+func (s Static) Run(rows int, _ CostFn, fn RangeFn) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	minRows := s.MinRows
+	if minRows <= 0 {
+		minRows = MinRowsPerWorker
+	}
+	if mw := rows / minRows; workers > mw {
+		workers = mw
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for r0 := 0; r0 < rows; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > rows {
+			r1 = rows
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MergePath balances by estimated work instead of row count: it places
+// worker boundaries on the prefix sum of per-row cost so every worker
+// receives a nearly-equal share of total work (the merge-path / equal
+// work-diagonal decomposition). With a nil cost function it degenerates
+// to the static even split.
+type MergePath struct {
+	// Workers overrides the worker bound (0 = GOMAXPROCS).
+	Workers int
+	// MinRows is the inline threshold for uniform-cost runs
+	// (0 = MinRowsPerWorker). Cost-aware runs go parallel whenever
+	// there are at least two rows: skew, not row count, is what makes
+	// the goroutines worthwhile.
+	MinRows int
+}
+
+// Name implements Schedule.
+func (MergePath) Name() string { return "mergepath" }
+
+// Run implements Schedule.
+func (m MergePath) Run(rows int, cost CostFn, fn RangeFn) {
+	if cost == nil {
+		Static{Workers: m.Workers, MinRows: m.MinRows}.Run(rows, nil, fn)
+		return
+	}
+	workers := m.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	// Prefix sum of per-row cost; each row carries at least one unit so
+	// runs of empty rows still spread across workers.
+	prefix := make([]int64, rows+1)
+	for r := 0; r < rows; r++ {
+		c := cost(r)
+		if c < 1 {
+			c = 1
+		}
+		prefix[r+1] = prefix[r] + c
+	}
+	total := prefix[rows]
+	// Equal-work boundaries: worker i starts at the first row whose
+	// prefix reaches diagonal i*total/workers. Rows are indivisible
+	// here (kernels are row-local), so when one giant row swallows
+	// several diagonals the ideal boundaries coincide; clamping them
+	// strictly increasing keeps every worker non-empty — the giant row
+	// is the wall-time floor either way, and the light rows still
+	// spread instead of piling onto one worker.
+	bounds := make([]int, workers+1)
+	bounds[workers] = rows
+	for i := 1; i < workers; i++ {
+		target := total * int64(i) / int64(workers)
+		b := sort.Search(rows, func(r int) bool { return prefix[r] >= target })
+		if lo := bounds[i-1] + 1; b < lo {
+			b = lo
+		}
+		if hi := rows - (workers - i); b > hi {
+			b = hi
+		}
+		bounds[i] = b
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		r0, r1 := bounds[i], bounds[i+1]
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			fn(a, b)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// WorkSteal is chunked self-scheduling: the row range is cut into
+// fixed-size chunks and a pool of workers claims chunks off a shared
+// atomic counter. No worker idles while chunks remain, so skewed rows
+// are absorbed dynamically without needing a cost estimate up front —
+// at the price of one atomic per chunk.
+type WorkSteal struct {
+	// Workers overrides the worker bound (0 = GOMAXPROCS).
+	Workers int
+	// Chunk is the claim granularity in rows (0 = DefaultChunk).
+	Chunk int
+	// MinRows is the inline threshold for uniform-cost runs
+	// (0 = MinRowsPerWorker); cost-aware runs go parallel from two
+	// rows up, like MergePath.
+	MinRows int
+}
+
+// Name implements Schedule.
+func (WorkSteal) Name() string { return "worksteal" }
+
+// Run implements Schedule.
+func (w WorkSteal) Run(rows int, cost CostFn, fn RangeFn) {
+	workers := w.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cost == nil {
+		// Uniform cost: respect the inline threshold so small dense
+		// shapes never pay goroutine overhead.
+		minRows := w.MinRows
+		if minRows <= 0 {
+			minRows = MinRowsPerWorker
+		}
+		if mw := rows / minRows; workers > mw {
+			workers = mw
+		}
+	}
+	chunk := w.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	nChunks := (rows + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				r0 := c * chunk
+				r1 := r0 + chunk
+				if r1 > rows {
+					r1 = rows
+				}
+				fn(r0, r1)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+var (
+	_ Schedule = Static{}
+	_ Schedule = MergePath{}
+	_ Schedule = WorkSteal{}
+)

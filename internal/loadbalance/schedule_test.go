@@ -1,0 +1,224 @@
+package loadbalance
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func allSchedules() []Schedule {
+	return []Schedule{
+		Static{},
+		MergePath{},
+		WorkSteal{},
+		Static{Workers: 3, MinRows: 1},
+		MergePath{Workers: 5},
+		WorkSteal{Workers: 4, Chunk: 7, MinRows: 1},
+	}
+}
+
+// coverage runs the schedule and returns the ranges fn was called with.
+func coverage(t *testing.T, s Schedule, rows int, cost CostFn) [][2]int {
+	t.Helper()
+	var mu sync.Mutex
+	var ranges [][2]int
+	s.Run(rows, cost, func(r0, r1 int) {
+		mu.Lock()
+		ranges = append(ranges, [2]int{r0, r1})
+		mu.Unlock()
+	})
+	return ranges
+}
+
+// checkCoverage asserts the ranges partition [0, rows) exactly: disjoint,
+// contiguous after sorting, and complete.
+func checkCoverage(t *testing.T, name string, rows int, ranges [][2]int) {
+	t.Helper()
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	at := 0
+	for _, r := range ranges {
+		if r[0] != at {
+			t.Fatalf("%s rows=%d: range starts at %d, want %d (ranges %v)", name, rows, r[0], at, ranges)
+		}
+		if r[1] <= r[0] {
+			t.Fatalf("%s rows=%d: empty or inverted range %v", name, rows, r)
+		}
+		at = r[1]
+	}
+	if at != rows {
+		t.Fatalf("%s rows=%d: coverage ends at %d (ranges %v)", name, rows, at, ranges)
+	}
+}
+
+func adversarialCosts(rows int) map[string]CostFn {
+	return map[string]CostFn{
+		"uniform":  nil,
+		"all-ones": func(int) int64 { return 1 },
+		// Every row empty: merge-path must still spread rows, not
+		// collapse onto one worker.
+		"all-empty": func(int) int64 { return 0 },
+		// One row dwarfs the matrix: the giant row pins one worker and
+		// the rest must share the remainder.
+		"single-giant-first": func(r int) int64 {
+			if r == 0 {
+				return 1 << 30
+			}
+			return 1
+		},
+		"single-giant-last": func(r int) int64 {
+			if rows > 0 && r == rows-1 {
+				return 1 << 30
+			}
+			return 0
+		},
+		"powerlaw": func(r int) int64 { return int64(1<<20) / int64(r+1) },
+	}
+}
+
+func TestSchedulesCoverRowsExactlyOnce(t *testing.T) {
+	for _, rows := range []int{0, 1, 2, 7, 63, 64, 65, 128, 1000, 4096} {
+		for costName, cost := range adversarialCosts(rows) {
+			for _, s := range allSchedules() {
+				ranges := coverage(t, s, rows, cost)
+				if rows == 0 {
+					// fn(0, 0) once is acceptable; any real range is not.
+					for _, r := range ranges {
+						if r[0] != 0 || r[1] != 0 {
+							t.Fatalf("%s rows=0 cost=%s: nonempty range %v", s.Name(), costName, r)
+						}
+					}
+					continue
+				}
+				checkCoverage(t, s.Name()+"/"+costName, rows, ranges)
+			}
+		}
+	}
+}
+
+// TestSchedulesBitIdentical runs the same row-local kernel under every
+// schedule and requires byte-for-byte identical output, including on
+// adversarial CSR-like cost profiles.
+func TestSchedulesBitIdentical(t *testing.T) {
+	const rows, cols = 257, 33
+	rng := rand.New(rand.NewSource(42))
+	in := make([]float32, rows*cols)
+	for i := range in {
+		in[i] = rng.Float32()*2 - 1
+	}
+	kernel := func(out []float32) RangeFn {
+		return func(r0, r1 int) {
+			for r := r0; r < r1; r++ {
+				var acc float32
+				for c := 0; c < cols; c++ {
+					v := in[r*cols+c]
+					acc += v * v
+					out[r*cols+c] = v*0.5 + acc
+				}
+			}
+		}
+	}
+	for costName, cost := range adversarialCosts(rows) {
+		ref := make([]float32, rows*cols)
+		kernel(ref)(0, rows)
+		for _, s := range allSchedules() {
+			got := make([]float32, rows*cols)
+			s.Run(rows, cost, kernel(got))
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s/%s: output differs at %d: %v != %v", s.Name(), costName, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStaticMatchesHistoricalSharding pins the static schedule to the
+// exact decomposition of the old ops.parallelRows helper.
+func TestStaticMatchesHistoricalSharding(t *testing.T) {
+	old := func(rows, workers int) [][2]int {
+		if mw := rows / MinRowsPerWorker; workers > mw {
+			workers = mw
+		}
+		if workers <= 1 {
+			return [][2]int{{0, rows}}
+		}
+		var out [][2]int
+		chunk := (rows + workers - 1) / workers
+		for r0 := 0; r0 < rows; r0 += chunk {
+			r1 := r0 + chunk
+			if r1 > rows {
+				r1 = rows
+			}
+			out = append(out, [2]int{r0, r1})
+		}
+		return out
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, rows := range []int{1, 63, 64, 127, 128, 500, 4096} {
+			want := old(rows, workers)
+			got := coverage(t, Static{Workers: workers}, rows, nil)
+			sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d rows=%d: %v != historical %v", workers, rows, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d rows=%d: %v != historical %v", workers, rows, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMergePathBalancesSkew checks merge-path actually balances work:
+// with one giant row, no other worker's share may contain the bulk of
+// the remaining rows when enough workers are available.
+func TestMergePathBalancesSkew(t *testing.T) {
+	const rows = 1024
+	cost := func(r int) int64 {
+		if r == 0 {
+			return 1_000_000
+		}
+		return 1
+	}
+	ranges := coverage(t, MergePath{Workers: 4}, rows, cost)
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i][0] < ranges[j][0] })
+	checkCoverage(t, "mergepath/skew", rows, ranges)
+	// The giant row must sit alone in the first range: all remaining
+	// work is a rounding error next to it.
+	if ranges[0] != [2]int{0, 1} {
+		t.Fatalf("giant row not isolated: first range %v (all %v)", ranges[0], ranges)
+	}
+	if len(ranges) < 3 {
+		t.Fatalf("light rows not spread: ranges %v", ranges)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"", "static"},
+		{"static", "static"},
+		{"mergepath", "mergepath"},
+		{"merge-path", "mergepath"},
+		{"worksteal", "worksteal"},
+		{"work-stealing", "worksteal"},
+	} {
+		s, err := ByName(tc.in)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", tc.in, err)
+		}
+		if s.Name() != tc.want {
+			t.Fatalf("ByName(%q).Name() = %q, want %q", tc.in, s.Name(), tc.want)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus): want error")
+	}
+	if got := Names(); len(got) != 3 {
+		t.Fatalf("Names() = %v", got)
+	}
+}

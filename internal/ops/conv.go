@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -16,7 +17,15 @@ import (
 // parallel: computing an output region requires the input region inflated
 // by the kernel halo, and the kernel matrix itself must never be split.
 type Conv2D struct {
+	schedulable
 	Kh, Kw int // kernel dims, recorded for shape checking
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (c *Conv2D) BindSchedule(s loadbalance.Schedule) graph.Operator {
+	c2 := *c
+	c2.sched = s
+	return &c2
 }
 
 // NewConv2D returns a convolution operator for a kh×kw kernel.
@@ -61,7 +70,7 @@ func (c *Conv2D) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 		return fmt.Errorf("ops: conv2d image %v inconsistent with output %v and kernel %dx%d",
 			img, out, c.Kh, c.Kw)
 	}
-	parallelRows(oh, func(r0, r1 int) {
+	c.rows(oh, nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			orow := out.Row(r)
 			for col := 0; col < ow; col++ {
@@ -103,6 +112,7 @@ func (c *Conv2D) InputRegion(i int, out graph.Region, in []graph.Region) (graph.
 }
 
 var (
-	_ graph.Operator   = (*Conv2D)(nil)
-	_ graph.Splittable = (*Conv2D)(nil)
+	_ graph.Operator       = (*Conv2D)(nil)
+	_ graph.Splittable     = (*Conv2D)(nil)
+	_ graph.ScheduleBinder = (*Conv2D)(nil)
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -19,7 +20,15 @@ import (
 // splitting pass must know where its clipped input region sits relative to
 // the image boundary to pad correctly.
 type Conv2DSame struct {
+	schedulable
 	Kh, Kw int
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (c *Conv2DSame) BindSchedule(s loadbalance.Schedule) graph.Operator {
+	c2 := *c
+	c2.sched = s
+	return &c2
 }
 
 // NewConv2DSame returns a same-size convolution for a kh×kw kernel.
@@ -81,7 +90,7 @@ func (c *Conv2DSame) RunRegion(in []*tensor.Tensor, inRegs []graph.Region, out *
 		return fmt.Errorf("ops: conv2d-same image tensor %v != region %v", img, inRegs[0])
 	}
 	pt, pl := c.PadTop(), c.PadLeft()
-	parallelRows(out.Rows(), func(r0, r1 int) {
+	c.rows(out.Rows(), nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			absR := outReg.Row + r
 			orow := out.Row(r)
@@ -171,4 +180,5 @@ var (
 	_ graph.Splittable      = (*Conv2DSame)(nil)
 	_ graph.RegionRunner    = (*Conv2DSame)(nil)
 	_ graph.RegionValidator = (*Conv2DSame)(nil)
+	_ graph.ScheduleBinder  = (*Conv2DSame)(nil)
 )

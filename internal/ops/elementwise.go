@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -13,6 +14,7 @@ import (
 // Data-parallel operators are the easy split target the paper mentions:
 // any output region needs exactly the matching input regions.
 type elementwise struct {
+	schedulable
 	kind  string
 	nIn   int
 	flops int64 // FLOPs per output element
@@ -21,6 +23,13 @@ type elementwise struct {
 	// bounds, scale factors, input arity) for graph fingerprinting; the
 	// closure itself cannot be hashed.
 	params string
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (e *elementwise) BindSchedule(s loadbalance.Schedule) graph.Operator {
+	e2 := *e
+	e2.sched = s
+	return &e2
 }
 
 func (e *elementwise) Kind() string { return e.kind }
@@ -41,7 +50,7 @@ func (e *elementwise) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 			return fmt.Errorf("ops: %s input %d shape %v != output %v", e.kind, i, t, out)
 		}
 	}
-	parallelRows(out.Rows(), func(r0, r1 int) {
+	e.rows(out.Rows(), nil, func(r0, r1 int) {
 		buf := make([]float32, len(in))
 		for r := r0; r < r1; r++ {
 			orow := out.Row(r)
@@ -70,8 +79,9 @@ func (e *elementwise) InputRegion(i int, out graph.Region, in []graph.Region) (g
 }
 
 var (
-	_ graph.Operator   = (*elementwise)(nil)
-	_ graph.Splittable = (*elementwise)(nil)
+	_ graph.Operator       = (*elementwise)(nil)
+	_ graph.Splittable     = (*elementwise)(nil)
+	_ graph.ScheduleBinder = (*elementwise)(nil)
 )
 
 // NewMaxCombine returns the reduction operator the edge-detection template
@@ -167,10 +177,32 @@ func NewCopy() graph.Operator {
 	}}
 }
 
+// NewFrontierMask returns the BFS frontier-expansion mask: given
+// [candidates, visited], an element becomes 1 where the candidate value
+// is positive and the vertex is unvisited (visited == 0), else 0. The
+// BFS-levels template composes it with SpMV to advance one level.
+func NewFrontierMask() graph.Operator {
+	return &elementwise{kind: "frontier", nIn: 2, flops: 2, fn: func(v []float32) float32 {
+		if v[0] > 0 && v[1] == 0 {
+			return 1
+		}
+		return 0
+	}}
+}
+
 // BiasAdd adds a scalar bias held in a 1×1 buffer to every element of its
 // first input (the B inputs of Fig. 7). The bias buffer is replicated on
 // split, like a convolution kernel.
-type BiasAdd struct{}
+type BiasAdd struct {
+	schedulable
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (b *BiasAdd) BindSchedule(s loadbalance.Schedule) graph.Operator {
+	b2 := *b
+	b2.sched = s
+	return &b2
+}
 
 // NewBiasAdd returns a BiasAdd operator.
 func NewBiasAdd() *BiasAdd { return &BiasAdd{} }
@@ -190,7 +222,7 @@ func (b *BiasAdd) OutShape(in []graph.Shape) (graph.Shape, error) {
 }
 
 // Run implements graph.Operator.
-func (*BiasAdd) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
+func (b *BiasAdd) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 	x, bias := in[0], in[1]
 	if bias.Len() != 1 {
 		return fmt.Errorf("ops: bias tensor must be 1x1, got %v", bias)
@@ -199,7 +231,7 @@ func (*BiasAdd) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 		return fmt.Errorf("ops: bias input %v != output %v", x, out)
 	}
 	bv := bias.At(0, 0)
-	parallelRows(out.Rows(), func(r0, r1 int) {
+	b.rows(out.Rows(), nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			xr, or := x.Row(r), out.Row(r)
 			for c := range or {
@@ -223,6 +255,7 @@ func (*BiasAdd) InputRegion(i int, out graph.Region, in []graph.Region) (graph.R
 }
 
 var (
-	_ graph.Operator   = (*BiasAdd)(nil)
-	_ graph.Splittable = (*BiasAdd)(nil)
+	_ graph.Operator       = (*BiasAdd)(nil)
+	_ graph.Splittable     = (*BiasAdd)(nil)
+	_ graph.ScheduleBinder = (*BiasAdd)(nil)
 )

@@ -4,49 +4,41 @@
 // graph.Operator: statically-defined shape and FLOP behaviour plus a CPU
 // kernel, and — where the operator is splittable — the graph.Splittable
 // region rule used by the operator-splitting pass.
+//
+// Operator kernels shard their row loops through a loadbalance.Schedule
+// (see internal/loadbalance): each op embeds schedulable and implements
+// graph.ScheduleBinder, so the compiler can bind a balancing policy per
+// compilation. Unbound operators run under loadbalance.Default, which is
+// the library's historical static even split.
 package ops
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 )
 
-// minRowsPerWorker is the smallest per-goroutine row share parallelRows
-// will shard down to: below it, goroutine spawn/join overhead exceeds the
-// row work for the small CNN layers, so tiny tensors run inline.
-const minRowsPerWorker = 64
+// schedulable carries an operator's bound load-balancing schedule. Ops
+// embed it by value and shard row loops through rows(); a nil schedule
+// falls back to loadbalance.Default. It deliberately has no Params: the
+// schedule changes wall time only, never outputs or modeled stats, so it
+// must not perturb graph fingerprints.
+type schedulable struct {
+	sched loadbalance.Schedule
+}
 
-// parallelRows runs fn(r0, r1) over [0, rows) sharded across up to
-// GOMAXPROCS goroutines, but never with fewer than minRowsPerWorker rows
-// per worker. Operator kernels use it so that "GPU" kernel execution in
-// materialized mode exploits the host's cores without paying goroutine
-// overhead on small shapes.
-func parallelRows(rows int, fn func(r0, r1 int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if mw := rows / minRowsPerWorker; workers > mw {
-		workers = mw
+// BoundSchedule implements half of graph.ScheduleBinder.
+func (s *schedulable) BoundSchedule() loadbalance.Schedule { return s.sched }
+
+// rows runs fn over [0, n) under the bound schedule (or the default).
+// cost is the per-row work estimate for balancing; nil means uniform.
+func (s *schedulable) rows(n int, cost loadbalance.CostFn, fn loadbalance.RangeFn) {
+	sched := s.sched
+	if sched == nil {
+		sched = loadbalance.Default
 	}
-	if workers <= 1 {
-		fn(0, rows)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for r0 := 0; r0 < rows; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > rows {
-			r1 = rows
-		}
-		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			fn(a, b)
-		}(r0, r1)
-	}
-	wg.Wait()
+	sched.Run(n, cost, fn)
 }
 
 func wantInputs(kind string, in []graph.Shape, n int) error {

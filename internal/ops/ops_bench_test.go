@@ -1,16 +1,19 @@
 package ops
 
 import (
+	"math"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
 // benchConv runs the 2-D convolution kernel over an h×w image — the
-// operator whose row loop parallelRows shards.
+// operator whose row loop the schedule shards.
 func benchConv(b *testing.B, h, w, k int) {
 	rng := rand.New(rand.NewSource(1))
 	img := randTensor(rng, h, w)
@@ -31,7 +34,7 @@ func benchConv(b *testing.B, h, w, k int) {
 }
 
 // BenchmarkConv2DRowSharding contrasts shapes below and above the
-// minRowsPerWorker threshold: small images must not pay goroutine
+// MinRowsPerWorker threshold: small images must not pay goroutine
 // spawn/join overhead, large ones shard across the host's cores.
 func BenchmarkConv2DRowSharding(b *testing.B) {
 	for _, c := range []struct {
@@ -46,22 +49,103 @@ func BenchmarkConv2DRowSharding(b *testing.B) {
 	}
 }
 
-// TestParallelRowsThreshold pins the sharding policy itself: row counts
-// below minRowsPerWorker run inline on the calling goroutine, larger
-// counts cover the range exactly once across shards.
-func TestParallelRowsThreshold(t *testing.T) {
-	for _, rows := range []int{1, minRowsPerWorker - 1, minRowsPerWorker,
-		4 * minRowsPerWorker, 1000} {
+// TestDefaultScheduleThreshold pins the default sharding policy: row
+// counts below MinRowsPerWorker run inline on the calling goroutine,
+// larger counts cover the range exactly once across shards.
+func TestDefaultScheduleThreshold(t *testing.T) {
+	min := loadbalance.MinRowsPerWorker
+	for _, rows := range []int{1, min - 1, min, 4 * min, 1000} {
+		var sh schedulable // unbound: falls back to loadbalance.Default
 		var calls, covered int64
-		parallelRows(rows, func(r0, r1 int) {
+		sh.rows(rows, nil, func(r0, r1 int) {
 			atomic.AddInt64(&calls, 1)
 			atomic.AddInt64(&covered, int64(r1-r0))
 		})
 		if covered != int64(rows) {
 			t.Fatalf("rows=%d: covered %d rows", rows, covered)
 		}
-		if rows < 2*minRowsPerWorker && calls != 1 {
+		if rows < 2*min && calls != 1 {
 			t.Fatalf("rows=%d: %d shards, want inline execution", rows, calls)
+		}
+	}
+}
+
+// benchPowerLawCSR builds an n×n CSR whose row degrees follow
+// degree(i) ∝ (i+1)^-skew — hub rows clustered at low indices, exactly
+// the distribution that overloads the static schedule's first chunk.
+func benchPowerLawCSR(b *testing.B, seed int64, n, avgNNZ int, skew float64) *tensor.CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -skew)
+		wsum += weights[i]
+	}
+	total := n * avgNNZ
+	rowPtr := make([]int32, n+1)
+	var colIdx []int32
+	for r := 0; r < n; r++ {
+		deg := int(float64(total) * weights[r] / wsum)
+		if deg > n {
+			deg = n
+		}
+		if deg < 1 {
+			deg = 1
+		}
+		cols := rng.Perm(n)[:deg]
+		sort.Ints(cols)
+		for _, c := range cols {
+			colIdx = append(colIdx, int32(c))
+		}
+		rowPtr[r+1] = int32(len(colIdx))
+	}
+	val := make([]float32, len(colIdx))
+	for i := range val {
+		val[i] = rng.Float32()
+	}
+	s, err := tensor.NewCSR(n, n, rowPtr, colIdx, val)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSpMVSchedules compares the three load-balancing schedules on
+// the SpMV kernel over a power-law (skewed) and a uniform row
+// distribution. The merge-path and work-stealing schedules should beat
+// the static even split on the skewed matrix — the static split's first
+// chunk holds the hub rows and serializes the launch — and match it on
+// the uniform one.
+func BenchmarkSpMVSchedules(b *testing.B) {
+	const n, avgNNZ = 2048, 48
+	dists := []struct {
+		name string
+		s    *tensor.CSR
+	}{
+		{"powerlaw", benchPowerLawCSR(b, 7, n, avgNNZ, 0.85)},
+		{"uniform", benchPowerLawCSR(b, 7, n, avgNNZ, 0)},
+	}
+	for _, d := range dists {
+		a := d.s.Dense()
+		x := tensor.New(n, 1)
+		for i := 0; i < n; i++ {
+			x.Set(i, 0, 1/float32(n))
+		}
+		out := tensor.New(n, 1)
+		for _, name := range loadbalance.Names() {
+			sched, err := loadbalance.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			op := NewSpMV(d.s).BindSchedule(sched)
+			b.Run(d.name+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := op.Run([]*tensor.Tensor{a, x}, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

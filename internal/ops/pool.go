@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -11,7 +12,15 @@ import (
 // pooling. Input (H×W) must have H and W divisible by K; the output is
 // (H/K)×(W/K).
 type Subsample struct {
+	schedulable
 	K int
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (s *Subsample) BindSchedule(sch loadbalance.Schedule) graph.Operator {
+	s2 := *s
+	s2.sched = sch
+	return &s2
 }
 
 // NewSubsample returns a K×K average-pooling operator.
@@ -46,7 +55,7 @@ func (s *Subsample) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 		return fmt.Errorf("ops: subsample input %v inconsistent with output %v (K=%d)", x, out, s.K)
 	}
 	inv := 1 / float32(s.K*s.K)
-	parallelRows(out.Rows(), func(r0, r1 int) {
+	s.rows(out.Rows(), nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			orow := out.Row(r)
 			for c := range orow {
@@ -81,17 +90,27 @@ func (s *Subsample) InputRegion(i int, out graph.Region, in []graph.Region) (gra
 }
 
 var (
-	_ graph.Operator   = (*Subsample)(nil)
-	_ graph.Splittable = (*Subsample)(nil)
+	_ graph.Operator       = (*Subsample)(nil)
+	_ graph.Splittable     = (*Subsample)(nil)
+	_ graph.ScheduleBinder = (*Subsample)(nil)
 )
 
 // MatMul multiplies A (M×K) by B (K×N) producing M×N. The paper uses it
 // as the example of a split-rule hint: a large matrix multiply is split by
 // breaking up A and the output along rows while B is replicated.
-type MatMul struct{}
+type MatMul struct {
+	schedulable
+}
 
 // NewMatMul returns a matrix-multiplication operator.
 func NewMatMul() *MatMul { return &MatMul{} }
+
+// BindSchedule implements graph.ScheduleBinder.
+func (m *MatMul) BindSchedule(sch loadbalance.Schedule) graph.Operator {
+	m2 := *m
+	m2.sched = sch
+	return &m2
+}
 
 // Kind implements graph.Operator.
 func (*MatMul) Kind() string { return "matmul" }
@@ -108,13 +127,13 @@ func (m *MatMul) OutShape(in []graph.Shape) (graph.Shape, error) {
 }
 
 // Run implements graph.Operator.
-func (*MatMul) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
+func (m *MatMul) Run(in []*tensor.Tensor, out *tensor.Tensor) error {
 	a, b := in[0], in[1]
 	if a.Rows() != out.Rows() || b.Cols() != out.Cols() || a.Cols() != b.Rows() {
 		return fmt.Errorf("ops: matmul shapes %v x %v -> %v", a, b, out)
 	}
 	k := a.Cols()
-	parallelRows(out.Rows(), func(r0, r1 int) {
+	m.rows(out.Rows(), nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			arow := a.Row(r)
 			orow := out.Row(r)
@@ -150,6 +169,7 @@ func (*MatMul) InputRegion(i int, out graph.Region, in []graph.Region) (graph.Re
 }
 
 var (
-	_ graph.Operator   = (*MatMul)(nil)
-	_ graph.Splittable = (*MatMul)(nil)
+	_ graph.Operator       = (*MatMul)(nil)
+	_ graph.Splittable     = (*MatMul)(nil)
+	_ graph.ScheduleBinder = (*MatMul)(nil)
 )

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/loadbalance"
 	"repro/internal/tensor"
 )
 
@@ -18,7 +19,15 @@ import (
 // [image (H×W), col (K×1), row (1×K)]; the output is H×W with the same
 // zero-padding convention as Conv2DSame.
 type SeparableConv2D struct {
+	schedulable
 	K int
+}
+
+// BindSchedule implements graph.ScheduleBinder.
+func (c *SeparableConv2D) BindSchedule(s loadbalance.Schedule) graph.Operator {
+	c2 := *c
+	c2.sched = s
+	return &c2
 }
 
 // NewSeparableConv2D returns a separable convolution for a K-tap kernel
@@ -78,7 +87,7 @@ func (c *SeparableConv2D) RunRegion(in []*tensor.Tensor, inRegs []graph.Region, 
 	// width of the input region (the horizontal pass still needs the
 	// column halo).
 	scratch := tensor.New(outReg.Rows, img.Cols())
-	parallelRows(outReg.Rows, func(r0, r1 int) {
+	c.rows(outReg.Rows, nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			absR := outReg.Row + r
 			srow := scratch.Row(r)
@@ -97,7 +106,7 @@ func (c *SeparableConv2D) RunRegion(in []*tensor.Tensor, inRegs []graph.Region, 
 	})
 	// Horizontal pass.
 	rk := row.Row(0)
-	parallelRows(outReg.Rows, func(r0, r1 int) {
+	c.rows(outReg.Rows, nil, func(r0, r1 int) {
 		for r := r0; r < r1; r++ {
 			srow := scratch.Row(r)
 			orow := out.Row(r)
@@ -166,4 +175,5 @@ var (
 	_ graph.Splittable      = (*SeparableConv2D)(nil)
 	_ graph.RegionRunner    = (*SeparableConv2D)(nil)
 	_ graph.RegionValidator = (*SeparableConv2D)(nil)
+	_ graph.ScheduleBinder  = (*SeparableConv2D)(nil)
 )

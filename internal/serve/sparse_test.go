@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/templates"
+	"repro/internal/workload"
+)
+
+func pageRankGraph(t *testing.T, n, nnzPerRow, iters int) *graph.Graph {
+	t.Helper()
+	s := workload.UniformCSR(42, n, nnzPerRow)
+	g, _, err := templates.PageRank(templates.SparseConfig{Structure: s, Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// A sparse job whose logical dense extent dwarfs the device memory must
+// still be admitted: admission compares the compiled plan's PeakFloats
+// against device memory, and the planner sizes the adjacency by its
+// packed CSR footprint (the buffer estimator), not the n×n extent.
+func TestSparseJobAdmittedByPackedFootprint(t *testing.T) {
+	const n = 2048
+	// 1 MB device: the dense adjacency alone is n*n*4 = 16.8 MB, 16x the
+	// device; the packed footprint is ~140 KB.
+	spec := gpu.Custom("sparse-small", 1<<20)
+	denseBytes := int64(n) * int64(n) * 4
+	if denseBytes <= spec.MemoryBytes {
+		t.Fatalf("test premise broken: dense %d B fits device %d B", denseBytes, spec.MemoryBytes)
+	}
+
+	// The compiled plan's peak must reflect the packed accounting — this
+	// is the number admission gates on.
+	svc := core.NewService(core.WithDevice(spec))
+	c, _, err := svc.Compile(context.Background(), pageRankGraph(t, n, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peakBytes := c.Plan.PeakFloats * 4; peakBytes > spec.MemoryBytes {
+		t.Fatalf("plan peak %d B exceeds device %d B: adjacency accounted dense?", peakBytes, spec.MemoryBytes)
+	}
+
+	p := NewPool(WithDevices(spec))
+	defer p.Close()
+	j, err := p.Submit(context.Background(), Request{Graph: pageRankGraph(t, n, 8, 3)})
+	if err != nil {
+		t.Fatalf("sparse job rejected: %v", err)
+	}
+	rep, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.KernelLaunches == 0 {
+		t.Fatal("job completed without running any kernels")
+	}
+	if st := j.Status(); st.State != StateDone || st.Device != spec.Name {
+		t.Fatalf("status = %+v", st)
+	}
+	// The simulated transfer volume also reflects packed accounting: the
+	// whole run must move far fewer floats than one dense adjacency.
+	if rep.Stats.TotalFloats() >= int64(n)*int64(n) {
+		t.Fatalf("transferred %d floats, at least the dense extent %d — packed accounting lost",
+			rep.Stats.TotalFloats(), int64(n)*int64(n))
+	}
+}

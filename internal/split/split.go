@@ -198,8 +198,10 @@ func freshOutput(n *graph.Node) bool {
 // the chunk.
 func outCost(n *graph.Node, outReg graph.Region) int64 {
 	if freshOutput(n) {
-		cost := outReg.Size()
+		// EstimateRegion, not Region.Size: a sparse root's packed
+		// footprint depends on which rows the chunk covers.
 		primary := primaryBuffers(n.Out.Bufs)[0]
+		cost := primary.EstimateRegion(outReg)
 		for _, b := range n.Out.Bufs {
 			if b != primary && outReg.Contains(b.Region) {
 				cost += b.Size()
@@ -332,7 +334,10 @@ func partFootprint(n *graph.Node, outReg graph.Region, plan []inputPlan) (int64,
 		if len(arg.Bufs) == 1 && arg.Bufs[0].Region == arg.Region {
 			// Fresh partition: the part will reference exactly p.region
 			// (possibly as chunk+strip buffers totalling the same rows).
-			total += p.region.Size()
+			// Route through the root's footprint estimator so sparse
+			// inputs are costed by the rows' packed size, not the dense
+			// extent.
+			total += arg.Bufs[0].EstimateRegion(p.region)
 			continue
 		}
 		sub, err := coveringSubset(arg.Bufs, p.region)

@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// CSR is a sparse matrix in compressed-sparse-row form: row r's nonzeros
+// are Val[RowPtr[r]:RowPtr[r+1]] at columns ColIdx[RowPtr[r]:RowPtr[r+1]].
+// The structure (RowPtr, ColIdx) is separate from the values so the same
+// sparsity pattern can carry different value sets, and so the structure
+// can be hashed on its own: the planner's footprint estimates and the
+// plan cache's identity both depend on the pattern, not the values.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32 // len Rows+1, nondecreasing, RowPtr[0] == 0
+	ColIdx     []int32 // len NNZ, column of each nonzero, ascending per row
+	Val        []float32
+}
+
+// NewCSR validates and wraps a CSR matrix.
+func NewCSR(rows, cols int, rowPtr, colIdx []int32, val []float32) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("tensor: CSR dims %dx%d invalid", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("tensor: CSR rowptr length %d, want %d", len(rowPtr), rows+1)
+	}
+	if rowPtr[0] != 0 {
+		return nil, fmt.Errorf("tensor: CSR rowptr[0] = %d, want 0", rowPtr[0])
+	}
+	nnz := int(rowPtr[rows])
+	if len(colIdx) != nnz || len(val) != nnz {
+		return nil, fmt.Errorf("tensor: CSR colidx/val lengths %d/%d, want nnz %d", len(colIdx), len(val), nnz)
+	}
+	for r := 0; r < rows; r++ {
+		if rowPtr[r+1] < rowPtr[r] {
+			return nil, fmt.Errorf("tensor: CSR rowptr decreases at row %d", r)
+		}
+		for j := rowPtr[r]; j < rowPtr[r+1]; j++ {
+			c := colIdx[j]
+			if c < 0 || int(c) >= cols {
+				return nil, fmt.Errorf("tensor: CSR column %d out of range [0,%d) at row %d", c, cols, r)
+			}
+			if j > rowPtr[r] && colIdx[j-1] >= c {
+				return nil, fmt.Errorf("tensor: CSR columns not strictly ascending in row %d", r)
+			}
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColIdx: colIdx, Val: val}, nil
+}
+
+// NNZ returns the number of stored nonzeros.
+func (s *CSR) NNZ() int { return int(s.RowPtr[s.Rows]) }
+
+// RowNNZ returns the number of nonzeros in row r.
+func (s *CSR) RowNNZ(r int) int { return int(s.RowPtr[r+1] - s.RowPtr[r]) }
+
+// RangeNNZ returns the number of nonzeros in rows [r0, r1).
+func (s *CSR) RangeNNZ(r0, r1 int) int { return int(s.RowPtr[r1] - s.RowPtr[r0]) }
+
+// PackedFloats returns the device storage cost in float-sized words of
+// rows [r0, r1) in packed CSR form: one word per nonzero value, one per
+// column index, and one per row-pointer entry (r1-r0+1). This is the
+// footprint estimator sparse buffers report to the planner — it depends
+// on the sparsity structure, not the dense extent.
+func (s *CSR) PackedFloats(r0, r1 int) int64 {
+	return 2*int64(s.RangeNNZ(r0, r1)) + int64(r1-r0) + 1
+}
+
+// Dense materializes the matrix as a dense row-major tensor.
+func (s *CSR) Dense() *Tensor {
+	t := New(s.Rows, s.Cols)
+	for r := 0; r < s.Rows; r++ {
+		for j := s.RowPtr[r]; j < s.RowPtr[r+1]; j++ {
+			t.Set(r, int(s.ColIdx[j]), s.Val[j])
+		}
+	}
+	return t
+}
+
+// StructureDigest returns a hex SHA-256 digest of the sparsity structure
+// (dimensions, row pointers, column indices — not values). Two matrices
+// share a digest exactly when their patterns are identical, so it is the
+// canonical identity for plan caching and serve coalescing of sparse
+// jobs.
+func (s *CSR) StructureDigest() string {
+	h := sha256.New()
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[0:4], uint32(s.Rows))
+	binary.LittleEndian.PutUint32(w[4:8], uint32(s.Cols))
+	h.Write(w[:])
+	var buf [4]byte
+	for _, p := range s.RowPtr {
+		binary.LittleEndian.PutUint32(buf[:], uint32(p))
+		h.Write(buf[:])
+	}
+	for _, c := range s.ColIdx {
+		binary.LittleEndian.PutUint32(buf[:], uint32(c))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

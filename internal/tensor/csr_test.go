@@ -1,0 +1,94 @@
+package tensor
+
+import "testing"
+
+// small example:
+//   [ 1 0 2 ]
+//   [ 0 0 0 ]
+//   [ 0 3 0 ]
+func smallCSR(t *testing.T) *CSR {
+	t.Helper()
+	s, err := NewCSR(3, 3,
+		[]int32{0, 2, 2, 3},
+		[]int32{0, 2, 1},
+		[]float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCSRBasics(t *testing.T) {
+	s := smallCSR(t)
+	if s.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	if s.RowNNZ(0) != 2 || s.RowNNZ(1) != 0 || s.RowNNZ(2) != 1 {
+		t.Fatalf("RowNNZ = %d,%d,%d", s.RowNNZ(0), s.RowNNZ(1), s.RowNNZ(2))
+	}
+	if s.RangeNNZ(0, 3) != 3 || s.RangeNNZ(1, 2) != 0 {
+		t.Fatal("RangeNNZ wrong")
+	}
+	// 2*nnz + rows + 1
+	if got := s.PackedFloats(0, 3); got != 2*3+3+1 {
+		t.Fatalf("PackedFloats = %d", got)
+	}
+	d := s.Dense()
+	want := [][]float32{{1, 0, 2}, {0, 0, 0}, {0, 3, 0}}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if d.At(r, c) != want[r][c] {
+				t.Fatalf("Dense[%d][%d] = %v, want %v", r, c, d.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestCSRValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		rows   int
+		cols   int
+		rowPtr []int32
+		colIdx []int32
+		val    []float32
+	}{
+		{"short rowptr", 3, 3, []int32{0, 1}, []int32{0}, []float32{1}},
+		{"rowptr not zero", 1, 1, []int32{1, 1}, nil, nil},
+		{"rowptr decreasing", 2, 2, []int32{0, 2, 1}, []int32{0, 1}, []float32{1, 2}},
+		{"col out of range", 1, 2, []int32{0, 1}, []int32{2}, []float32{1}},
+		{"cols not ascending", 1, 3, []int32{0, 2}, []int32{1, 1}, []float32{1, 2}},
+		{"val length", 1, 1, []int32{0, 1}, []int32{0}, []float32{1, 2}},
+	}
+	for _, tc := range cases {
+		if _, err := NewCSR(tc.rows, tc.cols, tc.rowPtr, tc.colIdx, tc.val); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestCSRStructureDigest(t *testing.T) {
+	a := smallCSR(t)
+	b := smallCSR(t)
+	// Same structure, different values: same digest.
+	b.Val = []float32{9, 9, 9}
+	if a.StructureDigest() != b.StructureDigest() {
+		t.Fatal("digest depends on values")
+	}
+	// One nonzero moved to another column: digest changes.
+	c, err := NewCSR(3, 3, []int32{0, 2, 2, 3}, []int32{0, 1, 1}, []float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StructureDigest() == c.StructureDigest() {
+		t.Fatal("digest ignores column structure")
+	}
+	// Same nnz profile, different dims: digest changes.
+	d, err := NewCSR(3, 4, []int32{0, 2, 2, 3}, []int32{0, 2, 1}, []float32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StructureDigest() == d.StructureDigest() {
+		t.Fatal("digest ignores dimensions")
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/templates"
+	"repro/internal/tensor"
+)
+
+// csrFromDegrees builds an n×n CSR with the given per-row nonzero counts
+// (clamped to [1, n]) at seeded random column positions. Values are
+// 1/degree so SpMV iterates stay bounded (each row is an average over
+// its neighbours — a row-stochastic adjacency).
+func csrFromDegrees(seed int64, n int, deg []int) *tensor.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	rowPtr := make([]int32, n+1)
+	colIdx := make([]int32, 0, n)
+	var val []float32
+	for r := 0; r < n; r++ {
+		d := deg[r]
+		if d < 1 {
+			d = 1
+		}
+		if d > n {
+			d = n
+		}
+		cols := rng.Perm(n)[:d]
+		sort.Ints(cols)
+		w := 1 / float32(d)
+		for _, c := range cols {
+			colIdx = append(colIdx, int32(c))
+			val = append(val, w)
+		}
+		rowPtr[r+1] = int32(len(colIdx))
+	}
+	s, err := tensor.NewCSR(n, n, rowPtr, colIdx, val)
+	if err != nil {
+		panic(err) // construction is correct by loop invariant
+	}
+	return s
+}
+
+// UniformCSR returns an n×n row-stochastic adjacency matrix with
+// nnzPerRow nonzeros in every row — the regular end of the sparse
+// workload axis, where the static schedule's even split is already
+// balanced.
+func UniformCSR(seed int64, n, nnzPerRow int) *tensor.CSR {
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = nnzPerRow
+	}
+	return csrFromDegrees(seed, n, deg)
+}
+
+// PowerLawCSR returns an n×n row-stochastic adjacency matrix whose row
+// degrees follow degree(i) ∝ (i+1)^-skew with mean avgNNZ: a scale-free
+// graph's hub rows, clustered at low row indices so they land in one
+// contiguous chunk — the distribution that serializes the static even
+// split and that merge-path / work-stealing schedules absorb.
+func PowerLawCSR(seed int64, n, avgNNZ int, skew float64) *tensor.CSR {
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -skew)
+		wsum += weights[i]
+	}
+	total := float64(n * avgNNZ)
+	deg := make([]int, n)
+	for i := range deg {
+		deg[i] = int(total * weights[i] / wsum)
+	}
+	return csrFromDegrees(seed, n, deg)
+}
+
+// PageRankInputs builds the input map for a PageRank template: the
+// adjacency values densified from the structure and the uniform initial
+// rank vector x0 = 1/n.
+func PageRankInputs(bufs *templates.SparseBuffers, s *tensor.CSR) exec.Inputs {
+	n := s.Rows
+	x := tensor.New(n, 1)
+	x.Fill(1 / float32(n))
+	return exec.Inputs{
+		bufs.A.ID: s.Dense(),
+		bufs.X.ID: x,
+	}
+}
+
+// BFSInputs builds the input map for a BFS-levels template: adjacency
+// values, a one-hot source frontier, the source marked visited, and
+// zeroed levels.
+func BFSInputs(bufs *templates.SparseBuffers, s *tensor.CSR, source int) exec.Inputs {
+	n := s.Rows
+	f := tensor.New(n, 1)
+	f.Set(source, 0, 1)
+	v := tensor.New(n, 1)
+	v.Set(source, 0, 1)
+	return exec.Inputs{
+		bufs.A.ID:       s.Dense(),
+		bufs.X.ID:       f,
+		bufs.Visited.ID: v,
+		bufs.Levels.ID:  tensor.New(n, 1),
+	}
+}
