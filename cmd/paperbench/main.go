@@ -28,6 +28,12 @@
 //	paperbench -ext chaos -rounds 1 -trace /tmp/chaos.json
 //	paperbench -ext obsserve -benchout BENCH_obsserve.json
 //
+// The steady-state serving extension compares a residency-pinned pool
+// (device-resident weights, rolling admission) against an unpinned one
+// on an identical closed-loop schedule of the paper's eight workloads:
+//
+//	paperbench -ext servesteady -rounds 3 -benchout BENCH_servesteady.json
+//
 // The sparse extension compares the three load-balancing schedules on
 // uniform and power-law SpMV and runs the sparse templates end to end,
 // asserting bit-identical outputs and modeled stats across schedules
@@ -61,13 +67,13 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, chaos, obsserve, or sparse")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, chaos, obsserve, servesteady, or sparse")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
 	benchOut  = flag.String("benchout", "", "smoke run: append a metrics snapshot to this JSON file")
 	seedFlag  = flag.Int64("seed", 2009, "chaos run: fault-schedule seed")
-	roundsFl  = flag.Int("rounds", 0, "chaos/obsserve run: rounds of the 8 paper workloads per scenario (0 = default)")
+	roundsFl  = flag.Int("rounds", 0, "chaos/obsserve/servesteady run: rounds of the 8 paper workloads per scenario (0 = default)")
 	maxOvhFl  = flag.Float64("maxoverhead", 0, "obsserve run: fail if observability wall overhead exceeds this percent (0 = record only)")
 	sparseNFl = flag.Int("sparsen", 0, "sparse run: adjacency rows (0 = 4096; CI passes a small value)")
 )
@@ -241,16 +247,52 @@ func extCache() error {
 	return nil
 }
 
-// pipelineBenchRecord is one appended entry of the pipeline -benchout
-// log. GoMaxProcs is recorded because the measured wall-clock speedup is
-// bounded by host parallelism: on a single-core runner the pipelined
-// executor cannot beat sequential execution, while the modeled columns
-// are machine-independent.
+// benchMeta is the uniform header stamped into every -benchout record,
+// whatever the extension: when and what ran, the seed in effect, and the
+// host parallelism that bounds any wall-clock column (the modeled
+// columns are machine-independent). Embedding it keeps the six benchout
+// schemas comparable without each extension re-declaring the fields.
+type benchMeta struct {
+	Date       string `json:"date"`
+	Extension  string `json:"extension"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+func newBenchMeta(ext string) benchMeta {
+	return benchMeta{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Extension:  ext,
+		Seed:       *seedFlag,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// appendBenchout appends one record to the JSON snapshot array at path
+// (creating it when absent) and returns the new snapshot count.
+func appendBenchout[T any](path string, rec T) (int, error) {
+	var log []T
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &log); err != nil {
+			return 0, fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", path, err)
+		}
+	}
+	log = append(log, rec)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return 0, err
+	}
+	return len(log), nil
+}
+
+// pipelineBenchRecord is one appended entry of the pipeline -benchout log.
 type pipelineBenchRecord struct {
-	Date       string                    `json:"date"`
-	GoMaxProcs int                       `json:"gomaxprocs"`
-	Workers    int                       `json:"workers"`
-	Rows       []experiments.PipelineRow `json:"rows"`
+	benchMeta
+	Workers int                       `json:"workers"`
+	Rows    []experiments.PipelineRow `json:"rows"`
 }
 
 func extPipeline() error {
@@ -284,34 +326,19 @@ func extPipeline() error {
 		fmt.Printf("wrote Chrome trace of a pipelined run to %s\n", *traceFlag)
 	}
 	if *benchOut != "" {
-		rec := pipelineBenchRecord{
-			Date:       time.Now().UTC().Format(time.RFC3339),
-			GoMaxProcs: runtime.GOMAXPROCS(0),
-			Workers:    rows[0].Workers,
-			Rows:       rows,
-		}
-		var log []pipelineBenchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, pipelineBenchRecord{
+			benchMeta: newBenchMeta("pipeline"), Workers: rows[0].Workers, Rows: rows})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended pipeline snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended pipeline snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
 
 // serveBenchRecord is one appended entry of the serve -benchout log.
 type serveBenchRecord struct {
-	Date   string                   `json:"date"`
+	benchMeta
 	Result *experiments.ServeResult `json:"result"`
 }
 
@@ -344,29 +371,19 @@ func extServe() error {
 	fmt.Println("The modeled columns replay each plan on the device's simulated clock and are")
 	fmt.Println("machine-independent; wall throughput additionally depends on host cores.")
 	if *benchOut != "" {
-		rec := serveBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
-		var log []serveBenchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, serveBenchRecord{
+			benchMeta: newBenchMeta("serve"), Result: res})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended serve snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended serve snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
 
 // chaosBenchRecord is one appended entry of the chaos -benchout log.
 type chaosBenchRecord struct {
-	Date   string                        `json:"date"`
+	benchMeta
 	Result *experiments.ServeChaosResult `json:"result"`
 }
 
@@ -422,29 +439,19 @@ func extChaos() error {
 	fmt.Println("fault-free reference, modeled-time inflation bounded, quarantine and")
 	fmt.Println("probe-recovery transitions observed where the schedule demanded them.")
 	if *benchOut != "" {
-		rec := chaosBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
-		var log []chaosBenchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, chaosBenchRecord{
+			benchMeta: newBenchMeta("chaos"), Result: res})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended chaos snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended chaos snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
 
 // obsserveBenchRecord is one appended entry of the obsserve -benchout log.
 type obsserveBenchRecord struct {
-	Date   string                      `json:"date"`
+	benchMeta
 	Result *experiments.ServeObsResult `json:"result"`
 }
 
@@ -488,29 +495,71 @@ func extObsServe() error {
 	fmt.Println("Both runs were stat-identical to the fault-free references: the modeled")
 	fmt.Println("results are unchanged by instrumentation; only wall time can differ.")
 	if *benchOut != "" {
-		rec := obsserveBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
-		var log []obsserveBenchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, obsserveBenchRecord{
+			benchMeta: newBenchMeta("obsserve"), Result: res})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+		fmt.Printf("appended obsserve snapshot %d to %s\n", n, *benchOut)
+	}
+	return nil
+}
+
+// servesteadyBenchRecord is one appended entry of the servesteady
+// -benchout log.
+type servesteadyBenchRecord struct {
+	benchMeta
+	Result *experiments.SteadyResult `json:"result"`
+}
+
+// extServeSteady runs the steady-state serving benchmark: the 8 paper
+// workloads cycled by a closed-loop fleet through a pinned (cross-job
+// residency + rolling admission) and an unpinned pool on an identical
+// schedule, warmup round excluded. It exits non-zero when any headline
+// invariant breaks — a failed job, per-job H2D reduction under 40%, a
+// pinned p99 that does not strictly improve, or a committed-bytes
+// ledger that fails to drain back to the pinned-set size.
+func extServeSteady() error {
+	res, err := experiments.ServeSteady(0, *roundsFl, 0)
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("Extension: steady-state serving with cross-job residency (2x C1060, %d streams/device, %d clients, warmup %d round)",
+			res.Streams, res.Clients, res.WarmupRounds),
+		"Fleet", "Jobs", "Modeled p50", "Modeled p99", "H2D/job (MB)", "Makespan", "Pin hits", "Evictions", "Overlap (s)")
+	mb := func(b float64) string { return fmt.Sprintf("%.1f", b/(1<<20)) }
+	for _, f := range []*experiments.SteadyFleet{&res.Unpinned, &res.Pinned} {
+		name := "unpinned"
+		if f.Residency {
+			name = "pinned"
+		}
+		t.Add(name, fmt.Sprint(f.Jobs),
+			report.Seconds(f.ModeledP50Sec), report.Seconds(f.ModeledP99Sec),
+			mb(f.H2DBytesPerJob), report.Seconds(f.ModeledMakespanSec),
+			fmt.Sprint(f.PinHits), fmt.Sprint(f.PinEvictions),
+			fmt.Sprintf("%.3f", f.RollingOverlapSec))
+	}
+	emit(t)
+	fmt.Printf("steady-state H2D bytes/job reduced %.1f%%; modeled p99 improved %.1f%%; ledger clean: %v\n",
+		100*res.H2DReduction, 100*res.P99Improvement, res.LedgerClean)
+	fmt.Println("Pinned fleets keep read-only weight buffers device-resident across jobs and")
+	fmt.Println("overlap the next batch's lead prefetches with the previous compute tail; the")
+	fmt.Println("charged (billed) stats are bit-identical to the unpinned run by construction.")
+	if *benchOut != "" {
+		n, err := appendBenchout(*benchOut, servesteadyBenchRecord{
+			benchMeta: newBenchMeta("servesteady"), Result: res})
+		if err != nil {
 			return err
 		}
-		fmt.Printf("appended obsserve snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended servesteady snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
 
 // sparseBenchRecord is one appended entry of the sparse -benchout log.
 type sparseBenchRecord struct {
-	Date   string                    `json:"date"`
+	benchMeta
 	Result *experiments.SparseResult `json:"result"`
 }
 
@@ -560,22 +609,12 @@ func extSparse() error {
 	fmt.Println("busiest worker's row work at a fixed 16-worker pool — machine-independent,")
 	fmt.Println("unlike the wall columns, which need GOMAXPROCS > 1 to show a speedup.")
 	if *benchOut != "" {
-		rec := sparseBenchRecord{Date: time.Now().UTC().Format(time.RFC3339), Result: res}
-		var log []sparseBenchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, sparseBenchRecord{
+			benchMeta: newBenchMeta("sparse"), Result: res})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended sparse snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended sparse snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
@@ -630,7 +669,7 @@ func randomTensor(seed int64, rows, cols int) *tensor.Tensor {
 // benchRecord is one appended entry of the -benchout metrics log: the
 // full gpu.Stats and metrics snapshot of an instrumented smoke run.
 type benchRecord struct {
-	Date     string       `json:"date"`
+	benchMeta
 	Workload string       `json:"workload"`
 	Stats    gpu.Stats    `json:"stats"`
 	Peak     obs.Peak     `json:"peak_residency"`
@@ -672,28 +711,17 @@ func extSmoke() error {
 		fmt.Printf("wrote Chrome trace to %s\n", *traceFlag)
 	}
 	if *benchOut != "" {
-		rec := benchRecord{
-			Date:     time.Now().UTC().Format(time.RFC3339),
-			Workload: "edge-512-c870-heuristic",
-			Stats:    rep.Stats,
-			Peak:     o.R().Peak(),
-			Metrics:  o.M().Snapshot(),
-		}
-		var log []benchRecord
-		if data, err := os.ReadFile(*benchOut); err == nil {
-			if err := json.Unmarshal(data, &log); err != nil {
-				return fmt.Errorf("benchout %s: existing file is not a snapshot array: %w", *benchOut, err)
-			}
-		}
-		log = append(log, rec)
-		data, err := json.MarshalIndent(log, "", "  ")
+		n, err := appendBenchout(*benchOut, benchRecord{
+			benchMeta: newBenchMeta("smoke"),
+			Workload:  "edge-512-c870-heuristic",
+			Stats:     rep.Stats,
+			Peak:      o.R().Peak(),
+			Metrics:   o.M().Snapshot(),
+		})
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("appended metrics snapshot %d to %s\n", len(log), *benchOut)
+		fmt.Printf("appended metrics snapshot %d to %s\n", n, *benchOut)
 	}
 	return nil
 }
@@ -850,6 +878,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "obsserve" {
 		run("obsserve", extObsServe)
+		did = true
+	}
+	if *allFlag || *extFlag == "servesteady" {
+		run("servesteady", extServeSteady)
 		did = true
 	}
 	if *allFlag || *extFlag == "sparse" {

@@ -2,7 +2,7 @@
 // of simulated devices with footprint-aware admission control and
 // request coalescing, fed over POST /v1/jobs.
 //
-//	served -addr :8080 -devices c870,8800 -streams 2 -queue 64
+//	served -addr :8080 -devices c870,8800 -streams 2 -queue 64 -residency
 //
 //	curl -s localhost:8080/v1/jobs -d '{"template":"edge","h":512,"w":512,"wait":true}'
 //	curl -s localhost:8080/v1/jobs/job-1
@@ -47,6 +47,11 @@ var (
 	deadline = flag.Duration("deadline", 0, "default queue-wait deadline (0 = none)")
 	cache    = flag.Int("cache", 0, "compiled-plan cache entries per device (0 = default)")
 	planner  = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb-optimal")
+	// -residency enables cross-job residency: read-only shareable buffers
+	// (template weights) stay pinned on the device across jobs, repeat
+	// submissions elide their uploads and prefer the device holding their
+	// pins, and /v1/stats grows a populated "residency" section.
+	residency = flag.Bool("residency", false, "pin read-only template weights on devices across jobs")
 
 	// Fault-tolerance knobs. -chaos-lost scripts a one-shot device loss
 	// on a named pool device (<device>:<op> fails the op-th fallible
@@ -149,6 +154,9 @@ func main() {
 		serve.WithDefaultDeadline(*deadline),
 		serve.WithObserver(obs.New()),
 		serve.WithServiceOptions(core.WithPlanner(pl), core.WithCache(*cache)),
+	}
+	if *residency {
+		opts = append(opts, serve.WithResidency())
 	}
 	if *probeIvl > 0 {
 		opts = append(opts, serve.WithHealthPolicy(serve.HealthPolicy{ProbeInterval: *probeIvl}))

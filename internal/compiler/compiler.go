@@ -48,6 +48,9 @@ type Compilation struct {
 	Split split.Result
 	// Plan is the execution plan a scheduling pass produced.
 	Plan *sched.Plan
+	// Residency is the residency pass's artifact: the plan's read-only-
+	// shareable buffer set and rolling-admission shape (lead/tail).
+	Residency *sched.Residency
 	// PBStatus is set by the PB-optimal scheduling pass.
 	PBStatus pb.Result
 	// Overlap records that the prefetch pass reordered the plan for

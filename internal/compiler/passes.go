@@ -142,6 +142,32 @@ func (PrefetchPass) Run(c *Compilation, sp *obs.Span) error {
 	return nil
 }
 
+// ResidencyPass classifies the plan's buffers into read-only-shareable
+// and transient sets and extracts the rolling-admission lead/tail shape
+// (sched.AnalyzeResidency). It runs after any plan reordering (the
+// lead/tail analysis depends on final step order) and before
+// verification. The artifact is advisory: executions ignore it unless a
+// serving layer opts into residency elision.
+type ResidencyPass struct{}
+
+// Name implements Pass.
+func (ResidencyPass) Name() string { return "residency" }
+
+// Run implements Pass.
+func (ResidencyPass) Run(c *Compilation, sp *obs.Span) error {
+	r, err := sched.AnalyzeResidency(c.Plan, c.Device)
+	if err != nil {
+		return fmt.Errorf("residency analysis: %w", err)
+	}
+	c.Residency = r
+	sp.SetArgf("shareable_buffers", "%d", len(r.Shareable)).
+		SetArgf("shared_bytes", "%d", r.SharedBytes).
+		SetArgf("transient_peak_bytes", "%d", r.TransientPeakBytes)
+	c.Diagf("residency: %d shareable buffers (%d B pinned-capable), transient peak %d B, %d lead H2Ds, tail %.3gs",
+		len(r.Shareable), r.SharedBytes, r.TransientPeakBytes, len(r.LeadSteps), r.TailSec)
+	return nil
+}
+
 // VerifyPass statically checks the plan against every executor invariant
 // at the planner capacity — the gate before a plan is cached or executed.
 type VerifyPass struct{}

@@ -166,7 +166,7 @@ func (e *Engine) Pipeline() *compiler.Pipeline {
 		// is exactly what lets the DMA goroutine double-buffer.
 		passes = append(passes, compiler.PrefetchPass{})
 	}
-	passes = append(passes, compiler.VerifyPass{})
+	passes = append(passes, compiler.ResidencyPass{}, compiler.VerifyPass{})
 	return compiler.NewPipeline(passes...)
 }
 
@@ -194,6 +194,17 @@ type Compiled struct {
 	// (exec.RunPipelined); PipelineWorkers bounds its compute pool.
 	Pipeline        bool
 	PipelineWorkers int
+	// Residency is the residency pass's artifact: the plan's read-only-
+	// shareable buffer set (serving layers pin it across jobs) and the
+	// rolling-admission lead/tail shape. Always computed; advisory
+	// unless Resident opts an execution into elision.
+	Residency *sched.Residency
+	// Resident marks buffer IDs modeled as already device-resident for
+	// this execution (a serving layer's pinned set): their H2D transfers
+	// are elided from the report's Actual clock domain while charged
+	// Stats and outputs stay bit-identical. Set on per-call copies by
+	// Service's resident entry points; nil for plain executions.
+	Resident map[int]bool
 	// Obs carries the engine's observer into Execute/Simulate so one
 	// trace spans compile and execution.
 	Obs *obs.Observer
@@ -336,7 +347,8 @@ func (e *Engine) compileWith(ctx context.Context, o *obs.Observer, g *graph.Grap
 		Device: e.cfg.Device, Capacity: capacity,
 		PBStatus: c.PBStatus, Overlap: c.Overlap,
 		Pipeline: e.cfg.Pipeline, PipelineWorkers: e.cfg.PipelineWorkers,
-		Obs: o, Faults: e.cfg.Faults, Diags: c.Diags,
+		Residency: c.Residency,
+		Obs:       o, Faults: e.cfg.Faults, Diags: c.Diags,
 	}, nil
 }
 
@@ -355,7 +367,7 @@ func (c *Compiled) newDevice() *gpu.Device {
 // boundaries and leaves the device pristine.
 func (c *Compiled) Execute(ctx context.Context, in exec.Inputs) (*exec.Report, error) {
 	dev := c.newDevice()
-	opt := exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs}
+	opt := exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident}
 	if c.Pipeline {
 		opt.Pipeline = true
 		opt.PipelineWorkers = c.PipelineWorkers
@@ -376,7 +388,7 @@ func (c *Compiled) ExecuteResilient(ctx context.Context, in exec.Inputs, inj *gp
 		dev.SetInjector(inj)
 	}
 	return exec.RunResilient(ctx, c.Graph, c.Plan, in, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
+		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident},
 		Capacity: c.Capacity,
 	})
 }
@@ -391,7 +403,7 @@ func (c *Compiled) SimulateResilient(ctx context.Context, inj *gpu.Injector) (*e
 		dev.SetInjector(inj)
 	}
 	return exec.RunResilient(ctx, c.Graph, c.Plan, nil, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs},
+		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident},
 		Capacity: c.Capacity,
 	})
 }
@@ -402,7 +414,7 @@ func (c *Compiled) SimulateResilient(ctx context.Context, inj *gpu.Injector) (*e
 func (c *Compiled) Simulate(ctx context.Context) (*exec.Report, error) {
 	dev := c.newDevice()
 	return exec.Run(ctx, c.Graph, c.Plan, nil,
-		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs})
+		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident})
 }
 
 // GenerateCUDA emits the hybrid CPU/GPU CUDA source for the plan.

@@ -199,6 +199,29 @@ func (s *Service) SimulateResilientTraced(ctx context.Context, c *Compiled, sink
 	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
 }
 
+// ExecuteResilientResidentTraced is ExecuteResilientTraced with a
+// resident buffer set (a serving layer's pinned state): the H2D
+// transfers of resident buffers are elided from the report's Actual
+// clock domain while charged Stats and outputs stay bit-identical to an
+// execution without residency. The set is installed on the per-call
+// artifact copy, so concurrent executions of one cached plan can carry
+// different residency.
+func (s *Service) ExecuteResilientResidentTraced(ctx context.Context, c *Compiled, in exec.Inputs, resident map[int]bool, sink *obs.Tracer) (*exec.Report, error) {
+	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) {
+		cc.Resident = resident
+		return cc.ExecuteResilient(ctx, in, nil)
+	})
+}
+
+// SimulateResilientResidentTraced is SimulateResilientTraced with a
+// resident buffer set (see ExecuteResilientResidentTraced).
+func (s *Service) SimulateResilientResidentTraced(ctx context.Context, c *Compiled, resident map[int]bool, sink *obs.Tracer) (*exec.Report, error) {
+	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) {
+		cc.Resident = resident
+		return cc.SimulateResilient(ctx, nil)
+	})
+}
+
 // CompileAndSimulate compiles g (or hits the cache) and replays the plan
 // in accounting mode. Safe for concurrent use.
 func (s *Service) CompileAndSimulate(ctx context.Context, g *graph.Graph) (*exec.Report, error) {

@@ -72,12 +72,34 @@ type Options struct {
 	// intervals. Nil keeps the zero-overhead fast path: results and
 	// statistics are bit-identical with and without an observer.
 	Obs *obs.Observer
+	// Resident marks buffer IDs modeled as already device-resident
+	// across jobs (a serving layer's pinned set, sched.Residency's
+	// shareable classification). Their H2D steps skip the transfer fault
+	// gate in perform and are excluded from the report's Actual clock
+	// domain; the charged Stats, the outputs, and the peak-residency
+	// accounting remain bit-identical to a run without Resident — the
+	// executor still allocates the buffer and materializes it from the
+	// job's own host copy, so elision never changes data. Only sound for
+	// buffers the residency analysis proved read-only.
+	Resident map[int]bool
 }
 
 // Report is the result of executing a plan.
 type Report struct {
 	Stats   gpu.Stats
 	Outputs Outputs // nil in Accounting mode
+	// Actual is the elided-clock view of Stats: identical except that
+	// the H2D transfers of Options.Resident buffers are removed from
+	// TransferTime, H2DFloats, and H2DCalls — the cost the device would
+	// actually pay with the pinned set already resident. Equal to Stats
+	// when nothing was elided. The overlapped (WallTime) makespan is not
+	// re-derived: an overlap run's Actual.TotalTime conservatively
+	// equals Stats.TotalTime.
+	Actual gpu.Stats
+	// ElidedH2DFloats and ElidedH2DCalls count the transfers elided into
+	// the Actual domain (zero without Options.Resident).
+	ElidedH2DFloats int64
+	ElidedH2DCalls  int
 	// PeakResidentBytes is the maximum simultaneous device allocation.
 	PeakResidentBytes int64
 	// Thrashing is set when the volume moved across the bus exceeds the
@@ -137,6 +159,13 @@ type executor struct {
 	overlap           bool
 	dmaFree, compFree float64
 	ready             map[int]float64
+
+	// Residency-elision accumulators (Options.Resident): the charged H2D
+	// volume/time that capture subtracts to form Report.Actual. Written
+	// only by account, which always runs in plan order on one goroutine.
+	elidedFloats int64
+	elidedCalls  int
+	elidedTime   float64
 }
 
 // newExecutor validates the options and prepares host state. The device
@@ -213,7 +242,10 @@ func (e *executor) observe(si int, step sched.Step, t0 float64) {
 	case sched.StepH2D:
 		b := step.Buf
 		cause := "initial_load"
-		if e.loaded[b.ID] {
+		switch {
+		case e.opt.Resident[b.ID]:
+			cause = "resident_elided"
+		case e.loaded[b.ID]:
 			cause = "eviction_refetch"
 		}
 		e.loaded[b.ID] = true
@@ -280,9 +312,15 @@ func (e *executor) perform(si int, step sched.Step) error {
 		if err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
-		if err := dev.Gate(gpu.FaultH2D); err != nil {
-			_ = dev.FreeMem(off) // roll back so a retry re-executes cleanly
-			return fmt.Errorf("exec: step %d: %w", si, err)
+		// An elided (resident) buffer performs no bus transfer, so the
+		// transfer fault gate does not apply; the allocation above still
+		// gated on malloc faults and the data below still materializes
+		// from this job's own host copy, keeping outputs bit-identical.
+		if !e.opt.Resident[b.ID] {
+			if err := dev.Gate(gpu.FaultH2D); err != nil {
+				_ = dev.FreeMem(off) // roll back so a retry re-executes cleanly
+				return fmt.Errorf("exec: step %d: %w", si, err)
+			}
 		}
 		db := &devBuf{off: off}
 		if e.opt.Mode == Materialized {
@@ -428,6 +466,13 @@ func (e *executor) account(si int, step sched.Step) {
 	case sched.StepH2D:
 		b := step.Buf
 		dev.AccountH2D(b.Size())
+		if e.opt.Resident[b.ID] {
+			// Charged stats above stay bit-identical; the elision only
+			// moves this transfer out of the Actual domain at capture.
+			e.elidedFloats += b.Size()
+			e.elidedCalls++
+			e.elidedTime += dev.H2DDuration(b.Size())
+		}
 		if e.overlap {
 			start := e.dmaFree
 			e.dmaFree = start + dev.H2DDuration(b.Size())
@@ -560,6 +605,15 @@ func (e *executor) capture() *Report {
 	if hm := e.dev.Spec.HostMemoryBytes; hm > 0 && e.rep.Stats.TotalFloats()*4 > hm {
 		e.rep.Thrashing = true
 	}
+	// Actual = Stats minus the elided transfers. WallTime (the overlap
+	// makespan) is left alone, so an overlapped run's Actual.TotalTime
+	// conservatively equals the charged makespan.
+	e.rep.Actual = e.rep.Stats
+	e.rep.ElidedH2DFloats = e.elidedFloats
+	e.rep.ElidedH2DCalls = e.elidedCalls
+	e.rep.Actual.H2DFloats -= e.elidedFloats
+	e.rep.Actual.H2DCalls -= e.elidedCalls
+	e.rep.Actual.TransferTime -= e.elidedTime
 	return e.rep
 }
 

@@ -319,6 +319,7 @@ func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 			rep = &Report{}
 		}
 		rep.Stats = dev.Stats()
+		rep.Actual = rep.Stats // CPU fallback elides nothing further
 		rep.Outputs = outs
 		rep.Recovery = rec
 		return rep, nil

@@ -85,6 +85,10 @@ type ServeChaosScenario struct {
 	WallSec      float64            `json:"wall_seconds"`
 	BreakerOpens int64              `json:"breaker_opens"`
 	Devices      []ServeChaosDevice `json:"devices"`
+	// PinnedBytes is the residency bytes surviving the scenario across
+	// devices; the per-device ledger is asserted to have drained back to
+	// exactly this (committed == pinned, zero on quarantined devices).
+	PinnedBytes int64 `json:"pinned_bytes"`
 }
 
 // ServeChaosResult is the whole harness run.
@@ -260,6 +264,13 @@ func runServeChaosScenario(sc chaosScenarioSpec, o *obs.Observer, seed int64, ro
 		serve.WithQueueDepth(4 * rounds * len(workloads)),
 		serve.WithObserver(o),
 		serve.WithHealthPolicy(policy),
+		// Residency runs under chaos too: quarantine must clear the sick
+		// device's pinned set, migration must release in-flight pin refs,
+		// and the committed-bytes ledger must drain back to exactly the
+		// pinned-set size — asserted below after Close. Clean executions
+		// still have to match the fault-free reference bit-exactly,
+		// because elision only ever touches the Actual clock domain.
+		serve.WithResidency(),
 	}
 	for name, inj := range injs {
 		opts = append(opts, serve.WithDeviceFaults(name, inj))
@@ -387,6 +398,11 @@ func runServeChaosScenario(sc chaosScenarioSpec, o *obs.Observer, seed int64, ro
 		}
 	}
 
+	// Close before the final snapshot: with every worker gone, all batch
+	// reserves have been released, so each device's committed bytes must
+	// equal exactly its surviving pinned-set size (zero on a quarantined
+	// device — its pins were written off wholesale).
+	pool.Close()
 	st := pool.Stats()
 	out.BreakerOpens = st.BreakerOpens
 	for _, d := range st.Devices {
@@ -412,6 +428,11 @@ func runServeChaosScenario(sc chaosScenarioSpec, o *obs.Observer, seed int64, ro
 		if sc.wantRecovered == d.Name && recoveries == 0 {
 			return out, fmt.Errorf("%s was never probed back into rotation", d.Name)
 		}
+		if d.CommittedBytes != d.PinnedBytes {
+			return out, fmt.Errorf("%s leaked ledger bytes after drain: committed %d != pinned %d",
+				d.Name, d.CommittedBytes, d.PinnedBytes)
+		}
+		out.PinnedBytes += d.PinnedBytes
 	}
 	return out, nil
 }

@@ -26,6 +26,14 @@ const (
 	metricCommittedBytes = "serve.device.committed_bytes"  // label: device
 	metricExecSeconds    = "serve.exec.seconds"            // histogram
 
+	// Cross-job residency (pinned read-only buffers, rolling admission).
+	metricPinHits      = "serve.pin.hits"      // label: device
+	metricPinMisses    = "serve.pin.misses"    // label: device
+	metricPinEvictions = "serve.pin.evictions" // label: device
+	metricPinBytes     = "serve.pin.bytes"     // label: device (gauge)
+	metricElidedFloats = "serve.h2d.elided_floats"
+	metricRollOverlap  = "serve.rolling.overlap_seconds" // histogram
+
 	// Fault tolerance.
 	metricDeviceFault      = "serve.device.fault"      // label: device
 	metricMigrateBatches   = "serve.migrate.batches"   // labels: from, to

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,18 @@ type batch struct {
 	// only while !started; a worker sets started before snapshotting.
 	jobs    []*Job
 	started bool
+
+	// Residency admission state, set by admit and consumed by release
+	// (worker-local after admission; no extra locking):
+	// reserve is the bytes charged to the device ledger for this batch
+	// (footprint on the plain path, the plan's transient peak when the
+	// pinned-set grant succeeded); pinned lists the pin keys whose refs
+	// this batch holds; resident maps the buffer IDs whose H2D the
+	// executor elides (pin hits only — freshly installed pins are paid
+	// for by this batch's own upload).
+	reserve  int64
+	pinned   []string
+	resident map[int]bool
 }
 
 // device is one pool member: its spec, its core.Service (own plan cache,
@@ -95,11 +108,31 @@ type device struct {
 	queuedBytes atomic.Int64 // enqueued-not-started footprint (load signal)
 	health      *healthTracker
 
-	mu        sync.Mutex // guards committed, counters, streamClock
+	mu        sync.Mutex // guards committed, counters, streamClock, pins
 	cond      *sync.Cond // committed changed
-	committed int64      // bytes reserved by running batches
+	committed int64      // bytes reserved by running batches + pinned-set bytes
 	completed int64
 	failed    int64
+
+	// pins is the device's cross-job pinned set (nil with residency
+	// off). Invariant, maintained under mu: committed equals the sum of
+	// active batch reserves plus pins.Bytes() — so after the pool drains
+	// committed returns exactly to the pinned-set size.
+	pins         *gpu.PinSet
+	pinHits      int64
+	pinMisses    int64
+	pinEvictions int64
+	// Residency-modeled transfer accounting across completed jobs:
+	// charged vs actual (elided) H2D float volumes, and the rolling-
+	// admission overlap claimed against predecessors' compute tails.
+	h2dCharged   int64
+	h2dActual    int64
+	elidedFloats int64
+	rollSec      float64
+	// streamTail[s] is the modeled compute tail (after the last H2D) of
+	// the batch most recently completed on stream s — the window the
+	// next batch's lead prefetches overlap into.
+	streamTail []float64
 	// migration accounting: jobs moved off this device (queue drained on
 	// quarantine or in-flight escalation) and onto it.
 	migratedOut int64
@@ -133,6 +166,7 @@ type poolConfig struct {
 	breakCool   time.Duration
 	flightCap   int
 	flightDump  string
+	residency   bool
 	// gate, when non-nil, is received from by every worker stream before
 	// it dequeues — a test hook that freezes dequeue so tests can fill
 	// queues and coalesce deterministically. Close the channel to open.
@@ -196,6 +230,20 @@ func WithDeviceFaults(device string, inj *gpu.Injector) PoolOption {
 		}
 		c.faults[device] = inj
 	}
+}
+
+// WithResidency enables cross-job residency reuse and rolling admission:
+// each device pins the read-only-shareable buffers of the templates it
+// serves (keyed by fingerprint prefix + buffer digest) across job
+// teardown, elides their H2D replay from the modeled actual clock,
+// prefers placing a fingerprint on the device already holding its pinned
+// set, and overlaps a batch's lead prefetches with the previous batch's
+// compute tail on the same stream. Pinned bytes are charged to the
+// committed-bytes ledger and evicted LRU when admission needs room, so
+// admission can never over-subscribe memory. Off by default: without
+// this option pool behavior and stats are unchanged.
+func WithResidency() PoolOption {
+	return func(c *poolConfig) { c.residency = true }
 }
 
 // WithHealthPolicy overrides the health state machine thresholds and the
@@ -297,6 +345,10 @@ func NewPool(opts ...PoolOption) *Pool {
 			queue:       newDevQueue(cfg.queueDepth),
 			health:      newHealthTracker(spec.Name, cfg.health, cfg.obs, p.flight),
 			streamClock: make([]float64, cfg.streams),
+		}
+		if cfg.residency {
+			d.pins = gpu.NewPinSet()
+			d.streamTail = make([]float64, cfg.streams)
 		}
 		d.cond = sync.NewCond(&d.mu)
 		p.devices = append(p.devices, d)
@@ -413,7 +465,30 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		p.flight.note(flightShed, "reason", "no_device")
 		return nil, shedError("no device in rotation", p.cfg.health.ProbeInterval)
 	}
-	sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
+	if p.cfg.residency && len(jobs) > 0 {
+		// Residency-affine placement: devices already holding pinned
+		// buffers for this fingerprint sort ahead of the least-loaded
+		// order so repeat submissions land where their weights live.
+		// Ties (and the no-affinity case) fall back to load.
+		prefix := pinPrefix(jobs[0].Fingerprint)
+		affinity := make(map[*device]int64, len(order))
+		for _, d := range order {
+			d.mu.Lock()
+			if d.pins != nil {
+				affinity[d] = d.pins.AffinityBytes(prefix)
+			}
+			d.mu.Unlock()
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			da, db := affinity[order[a]], affinity[order[b]]
+			if (da > 0) != (db > 0) {
+				return da > 0
+			}
+			return order[a].load() < order[b].load()
+		})
+	} else {
+		sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
+	}
 
 	sawFull := false
 	var lastInfeasible error
@@ -562,6 +637,124 @@ func (p *Pool) noteFailure(d *device, reason string, breakerCounts bool) {
 	}
 }
 
+// pinPrefix namespaces a fingerprint's pin keys: enough of the hash to
+// make template-family collisions negligible, short enough to keep keys
+// readable in stats and dumps.
+func pinPrefix(fp string) string {
+	if len(fp) > 16 {
+		return fp[:16]
+	}
+	return fp
+}
+
+// admit reserves device memory for a batch, blocking while concurrent
+// streams hold too much. With residency off (or a plan with nothing
+// shareable) it is the plain footprint reservation. With residency on
+// it first tries a pinned-set grant: take refs on the already-pinned
+// shareable buffers (these become the batch's elided resident set),
+// install the missing ones (paid for by this batch's own upload), and
+// reserve only the plan's transient peak — evicting unreferenced LRU
+// pins when that doesn't fit. If the grant cannot fit even after
+// eviction, every just-taken ref is released and admission falls back
+// to the plain path, so a stream never waits while holding pin refs
+// (all pins held by waiting streams would be unevictable, and two
+// starved streams could deadlock). The ledger invariant — committed =
+// Σ(batch reserves) + pins.Bytes() — holds at every exit.
+func (p *Pool) admit(d *device, b *batch) {
+	name := d.spec.Name
+	d.mu.Lock()
+	defer func() {
+		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
+		if d.pins != nil {
+			metricGauge(p.obs, metricPinBytes, float64(d.pins.Bytes()), "device", name)
+		}
+		d.mu.Unlock()
+	}()
+
+	r := b.compiled.Residency
+	if d.pins != nil && r != nil && len(r.Shareable) > 0 {
+		prefix := pinPrefix(b.fp)
+		var held []string
+		var missing []int // indices into r.Shareable
+		resident := make(map[int]bool)
+		var missBytes int64
+		for i, rb := range r.Shareable {
+			key := gpu.PinKey(prefix, rb.Digest)
+			if _, ok := d.pins.Acquire(key); ok {
+				held = append(held, key)
+				resident[rb.ID] = true
+			} else {
+				missing = append(missing, i)
+				missBytes += rb.Bytes
+			}
+		}
+		need := r.TransientPeakBytes + missBytes
+		if deficit := d.committed + need - d.spec.MemoryBytes; deficit > 0 {
+			freed, n := d.pins.EvictLRU(deficit)
+			d.committed -= freed
+			d.pinEvictions += int64(n)
+			metricAdd(p.obs, metricPinEvictions, int64(n), "device", name)
+		}
+		if d.committed+need <= d.spec.MemoryBytes {
+			d.committed += need
+			for _, i := range missing {
+				rb := r.Shareable[i]
+				key := gpu.PinKey(prefix, rb.Digest)
+				d.pins.Install(key, rb.Bytes)
+				held = append(held, key)
+			}
+			hits := int64(len(r.Shareable) - len(missing))
+			d.pinHits += hits
+			d.pinMisses += int64(len(missing))
+			metricAdd(p.obs, metricPinHits, hits, "device", name)
+			metricAdd(p.obs, metricPinMisses, int64(len(missing)), "device", name)
+			b.reserve = r.TransientPeakBytes
+			b.pinned = held
+			b.resident = resident
+			return
+		}
+		// Under pressure the grant is abandoned, never waited on.
+		for _, key := range held {
+			d.pins.Release(key)
+		}
+	}
+
+	// Plain path: evict idle pins before sleeping — eviction yields to
+	// admission, so a pool that fit its workloads before residency
+	// still fits them (zero OOM).
+	for d.committed+b.footprint > d.spec.MemoryBytes {
+		if d.pins != nil {
+			if freed, n := d.pins.EvictLRU(d.committed + b.footprint - d.spec.MemoryBytes); n > 0 {
+				d.committed -= freed
+				d.pinEvictions += int64(n)
+				metricAdd(p.obs, metricPinEvictions, int64(n), "device", name)
+				continue
+			}
+		}
+		d.cond.Wait()
+	}
+	d.committed += b.footprint
+	b.reserve = b.footprint
+}
+
+// release returns a batch's reservation and pin refs to the device.
+// Refs released on a quarantined (cleared) pinned set delete their
+// doomed entries with no ledger change — Clear already wrote those
+// bytes off.
+func (p *Pool) release(d *device, b *batch) {
+	d.mu.Lock()
+	for _, key := range b.pinned {
+		d.pins.Release(key)
+	}
+	d.committed -= b.reserve
+	metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", d.spec.Name)
+	if d.pins != nil {
+		metricGauge(p.obs, metricPinBytes, float64(d.pins.Bytes()), "device", d.spec.Name)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
 // worker is one executor stream of one device.
 func (p *Pool) worker(d *device, stream int) {
 	defer p.wg.Done()
@@ -602,15 +795,10 @@ func (p *Pool) worker(d *device, stream int) {
 			continue
 		}
 
-		// Reserve the plan's footprint against physical memory; block
-		// while concurrent streams hold too much of the device.
-		d.mu.Lock()
-		for d.committed+b.footprint > d.spec.MemoryBytes {
-			d.cond.Wait()
-		}
-		d.committed += b.footprint
-		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
-		d.mu.Unlock()
+		// Reserve device memory (footprint, or transient peak plus pin
+		// refs under a residency grant); block while concurrent streams
+		// hold too much of the device.
+		p.admit(d, b)
 
 		now := time.Now()
 		live := jobs[:0:0]
@@ -641,11 +829,7 @@ func (p *Pool) worker(d *device, stream int) {
 			p.runBatch(d, stream, b, live)
 		}
 
-		d.mu.Lock()
-		d.committed -= b.footprint
-		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
-		d.cond.Broadcast()
-		d.mu.Unlock()
+		p.release(d, b)
 	}
 }
 
@@ -727,7 +911,7 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 		}
 		t0 := time.Now()
 		laneStart := tr.NowSeconds()
-		rep, err := d.svc.SimulateResilientTraced(ctx, b.compiled, sink)
+		rep, err := d.svc.SimulateResilientResidentTraced(ctx, b.compiled, b.resident, sink)
 		stop()
 		wall := time.Since(t0)
 		tr.AddWall(lane, fmt.Sprintf("batch[%d] %s", len(live), shortFP(b.fp)),
@@ -743,7 +927,7 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 			return
 		}
 		for _, j := range live {
-			p.settleOne(d, stream, j, rep, err, wall)
+			p.settleOne(d, stream, b, j, rep, err, wall)
 		}
 		p.noteHealth(d, rep, err)
 		return
@@ -762,7 +946,7 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 		}
 		t0 := time.Now()
 		laneStart := tr.NowSeconds()
-		rep, err := d.svc.ExecuteResilientTraced(ctx, b.compiled, j.inputs, sink)
+		rep, err := d.svc.ExecuteResilientResidentTraced(ctx, b.compiled, j.inputs, b.resident, sink)
 		stop()
 		wall := time.Since(t0)
 		tr.AddWall(lane, shortFP(b.fp), "serve.exec", laneStart, tr.NowSeconds())
@@ -774,7 +958,7 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 			p.escalate(d, b, live[i:], err)
 			return
 		}
-		p.settleOne(d, stream, j, rep, err, wall)
+		p.settleOne(d, stream, b, j, rep, err, wall)
 		p.noteHealth(d, rep, err)
 	}
 }
@@ -791,15 +975,43 @@ func attemptOutcome(err error) string {
 	}
 }
 
-// settleOne finishes one job from its execution outcome.
-func (p *Pool) settleOne(d *device, stream int, j *Job, rep *exec.Report, err error, wall time.Duration) {
+// settleOne finishes one job from its execution outcome. With residency
+// on, the stream clock advances by the Actual (elision-aware) time minus
+// the rolling-admission overlap: the next batch's lead prefetches for
+// still-missing buffers hide behind the previous batch's compute tail,
+// bounded by that tail and by the batch's own runtime. Charged stats —
+// what the job is billed — are never touched by either adjustment.
+func (p *Pool) settleOne(d *device, stream int, b *batch, j *Job, rep *exec.Report, err error, wall time.Duration) {
 	name := d.spec.Name
 	switch {
 	case err == nil:
 		d.mu.Lock()
 		d.completed++
-		d.streamClock[stream] += rep.Stats.TotalTime()
-		d.mu.Unlock()
+		if d.pins != nil {
+			sec := rep.Actual.TotalTime()
+			r := b.compiled.Residency
+			var ov float64
+			if r != nil {
+				ov = math.Min(r.LeadSec(b.resident), math.Min(d.streamTail[stream], sec))
+				d.streamTail[stream] = r.TailSec
+			}
+			sec -= ov
+			d.rollSec += ov
+			d.h2dCharged += rep.Stats.H2DFloats
+			d.h2dActual += rep.Actual.H2DFloats
+			d.elidedFloats += rep.ElidedH2DFloats
+			d.streamClock[stream] += sec
+			d.mu.Unlock()
+			if ov > 0 {
+				metricObserve(p.obs, metricRollOverlap, ov)
+			}
+			if rep.ElidedH2DFloats > 0 {
+				metricAdd(p.obs, metricElidedFloats, rep.ElidedH2DFloats)
+			}
+		} else {
+			d.streamClock[stream] += rep.Stats.TotalTime()
+			d.mu.Unlock()
+		}
 		metricInc(p.obs, metricCompleted, "device", name)
 		metricObserve(p.obs, metricExecSeconds, wall.Seconds())
 		p.breaker.recordSuccess()
@@ -840,6 +1052,21 @@ func (p *Pool) escalate(d *device, b *batch, jobs []*Job, cause error) {
 	metricInc(p.obs, metricDeviceFault, "device", name)
 	p.flight.note(flightFault, "device", name, "cause", cause.Error())
 	if d.health.quarantine(cause.Error()) {
+		if d.pins != nil {
+			// A quarantined device's memory contents are suspect: write
+			// the whole pinned set off the ledger now. Entries still
+			// referenced by in-flight batches linger doomed until their
+			// final Release; re-admission after recovery re-installs
+			// from host copies.
+			d.mu.Lock()
+			if freed := d.pins.Clear(); freed > 0 {
+				d.committed -= freed
+				metricGauge(p.obs, metricPinBytes, float64(d.pins.Bytes()), "device", name)
+				metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", name)
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+		}
 		for _, qb := range d.queue.drain() {
 			p.mu.Lock()
 			qb.started = true
@@ -995,6 +1222,37 @@ type DeviceStats struct {
 	Utilization float64 `json:"utilization"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
+	// Cross-job residency state (zero with residency off): bytes and
+	// buffer count currently pinned on the device, plus the cumulative
+	// pin grant/eviction counters.
+	PinnedBytes   int64 `json:"pinned_bytes,omitempty"`
+	PinnedBuffers int   `json:"pinned_buffers,omitempty"`
+	PinHits       int64 `json:"pin_hits,omitempty"`
+	PinMisses     int64 `json:"pin_misses,omitempty"`
+	PinEvictions  int64 `json:"pin_evictions,omitempty"`
+}
+
+// ResidencyStats is the pool-wide cross-job residency summary. It is
+// always present in Stats (Enabled false when the pool runs without
+// WithResidency) so scrapers can key on the "residency" section
+// unconditionally.
+type ResidencyStats struct {
+	Enabled       bool  `json:"enabled"`
+	PinnedBytes   int64 `json:"pinned_bytes"`
+	PinnedBuffers int   `json:"pinned_buffers"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	// ChargedH2DFloats/ActualH2DFloats compare the billed transfer
+	// volume against what the elision-aware clock actually moved;
+	// ElidedH2DFloats is their difference as reported per job.
+	ChargedH2DFloats int64 `json:"charged_h2d_floats"`
+	ActualH2DFloats  int64 `json:"actual_h2d_floats"`
+	ElidedH2DFloats  int64 `json:"elided_h2d_floats"`
+	// RollingOverlapSec is the modeled time hidden by rolling admission:
+	// lead prefetches of one batch overlapped into the compute tail of
+	// its stream predecessor.
+	RollingOverlapSec float64 `json:"rolling_overlap_seconds"`
 }
 
 // Stats is a pool-wide snapshot.
@@ -1018,6 +1276,9 @@ type Stats struct {
 	// exec, end-to-end) with exemplar job IDs. Only populated when the
 	// pool runs with an observer, so disabled-pool stats are unchanged.
 	SLOs []SLOStats `json:"slos,omitempty"`
+	// Residency summarizes the cross-job pinned-buffer state pool-wide;
+	// always present (Enabled false when the feature is off).
+	Residency ResidencyStats `json:"residency"`
 }
 
 // Stats snapshots the pool.
@@ -1038,6 +1299,21 @@ func (p *Pool) Stats() Stats {
 			Probes:         d.probes,
 			MigratedOut:    d.migratedOut,
 			MigratedIn:     d.migratedIn,
+		}
+		if d.pins != nil {
+			ds.PinnedBytes = d.pins.Bytes()
+			ds.PinnedBuffers = d.pins.Count()
+			ds.PinHits, ds.PinMisses, ds.PinEvictions = d.pinHits, d.pinMisses, d.pinEvictions
+			st.Residency.Enabled = true
+			st.Residency.PinnedBytes += ds.PinnedBytes
+			st.Residency.PinnedBuffers += ds.PinnedBuffers
+			st.Residency.Hits += d.pinHits
+			st.Residency.Misses += d.pinMisses
+			st.Residency.Evictions += d.pinEvictions
+			st.Residency.ChargedH2DFloats += d.h2dCharged
+			st.Residency.ActualH2DFloats += d.h2dActual
+			st.Residency.ElidedH2DFloats += d.elidedFloats
+			st.Residency.RollingOverlapSec += d.rollSec
 		}
 		for _, c := range d.streamClock {
 			ds.ModeledBusySec += c

@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+	"repro/internal/templates"
+	"repro/internal/workload"
+)
+
+// A second submission of the same template must hit the pinned set and
+// elide its shareable H2D transfers — while the charged stats stay
+// bit-identical to a direct simulation and to the first (cold) job.
+func TestResidencyReuseElidesTransfers(t *testing.T) {
+	spec := gpu.TeslaC870()
+	svc := core.NewService(core.WithDevice(spec))
+	want, err := svc.CompileAndSimulate(context.Background(), edgeGraph(t, 64, 48, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool(WithDevices(spec), WithStreams(1), WithResidency(), WithObserver(obs.New()))
+	defer p.Close()
+
+	run := func() *exec.Report {
+		t.Helper()
+		j, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, 64, 48, 5)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cold := run()
+	warm := run()
+
+	if cold.Stats != want.Stats || warm.Stats != want.Stats {
+		t.Fatalf("charged stats drifted under residency:\nwant %+v\ncold %+v\nwarm %+v",
+			want.Stats, cold.Stats, warm.Stats)
+	}
+	if cold.ElidedH2DFloats != 0 {
+		t.Fatalf("cold job elided %d floats; its misses must be paid for", cold.ElidedH2DFloats)
+	}
+	if warm.ElidedH2DFloats == 0 || warm.ElidedH2DCalls == 0 {
+		t.Fatal("warm job elided nothing despite pinned buffers")
+	}
+	if warm.Actual.H2DFloats != warm.Stats.H2DFloats-warm.ElidedH2DFloats {
+		t.Fatalf("warm Actual.H2DFloats = %d, want %d - %d",
+			warm.Actual.H2DFloats, warm.Stats.H2DFloats, warm.ElidedH2DFloats)
+	}
+	if warm.Actual.TotalTime() >= warm.Stats.TotalTime() {
+		t.Fatalf("warm actual time %g not under charged %g",
+			warm.Actual.TotalTime(), warm.Stats.TotalTime())
+	}
+
+	st := p.Stats()
+	r := st.Residency
+	if !r.Enabled || r.PinnedBytes == 0 || r.PinnedBuffers == 0 {
+		t.Fatalf("residency summary not populated: %+v", r)
+	}
+	if r.Hits == 0 || r.Misses == 0 {
+		t.Fatalf("expected cold misses and warm hits, got %+v", r)
+	}
+	if r.ActualH2DFloats >= r.ChargedH2DFloats {
+		t.Fatalf("actual H2D %d not under charged %d", r.ActualH2DFloats, r.ChargedH2DFloats)
+	}
+	if r.ChargedH2DFloats-r.ActualH2DFloats != r.ElidedH2DFloats {
+		t.Fatalf("elided accounting inconsistent: %+v", r)
+	}
+}
+
+// Residency must never change materialized outputs: a warm (elided) run
+// through a splitting device reproduces the reference exactly.
+func TestResidencyMaterializedOutputsExact(t *testing.T) {
+	g, bufs, err := templates.EdgeDetect(templates.EdgeConfig{
+		ImageH: 64, ImageW: 48, KernelSize: 5, Orientations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.EdgeInputs(bufs, 7)
+	want, err := exec.RunReference(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool(WithDevices(gpu.Custom("serve-small", 256<<10)), WithStreams(1), WithResidency())
+	defer p.Close()
+	for round := 0; round < 2; round++ {
+		j, err := p.Submit(context.Background(), Request{Graph: g, Inputs: in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, w := range want {
+			if !rep.Outputs[id].AlmostEqual(w, 1e-3) {
+				t.Fatalf("round %d: output %d differs from reference", round, id)
+			}
+		}
+	}
+}
+
+// The committed-bytes ledger must return exactly to the pinned-set size
+// once the pool drains: committed = Σ(batch reserves) + pins.Bytes(),
+// and after Close the reserves are all gone.
+func TestResidencyLedgerDrainInvariant(t *testing.T) {
+	p := NewPool(WithDevices(gpu.TeslaC870(), gpu.GeForce8800GTX()),
+		WithStreams(2), WithResidency())
+
+	dims := [][3]int{{40, 32, 5}, {64, 48, 5}, {80, 64, 7}}
+	const clients, perClient = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				d := dims[(c+i)%len(dims)]
+				j, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, d[0], d[1], d[2])})
+				if err != nil {
+					errs <- fmt.Errorf("client %d submit: %w", c, err)
+					return
+				}
+				if _, err := j.Wait(context.Background()); err != nil {
+					errs <- fmt.Errorf("client %d wait: %w", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	p.Close() // workers exited: every batch reserve has been released
+	st := p.Stats()
+	if !st.Residency.Enabled || st.Residency.PinnedBytes == 0 {
+		t.Fatalf("no pins survived the run: %+v", st.Residency)
+	}
+	var pinned int64
+	for _, d := range st.Devices {
+		if d.CommittedBytes != d.PinnedBytes {
+			t.Fatalf("device %s leaked ledger bytes: committed %d != pinned %d",
+				d.Name, d.CommittedBytes, d.PinnedBytes)
+		}
+		pinned += d.PinnedBytes
+	}
+	if pinned != st.Residency.PinnedBytes {
+		t.Fatalf("pool pinned %d != Σ device pinned %d", st.Residency.PinnedBytes, pinned)
+	}
+}
+
+// On a device too small to hold every template's pins at once, idle pins
+// must be evicted to admit new work — admission always wins over
+// retention, so the mixed workload completes with zero OOM stalls.
+func TestResidencyEvictionYieldsToAdmission(t *testing.T) {
+	p := NewPool(WithDevices(gpu.Custom("evict-small", 192<<10)),
+		WithStreams(1), WithResidency(), WithQueueDepth(16))
+	defer p.Close()
+
+	dims := [][3]int{{64, 48, 5}, {80, 64, 7}, {96, 72, 5}}
+	done := make(chan error, 12)
+	for i := 0; i < 12; i++ {
+		d := dims[i%len(dims)]
+		j, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, d[0], d[1], d[2])})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		go func() {
+			_, err := j.Wait(context.Background())
+			done <- err
+		}()
+	}
+	for i := 0; i < 12; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("job failed under memory pressure: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("pool wedged: admission starved by pinned bytes")
+		}
+	}
+	st := p.Stats()
+	if st.Residency.Evictions == 0 {
+		t.Fatalf("no evictions despite rotating templates through a small device: %+v", st.Residency)
+	}
+	d := st.Devices[0]
+	if d.PinnedBytes > d.MemoryBytes {
+		t.Fatalf("pinned %d exceeds device memory %d", d.PinnedBytes, d.MemoryBytes)
+	}
+}
+
+// When a pending batch fills to maxBatch, the next identical submission
+// must open a fresh batch rather than coalescing — and every batch,
+// full or not, still executes. Five identical jobs at maxBatch 2 split
+// into batches of 2, 2, and 1.
+func TestCoalesceAtMaxBatchBoundary(t *testing.T) {
+	gate := make(chan struct{})
+	o := obs.New()
+	p := NewPool(WithDevices(gpu.TeslaC870()), WithStreams(1), WithMaxBatch(2),
+		WithQueueDepth(8), WithObserver(o), withGate(gate))
+	defer p.Close()
+
+	const n = 5
+	jobs := make([]*Job, n)
+	for i := range jobs {
+		j, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, 40, 32, 5)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+	close(gate)
+
+	wantBatch := []int{2, 2, 2, 2, 1}
+	wantCoalesced := []bool{false, true, false, true, false}
+	for i, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		st := j.Status()
+		if st.BatchSize != wantBatch[i] || st.Coalesced != wantCoalesced[i] {
+			t.Fatalf("job %d: batch size %d coalesced %v, want %d %v",
+				i, st.BatchSize, st.Coalesced, wantBatch[i], wantCoalesced[i])
+		}
+	}
+	if v := o.M().Counter("serve.coalesced").Value(); v != 2 {
+		t.Fatalf("coalesced counter = %d, want 2", v)
+	}
+	if got := p.Stats().Devices[0].Completed; got != n {
+		t.Fatalf("completed = %d, want %d", got, n)
+	}
+}
+
+// Quarantine must write the sick device's pinned set off the ledger and
+// release in-flight pin refs without leaking a byte: after migration
+// drains onto the healthy device, the sick ledger reads zero and the
+// healthy one equals its own pins.
+func TestResidencyQuarantineClearsPins(t *testing.T) {
+	const sick, healthy = "Tesla C870", "GeForce 8800 GTX"
+	inj := gpu.NewInjector(1).SetRate(gpu.FaultDeviceLost, 1.0, gpu.Persistent)
+	p := NewPool(
+		WithDevices(gpu.TeslaC870(), gpu.GeForce8800GTX()),
+		WithDeviceFaults(sick, inj),
+		WithHealthPolicy(HealthPolicy{ProbeInterval: time.Hour}), // no recovery
+		WithQueueDepth(32),
+		WithResidency(),
+	)
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		// Distinct dimensions defeat coalescing so placement spreads.
+		j, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, 48+4*i, 40, 5)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	for i, j := range jobs {
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatalf("job %d lost: %v", i, err)
+		}
+		if st := j.Status(); st.Device != healthy {
+			t.Fatalf("job %d finished on %q, want %q", i, st.Device, healthy)
+		}
+	}
+
+	p.Close()
+	st := p.Stats()
+	for _, d := range st.Devices {
+		if d.CommittedBytes != d.PinnedBytes {
+			t.Fatalf("device %s: committed %d != pinned %d after quarantine migration",
+				d.Name, d.CommittedBytes, d.PinnedBytes)
+		}
+		switch d.Name {
+		case sick:
+			if d.PinnedBytes != 0 || d.CommittedBytes != 0 {
+				t.Fatalf("quarantined device retains bytes: %+v", d)
+			}
+		case healthy:
+			if d.Completed != 6 {
+				t.Fatalf("healthy device completed %d, want 6", d.Completed)
+			}
+		}
+	}
+}
+
+// Placement must prefer the device already holding a template's pins:
+// after the first job pins its weights on the first-placed device, a
+// repeat submission lands there even though the other (pin-free) device
+// reports less load.
+func TestResidencyAffinityPlacement(t *testing.T) {
+	p := NewPool(WithDevices(gpu.TeslaC870(), gpu.GeForce8800GTX()),
+		WithStreams(1), WithResidency())
+	defer p.Close()
+
+	j1, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, 64, 48, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	home := j1.Status().Device
+
+	// Wait for the worker to release the batch reserve, so the pinned
+	// bytes are the home device's whole load — strictly more than the
+	// empty peer's. Affinity must still win.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var homeStats DeviceStats
+		for _, d := range p.Stats().Devices {
+			if d.Name == home {
+				homeStats = d
+			}
+		}
+		if homeStats.PinnedBytes > 0 && homeStats.CommittedBytes == homeStats.PinnedBytes {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("home device never settled: %+v", homeStats)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	j2, err := p.Submit(context.Background(), Request{Graph: edgeGraph(t, 64, 48, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := j2.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := j2.Status().Device; dev != home {
+		t.Fatalf("repeat job placed on %q, want pinned home %q", dev, home)
+	}
+	if rep.ElidedH2DFloats == 0 {
+		t.Fatal("affine placement produced no elision")
+	}
+}
