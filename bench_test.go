@@ -604,8 +604,8 @@ func BenchmarkExecutorPipelined(b *testing.B) {
 	})
 	b.Run("pipelined", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exec.RunPipelined(context.Background(), g, plan, in, exec.Options{
-				Mode: exec.Materialized, Device: gpu.New(spec)}); err != nil {
+			if _, err := exec.Run(context.Background(), g, plan, in, exec.Options{
+				Mode: exec.Materialized, Device: gpu.New(spec), Pipeline: true}); err != nil {
 				b.Fatal(err)
 			}
 		}

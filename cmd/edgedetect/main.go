@@ -135,14 +135,14 @@ func main() {
 	var rep *exec.Report
 	if *simulate {
 		if inj != nil {
-			rep, err = compiled.SimulateResilient(ctx, inj)
+			rep, err = compiled.Run(ctx, core.RunOptions{Simulate: true, Resilient: true, Faults: inj})
 		} else {
 			rep, err = svc.Simulate(ctx, compiled)
 		}
 	} else {
 		in := workload.EdgeInputs(bufs, 42)
 		if inj != nil {
-			rep, err = compiled.ExecuteResilient(ctx, in, inj)
+			rep, err = compiled.Run(ctx, core.RunOptions{Inputs: in, Resilient: true, Faults: inj})
 		} else {
 			rep, err = svc.Execute(ctx, compiled, in)
 		}

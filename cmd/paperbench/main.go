@@ -40,6 +40,15 @@
 // (-sparsen shrinks the matrix for CI):
 //
 //	paperbench -ext sparse -benchout BENCH_sparse.json
+//
+// The partition extension spreads the paper's 17 GB large CNN across the
+// C870 + 8800 GTX pool and checks the acceptance criteria — partitioned
+// modeled makespan strictly under the best single-device paged baseline,
+// zero OOM on member-sized devices, deterministic charged stats, and
+// outputs bit-identical to a sequential single-device run (-rounds sets
+// the accounting repetitions):
+//
+//	paperbench -ext partition -benchout BENCH_partition.json
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,13 +77,13 @@ import (
 var (
 	tableFlag = flag.String("table", "", "table to regenerate: 1 or 2")
 	figFlag   = flag.String("fig", "", "figure to regenerate: 1c, 2, 3, 6, or 8")
-	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, chaos, obsserve, servesteady, or sparse")
+	extFlag   = flag.String("ext", "", "extension experiment: overlap, faults, smoke, cache, pipeline, serve, chaos, obsserve, servesteady, sparse, or partition")
 	allFlag   = flag.Bool("all", false, "regenerate everything")
 	csvFlag   = flag.Bool("csv", false, "emit CSV instead of aligned text")
 	traceFlag = flag.String("trace", "", "smoke run: write Chrome trace_event JSON to this file")
 	benchOut  = flag.String("benchout", "", "smoke run: append a metrics snapshot to this JSON file")
 	seedFlag  = flag.Int64("seed", 2009, "chaos run: fault-schedule seed")
-	roundsFl  = flag.Int("rounds", 0, "chaos/obsserve/servesteady run: rounds of the 8 paper workloads per scenario (0 = default)")
+	roundsFl  = flag.Int("rounds", 0, "chaos/obsserve/servesteady run: rounds of the 8 paper workloads per scenario; partition run: accounting rounds (0 = default)")
 	maxOvhFl  = flag.Float64("maxoverhead", 0, "obsserve run: fail if observability wall overhead exceeds this percent (0 = record only)")
 	sparseNFl = flag.Int("sparsen", 0, "sparse run: adjacency rows (0 = 4096; CI passes a small value)")
 )
@@ -619,8 +629,87 @@ func extSparse() error {
 	return nil
 }
 
+// partitionBenchRecord is one appended entry of the partition -benchout
+// log.
+type partitionBenchRecord struct {
+	benchMeta
+	Result *experiments.PartitionResult `json:"result"`
+}
+
+// extPartition runs the cross-device partition experiment: the paper's
+// 17 GB large CNN paged through each single card versus partitioned
+// across the C870 + 8800 GTX pool. It exits non-zero unless the
+// acceptance criteria hold: the partitioned modeled makespan strictly
+// beats the best single-device paged baseline, every round is OOM-free
+// on member-sized devices with deterministic charged stats, and the
+// materialized verification run is bit-identical to a sequential
+// single-device execution of the same split graph.
+func extPartition() error {
+	res, err := experiments.Partition(*roundsFl)
+	if err != nil {
+		return err
+	}
+	t := report.New(
+		fmt.Sprintf("Extension: cross-device partition of the %s (%s, %.1f GB working set)",
+			res.Template, res.Input, float64(res.WorkingSetBytes)/1e9),
+		"Run", "Device", "Memory", "Modeled exec", "Notes")
+	for _, b := range res.Baselines {
+		notes := "paged single-device"
+		if b.Thrashing {
+			notes += ", host thrashing"
+		}
+		t.Add("baseline", b.Device, report.Int(b.MemoryBytes)+" B",
+			report.Seconds(b.ModeledSec), notes)
+	}
+	t.Add("partitioned", fmt.Sprintf("%d-device pool", len(res.Parts)), "",
+		report.Seconds(res.PartitionedSec),
+		fmt.Sprintf("%d cut edges, %s cut floats", res.CrossEdges, report.Int(res.CutFloats)))
+	emit(t)
+
+	pt := report.New("Partitioned parts", "Part", "Device", "Memory",
+		"Planned peak", "Ops", "Steps", "Busy")
+	for p, part := range res.Parts {
+		pt.Add(fmt.Sprintf("%d", p), part.Device,
+			report.Int(part.MemoryBytes)+" B", report.Int(part.PeakBytes)+" B",
+			report.Int(int64(part.Ops)), report.Int(int64(part.Steps)),
+			report.Seconds(part.BusySec))
+	}
+	emit(pt)
+
+	fmt.Printf("speedup over best single-device baseline: %.2fx (%d accounting rounds)\n",
+		res.Speedup, res.Rounds)
+	fmt.Printf("verification at %s: outputs bit-identical=%v, deterministic=%v, oom_free=%v\n",
+		res.VerifyInput, res.OutputsBitIdentical, res.Deterministic, res.OOMFree)
+
+	if *benchOut != "" {
+		n, err := appendBenchout(*benchOut, partitionBenchRecord{
+			benchMeta: newBenchMeta("partition"), Result: res})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("appended partition snapshot %d to %s\n", n, *benchOut)
+	}
+	var violations []string
+	if res.Speedup <= 1 {
+		violations = append(violations, fmt.Sprintf("speedup %.3f not > 1", res.Speedup))
+	}
+	if !res.OOMFree {
+		violations = append(violations, "a partitioned round exceeded member memory")
+	}
+	if !res.Deterministic {
+		violations = append(violations, "charged stats diverged across rounds")
+	}
+	if !res.OutputsBitIdentical {
+		violations = append(violations, "materialized outputs diverged from the single-device reference")
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("partition acceptance failed: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}
+
 // writePipelineTrace runs one pipelined edge workload through the full
-// core path (Pipeline config → prefetch pass → RunPipelined) under
+// core path (Pipeline config → prefetch pass → pipelined exec.Run) under
 // instrumentation and exports the Chrome trace: the pipe:dma and
 // pipe:compute-N wall lanes show the real engine overlap.
 func writePipelineTrace(path string) error {
@@ -886,6 +975,10 @@ func main() {
 	}
 	if *allFlag || *extFlag == "sparse" {
 		run("sparse", extSparse)
+		did = true
+	}
+	if *allFlag || *extFlag == "partition" {
+		run("partition", extPartition)
 		did = true
 	}
 	if !did {

@@ -10,6 +10,7 @@
 //	planview -template edge -residency
 //	planview -checktrace out.json
 //	planview -device c1060 -planner pb -passes
+//	planview -template cnn -dim 512 -partition
 package main
 
 import (
@@ -47,6 +48,7 @@ var (
 	checkTrace = flag.String("checktrace", "", "validate a Chrome trace JSON file and exit")
 	passes     = flag.Bool("passes", false, "print the compile pass pipeline for the chosen device/planner and exit")
 	plannerF   = flag.String("planner", "heuristic", "planner: heuristic, baseline, or pb")
+	partitionF = flag.Bool("partition", false, "compile the template partitioned across the C870 + 8800 GTX pool and print the joined plan")
 	schedF     = flag.String("schedule", "", "load-balancing schedule: static, mergepath, or worksteal (default static)")
 )
 
@@ -101,6 +103,21 @@ func main() {
 	}
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *partitionF {
+		specs := []gpu.Spec{gpu.TeslaC870(), gpu.GeForce8800GTX()}
+		pc, err := core.NewEngine(core.Config{}).CompilePartitioned(context.Background(), g, specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range pc.Diags {
+			fmt.Println(d)
+		}
+		fmt.Print(pc.Partition.String())
+		fmt.Printf("modeled joined makespan: %.3gs (%s cut floats over %d cross edges)\n",
+			pc.Makespan, report.Int(pc.CutFloats), len(pc.Partition.Edges))
+		return
 	}
 
 	var spec gpu.Spec

@@ -53,6 +53,11 @@ var (
 	// pins, and /v1/stats grows a populated "residency" section.
 	residency = flag.Bool("residency", false, "pin read-only template weights on devices across jobs")
 
+	// -gang prefers gang placement up front for templates whose working
+	// set exceeds the largest pool device; without it a job gangs only
+	// when no single device can host it.
+	gang = flag.Bool("gang", false, "prefer cross-device gang placement for oversized templates")
+
 	// Fault-tolerance knobs. -chaos-lost scripts a one-shot device loss
 	// on a named pool device (<device>:<op> fails the op-th fallible
 	// device operation and the replay budget behind it, forcing a
@@ -157,6 +162,9 @@ func main() {
 	}
 	if *residency {
 		opts = append(opts, serve.WithResidency())
+	}
+	if *gang {
+		opts = append(opts, serve.WithGangPlacement())
 	}
 	if *probeIvl > 0 {
 		opts = append(opts, serve.WithHealthPolicy(serve.HealthPolicy{ProbeInterval: *probeIvl}))

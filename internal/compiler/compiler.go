@@ -44,10 +44,18 @@ type Compilation struct {
 	// state.
 	Obs *obs.Observer
 
+	// PoolSpecs is the device pool a partitioned compilation targets
+	// (core.CompilePartitioned); single-device compiles leave it nil.
+	PoolSpecs []gpu.Spec
+
 	// Split is the split pass's report.
 	Split split.Result
 	// Plan is the execution plan a scheduling pass produced.
 	Plan *sched.Plan
+	// Partition is the partition pass's artifact: one per-device plan per
+	// pool member plus the cross-device edges joining them. Set instead of
+	// Plan when the pipeline schedules across PoolSpecs.
+	Partition *sched.PartitionedPlan
 	// Residency is the residency pass's artifact: the plan's read-only-
 	// shareable buffer set and rolling-admission shape (lead/tail).
 	Residency *sched.Residency

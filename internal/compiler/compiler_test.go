@@ -1,8 +1,8 @@
 package compiler
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"sync"

@@ -125,6 +125,75 @@ func (p PBPass) Run(c *Compilation, sp *obs.Span) error {
 	return nil
 }
 
+// PartitionPass cuts the (post-split) graph across the pool in
+// c.PoolSpecs, in place of a single-device scheduling pass. Three
+// candidate assignments compete on modeled joined makespan: spatial row
+// striping (sched.PartitionStripeAssign — contiguous throughput-weighted
+// stripes whose cut is the halo exchange at stripe boundaries),
+// chain clustering (sched.PartitionChainAssign — single-consumer
+// pipelines coarsen into clusters spread LPT-greedy, so the cut is only
+// the fan-out layer boundaries), and HEFT-style earliest-finish
+// placement (sched.PartitionAssign — wins on graphs with independent
+// branches and neither spatial extent nor chains to exploit).
+// Each candidate gets one ordinary per-device transfer plan under each
+// spec's planner capacity and explicit cross-device edges priced by
+// gpu.TransferEngine (sched.BuildPartition — which also verifies every
+// part and its step DAG). The better artifact lands in c.Partition;
+// c.Plan stays nil.
+type PartitionPass struct{}
+
+// Name implements Pass.
+func (PartitionPass) Name() string { return "partition" }
+
+// Run implements Pass.
+func (PartitionPass) Run(c *Compilation, sp *obs.Span) error {
+	if len(c.PoolSpecs) < 2 {
+		return fmt.Errorf("graph partitioning: needs a pool of at least 2 devices, got %d", len(c.PoolSpecs))
+	}
+	type candidate struct {
+		name string
+		pp   *sched.PartitionedPlan
+		ms   float64
+	}
+	var best *candidate
+	var firstErr error
+	try := func(name string, assign []int) {
+		pp, err := sched.BuildPartition(c.Graph, assign, c.PoolSpecs, sched.Options{Obs: c.Obs})
+		if err == nil {
+			var ms float64
+			if ms, err = pp.Makespan(); err == nil {
+				if best == nil || ms < best.ms {
+					best = &candidate{name, pp, ms}
+				}
+				return
+			}
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if assign, ok := sched.PartitionStripeAssign(c.Graph, c.PoolSpecs); ok {
+		try("stripe", assign)
+	}
+	if assign, ok := sched.PartitionChainAssign(c.Graph, c.PoolSpecs); ok {
+		try("chain", assign)
+	}
+	try("heft", sched.PartitionAssign(c.Graph, c.PoolSpecs))
+	if best == nil {
+		return fmt.Errorf("graph partitioning: %w", firstErr)
+	}
+	pp, ms := best.pp, best.ms
+	c.Partition = pp
+	sp.SetArgf("parts", "%d", len(pp.Parts)).
+		SetArgf("assignment", "%s", best.name).
+		SetArgf("cut_edges", "%d", len(pp.Edges)).
+		SetArgf("cut_floats", "%d", pp.CutFloats()).
+		SetArgf("makespan_sec", "%.6g", ms)
+	c.Diagf("partition: %d parts across %d devices by %s assignment, %d cut edges (%d floats), modeled makespan %.3gs",
+		len(pp.Parts), len(c.PoolSpecs), best.name, len(pp.Edges), pp.CutFloats(), ms)
+	return nil
+}
+
 // PrefetchPass reorders the plan's H2D copies as early as memory allows
 // for asynchronous DMA/compute overlap (§3.3.2). Only assembled for
 // devices that support AsyncTransfer.

@@ -83,7 +83,7 @@ type Config struct {
 	// engines concurrently. Ignored on devices without AsyncTransfer.
 	Overlap bool
 	// Pipeline executes materialized runs with the pipelined executor
-	// (exec.RunPipelined): the plan's step-dependency DAG drives a DMA
+	// (exec.Options.Pipeline): the plan's step-dependency DAG drives a DMA
 	// goroutine and a compute-worker pool concurrently on the host, with
 	// H2D prefetch reordering so double-buffering has room to work.
 	// Results and simulated statistics are bit-identical to sequential
@@ -191,7 +191,7 @@ type Compiled struct {
 	// asynchronous execution; Execute/Simulate then overlap the engines.
 	Overlap bool
 	// Pipeline routes Execute through the pipelined executor
-	// (exec.RunPipelined); PipelineWorkers bounds its compute pool.
+	// (exec.Options.Pipeline); PipelineWorkers bounds its compute pool.
 	Pipeline        bool
 	PipelineWorkers int
 	// Residency is the residency pass's artifact: the plan's read-only-
@@ -360,61 +360,96 @@ func (c *Compiled) newDevice() *gpu.Device {
 	return dev
 }
 
-// Execute runs the compiled plan with real data on a fresh simulated
-// device, returning outputs and device statistics. Plans compiled with
-// Config.Pipeline run under the pipelined executor (identical results and
-// statistics, concurrent host execution). Cancellation is checked at step
-// boundaries and leaves the device pristine.
-func (c *Compiled) Execute(ctx context.Context, in exec.Inputs) (*exec.Report, error) {
-	dev := c.newDevice()
-	opt := exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident}
-	if c.Pipeline {
-		opt.Pipeline = true
-		opt.PipelineWorkers = c.PipelineWorkers
-		return exec.RunPipelined(ctx, c.Graph, c.Plan, in, opt)
-	}
-	return exec.Run(ctx, c.Graph, c.Plan, in, opt)
+// RunOptions selects how a compiled artifact executes. The zero value is
+// a plain materialized execution (which still needs Inputs); flags
+// compose freely, and every combination lowers onto the single
+// exec.Run(ctx, ...) entry point.
+type RunOptions struct {
+	// Inputs supplies the template's root input tensors for a
+	// materialized execution. Ignored when Simulate is set.
+	Inputs exec.Inputs
+	// Simulate replays the plan in accounting mode: byte-exact memory,
+	// transfer, and timing behaviour without materializing data — the
+	// mode paper-scale footprints run in.
+	Simulate bool
+	// Resilient executes under exec's resilient driver: transient-fault
+	// retry, checkpoint/restart on device loss, and the OOM degradation
+	// ladder (replan at reduced budgets relative to the artifact's
+	// Capacity, then the CPU reference for materialized runs).
+	Resilient bool
+	// Faults overrides the fault injector installed on the execution's
+	// device (nil → the engine's configured Config.Faults).
+	Faults *gpu.Injector
+	// Resident overrides the artifact's resident buffer set for this run
+	// (a serving layer's pinned set); nil keeps the artifact's own.
+	Resident map[int]bool
+	// Sink, when non-nil, receives this execution's device-phase spans
+	// and recovery instants in addition to the service trace. Honored by
+	// Service.Run; Compiled.Run ignores it (it has no fork/join scope).
+	Sink *obs.Tracer
 }
 
-// ExecuteResilient runs the compiled plan with real data on a fresh
-// simulated device under the resilient executor: transient faults are
-// retried, device loss restarts from the last offload-unit checkpoint,
-// and persistent OOM triggers the degradation ladder (replan at reduced
-// budgets, then the CPU reference). inj overrides the configured
-// injector; nil uses Config.Faults (or no faults).
-func (c *Compiled) ExecuteResilient(ctx context.Context, in exec.Inputs, inj *gpu.Injector) (*exec.Report, error) {
+// Run executes the compiled plan on a fresh simulated device under the
+// selected RunOptions, lowering every mode combination onto exec.Run.
+// Plans compiled with Config.Pipeline run materialized executions under
+// the pipelined driver (identical results and statistics, concurrent
+// host execution); resilient runs are sequential so checkpoints land at
+// deterministic step boundaries. Cancellation is checked at step
+// boundaries and leaves the device pristine.
+func (c *Compiled) Run(ctx context.Context, opt RunOptions) (*exec.Report, error) {
 	dev := c.newDevice()
-	if inj != nil {
-		dev.SetInjector(inj)
+	if opt.Faults != nil {
+		dev.SetInjector(opt.Faults)
 	}
-	return exec.RunResilient(ctx, c.Graph, c.Plan, in, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Materialized, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident},
-		Capacity: c.Capacity,
-	})
+	resident := c.Resident
+	if opt.Resident != nil {
+		resident = opt.Resident
+	}
+	eo := exec.Options{
+		Mode: exec.Materialized, Device: dev, Overlap: c.Overlap,
+		Obs: c.Obs, Resident: resident,
+	}
+	in := opt.Inputs
+	if opt.Simulate {
+		eo.Mode = exec.Accounting
+		in = nil
+	} else {
+		eo.Pipeline = c.Pipeline
+		eo.PipelineWorkers = c.PipelineWorkers
+	}
+	if opt.Resilient {
+		eo.Resilient = &exec.Resilience{Capacity: c.Capacity}
+	}
+	return exec.Run(ctx, c.Graph, c.Plan, in, eo)
+}
+
+// Execute runs the compiled plan with real data: Run with inputs only.
+func (c *Compiled) Execute(ctx context.Context, in exec.Inputs) (*exec.Report, error) {
+	return c.Run(ctx, RunOptions{Inputs: in})
+}
+
+// Simulate replays the compiled plan in accounting mode: Run with the
+// Simulate flag.
+func (c *Compiled) Simulate(ctx context.Context) (*exec.Report, error) {
+	return c.Run(ctx, RunOptions{Simulate: true})
+}
+
+// ExecuteResilient runs the compiled plan with real data under the
+// resilient executor.
+//
+// Deprecated: call Run with RunOptions{Inputs: in, Resilient: true,
+// Faults: inj}.
+func (c *Compiled) ExecuteResilient(ctx context.Context, in exec.Inputs, inj *gpu.Injector) (*exec.Report, error) {
+	return c.Run(ctx, RunOptions{Inputs: in, Resilient: true, Faults: inj})
 }
 
 // SimulateResilient replays the compiled plan in accounting mode under
-// the resilient executor, with optional fault injection. The CPU
-// fallback rung is unavailable without materialized data; every other
-// recovery mechanism (retry, checkpoint/restart, replanning) applies.
+// the resilient executor.
+//
+// Deprecated: call Run with RunOptions{Simulate: true, Resilient: true,
+// Faults: inj}.
 func (c *Compiled) SimulateResilient(ctx context.Context, inj *gpu.Injector) (*exec.Report, error) {
-	dev := c.newDevice()
-	if inj != nil {
-		dev.SetInjector(inj)
-	}
-	return exec.RunResilient(ctx, c.Graph, c.Plan, nil, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident},
-		Capacity: c.Capacity,
-	})
-}
-
-// Simulate replays the compiled plan in accounting mode: byte-exact
-// memory, transfer, and timing behaviour without materializing data. Use
-// for paper-scale footprints.
-func (c *Compiled) Simulate(ctx context.Context) (*exec.Report, error) {
-	dev := c.newDevice()
-	return exec.Run(ctx, c.Graph, c.Plan, nil,
-		exec.Options{Mode: exec.Accounting, Device: dev, Overlap: c.Overlap, Obs: c.Obs, Resident: c.Resident})
+	return c.Run(ctx, RunOptions{Simulate: true, Resilient: true, Faults: inj})
 }
 
 // GenerateCUDA emits the hybrid CPU/GPU CUDA source for the plan.

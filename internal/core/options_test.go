@@ -16,7 +16,7 @@ import (
 func TestOptionsMatchConfigLiteral(t *testing.T) {
 	o := obs.New()
 	cfg := Config{
-		Device: gpu.Custom("opt", 1 << 20), Planner: BaselinePlanner,
+		Device: gpu.Custom("opt", 1<<20), Planner: BaselinePlanner,
 		Capacity: 9000, SplitMaxParts: 64, Obs: o,
 	}
 	byOpts := NewService(
@@ -47,7 +47,7 @@ func TestOptionsMatchConfigLiteral(t *testing.T) {
 // WithConfig overlays the full literal and later options still win.
 func TestWithConfigOverlay(t *testing.T) {
 	svc := NewService(
-		WithConfig(Config{Device: gpu.Custom("base", 1 << 20), Capacity: 5000}),
+		WithConfig(Config{Device: gpu.Custom("base", 1<<20), Capacity: 5000}),
 		WithCapacity(9000),
 	)
 	if got := svc.Engine().Capacity(); got != 9000 {

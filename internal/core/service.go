@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/exec"
+	"repro/internal/gpu"
 	"repro/internal/graph"
 	"repro/internal/obs"
 )
@@ -19,8 +20,9 @@ import (
 // forked observer, so the caller's graph is never mutated and concurrent
 // traces never interleave mid-span.
 type Service struct {
-	eng   *Engine
-	cache *compiler.Cache[*Compiled]
+	eng    *Engine
+	cache  *compiler.Cache[*Compiled]
+	pcache *compiler.Cache[*PartitionedCompiled]
 }
 
 // NewService returns a service assembled from functional options:
@@ -40,8 +42,9 @@ func NewService(opts ...Option) *Service {
 		opt(&cfg)
 	}
 	return &Service{
-		eng:   NewEngine(cfg),
-		cache: compiler.NewCache[*Compiled](cfg.CacheSize, cfg.Obs),
+		eng:    NewEngine(cfg),
+		cache:  compiler.NewCache[*Compiled](cfg.CacheSize, cfg.Obs),
+		pcache: compiler.NewCache[*PartitionedCompiled](cfg.CacheSize, cfg.Obs),
 	}
 }
 
@@ -119,26 +122,46 @@ func (s *Service) CompileNoCtx(g *graph.Graph) (*Compiled, bool, error) {
 	return s.Compile(context.Background(), g)
 }
 
-// run executes fn against a per-call copy of the cached artifact carrying
-// its own forked observer, so concurrent executions of one cached plan
-// never share trace state.
-func (s *Service) run(c *Compiled, fn func(*Compiled) (*exec.Report, error)) (*exec.Report, error) {
-	o := s.eng.cfg.Obs
-	cc := *c
-	child := o.Fork()
-	cc.Obs = child
-	rep, err := fn(&cc)
-	o.Join(child)
-	return rep, err
+// PartitionCacheKey returns the canonical key CompilePartitioned
+// memoizes g under for the given pool: the graph fingerprint, every pool
+// member's full spec (order matters — part p runs on specs[p]), and the
+// planner configuration.
+func (s *Service) PartitionCacheKey(g *graph.Graph, specs []gpu.Spec) string {
+	cfg := fmt.Sprintf("%s,partition=%+v", s.configString(), specs)
+	return compiler.Key(g.Fingerprint(), s.eng.cfg.Device, cfg)
 }
 
-// runTraced is run with a per-execution trace sink: the forked child
-// observer's spans and instants are merged into sink as well as joined
-// back into the service observer, so a caller holding per-request state
-// (the serving pool's job traces) receives this execution's device
-// timeline without re-parsing the shared trace. A nil sink degrades to
-// run exactly; a sink with a nil service observer still receives spans
-// through a standalone fork.
+// CompilePartitioned returns the partitioned artifact for g over the
+// device pool specs, from its own cache when an identical compilation
+// already ran (single-flight, like Compile). The caller's graph is never
+// mutated: misses compile a clone.
+func (s *Service) CompilePartitioned(ctx context.Context, g *graph.Graph, specs []gpu.Spec) (pc *PartitionedCompiled, hit bool, err error) {
+	o := s.eng.cfg.Obs
+	key := s.PartitionCacheKey(g, specs)
+	pc, hit, err = s.pcache.GetOrCompute(key, func() (*PartitionedCompiled, error) {
+		child := o.Fork()
+		cc, cerr := s.eng.compilePartitionedObs(ctx, child, g.Clone(), specs)
+		o.Join(child)
+		return cc, cerr
+	})
+	if err != nil {
+		return nil, hit, err
+	}
+	if hit {
+		o.T().MarkWall("cache-hit", "compile", map[string]string{"key": key[:12]})
+	}
+	return pc, hit, nil
+}
+
+// runTraced executes fn against a per-call copy of the cached artifact
+// carrying its own forked observer, so concurrent executions of one
+// cached plan never share trace state. The forked child observer's spans
+// and instants are merged into sink as well as joined back into the
+// service observer, so a caller holding per-request state (the serving
+// pool's job traces) receives this execution's device timeline without
+// re-parsing the shared trace. A nil sink just skips the merge; a sink
+// with a nil service observer still receives spans through a standalone
+// fork.
 func (s *Service) runTraced(c *Compiled, sink *obs.Tracer, fn func(*Compiled) (*exec.Report, error)) (*exec.Report, error) {
 	o := s.eng.cfg.Obs
 	cc := *c
@@ -153,73 +176,106 @@ func (s *Service) runTraced(c *Compiled, sink *obs.Tracer, fn func(*Compiled) (*
 	return rep, err
 }
 
-// Execute runs an already-compiled artifact with real data on a fresh
-// device under a per-call forked observer. Safe for concurrent use — a
+// Run executes an already-compiled artifact on a fresh device under a
+// per-call forked observer — the single front-door execution entry
+// point, replacing the Execute/Simulate × Resilient × Traced × Resident
+// method matrix. Every RunOptions combination is honored: Simulate
+// selects accounting mode, Resilient the resilient driver, Resident the
+// pinned buffer set (installed on the per-call artifact copy, so
+// concurrent executions of one cached plan can carry different
+// residency), and Sink receives the execution's device-phase spans
+// (H2D/compute/D2H on the simulated clock) and recovery instants in
+// addition to the service's own trace. Safe for concurrent use — a
 // serving layer compiles once via Compile and fans executions out here.
-func (s *Service) Execute(ctx context.Context, c *Compiled, in exec.Inputs) (*exec.Report, error) {
-	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Execute(ctx, in) })
+func (s *Service) Run(ctx context.Context, c *Compiled, opt RunOptions) (*exec.Report, error) {
+	return s.runTraced(c, opt.Sink, func(cc *Compiled) (*exec.Report, error) {
+		return cc.Run(ctx, opt)
+	})
 }
 
-// Simulate replays an already-compiled artifact in accounting mode under
-// a per-call forked observer. Safe for concurrent use.
+// RunPartitioned executes a partitioned artifact on devs (fresh devices
+// from pc.NewDevices when nil) under a per-call forked observer, with
+// opt.Sink receiving the execution's spans — the partitioned counterpart
+// of Run. See PartitionedCompiled.Run for option semantics.
+func (s *Service) RunPartitioned(ctx context.Context, pc *PartitionedCompiled, devs []*gpu.Device, opt RunOptions) (*exec.PartitionReport, error) {
+	o := s.eng.cfg.Obs
+	cc := *pc
+	child := o.Fork()
+	if child == nil && opt.Sink != nil {
+		child = &obs.Observer{Trace: opt.Sink.Fork()}
+	}
+	cc.Obs = child
+	if devs == nil {
+		devs = cc.NewDevices()
+	}
+	rep, err := cc.RunOn(ctx, devs, opt)
+	opt.Sink.Merge(child.T())
+	o.Join(child)
+	return rep, err
+}
+
+// Execute runs an already-compiled artifact with real data: Run with
+// inputs only.
+func (s *Service) Execute(ctx context.Context, c *Compiled, in exec.Inputs) (*exec.Report, error) {
+	return s.Run(ctx, c, RunOptions{Inputs: in})
+}
+
+// Simulate replays an already-compiled artifact in accounting mode: Run
+// with the Simulate flag.
 func (s *Service) Simulate(ctx context.Context, c *Compiled) (*exec.Report, error) {
-	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.Simulate(ctx) })
+	return s.Run(ctx, c, RunOptions{Simulate: true})
 }
 
 // ExecuteResilient runs an already-compiled artifact with real data under
-// the resilient executor (exec.RunResilient): transient faults retry in
-// place, device loss replays from the last checkpoint, persistent OOM
-// walks the degradation ladder. The service's configured fault injector
-// (WithFaults) is installed on the execution's device. Safe for
-// concurrent use; with no faults the result is bit- and stat-identical
-// to Execute.
+// the resilient executor.
+//
+// Deprecated: call Run with RunOptions{Inputs: in, Resilient: true}.
 func (s *Service) ExecuteResilient(ctx context.Context, c *Compiled, in exec.Inputs) (*exec.Report, error) {
-	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.ExecuteResilient(ctx, in, nil) })
+	return s.Run(ctx, c, RunOptions{Inputs: in, Resilient: true})
 }
 
 // SimulateResilient replays an already-compiled artifact in accounting
-// mode under the resilient executor, with the service's configured fault
-// injector installed. Safe for concurrent use.
+// mode under the resilient executor.
+//
+// Deprecated: call Run with RunOptions{Simulate: true, Resilient: true}.
 func (s *Service) SimulateResilient(ctx context.Context, c *Compiled) (*exec.Report, error) {
-	return s.run(c, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
+	return s.Run(ctx, c, RunOptions{Simulate: true, Resilient: true})
 }
 
 // ExecuteResilientTraced is ExecuteResilient with a per-execution trace
-// sink: the execution's device-phase spans (H2D/compute/D2H on the
-// simulated clock) and recovery instants are merged into sink in
-// addition to the service's own trace. With a nil sink it is exactly
-// ExecuteResilient.
+// sink.
+//
+// Deprecated: call Run with RunOptions{Inputs: in, Resilient: true,
+// Sink: sink}.
 func (s *Service) ExecuteResilientTraced(ctx context.Context, c *Compiled, in exec.Inputs, sink *obs.Tracer) (*exec.Report, error) {
-	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) { return cc.ExecuteResilient(ctx, in, nil) })
+	return s.Run(ctx, c, RunOptions{Inputs: in, Resilient: true, Sink: sink})
 }
 
 // SimulateResilientTraced is SimulateResilient with a per-execution
-// trace sink (see ExecuteResilientTraced).
+// trace sink.
+//
+// Deprecated: call Run with RunOptions{Simulate: true, Resilient: true,
+// Sink: sink}.
 func (s *Service) SimulateResilientTraced(ctx context.Context, c *Compiled, sink *obs.Tracer) (*exec.Report, error) {
-	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) { return cc.SimulateResilient(ctx, nil) })
+	return s.Run(ctx, c, RunOptions{Simulate: true, Resilient: true, Sink: sink})
 }
 
 // ExecuteResilientResidentTraced is ExecuteResilientTraced with a
-// resident buffer set (a serving layer's pinned state): the H2D
-// transfers of resident buffers are elided from the report's Actual
-// clock domain while charged Stats and outputs stay bit-identical to an
-// execution without residency. The set is installed on the per-call
-// artifact copy, so concurrent executions of one cached plan can carry
-// different residency.
+// resident buffer set.
+//
+// Deprecated: call Run with RunOptions{Inputs: in, Resilient: true,
+// Resident: resident, Sink: sink}.
 func (s *Service) ExecuteResilientResidentTraced(ctx context.Context, c *Compiled, in exec.Inputs, resident map[int]bool, sink *obs.Tracer) (*exec.Report, error) {
-	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) {
-		cc.Resident = resident
-		return cc.ExecuteResilient(ctx, in, nil)
-	})
+	return s.Run(ctx, c, RunOptions{Inputs: in, Resilient: true, Resident: resident, Sink: sink})
 }
 
 // SimulateResilientResidentTraced is SimulateResilientTraced with a
-// resident buffer set (see ExecuteResilientResidentTraced).
+// resident buffer set.
+//
+// Deprecated: call Run with RunOptions{Simulate: true, Resilient: true,
+// Resident: resident, Sink: sink}.
 func (s *Service) SimulateResilientResidentTraced(ctx context.Context, c *Compiled, resident map[int]bool, sink *obs.Tracer) (*exec.Report, error) {
-	return s.runTraced(c, sink, func(cc *Compiled) (*exec.Report, error) {
-		cc.Resident = resident
-		return cc.SimulateResilient(ctx, nil)
-	})
+	return s.Run(ctx, c, RunOptions{Simulate: true, Resilient: true, Resident: resident, Sink: sink})
 }
 
 // CompileAndSimulate compiles g (or hits the cache) and replays the plan

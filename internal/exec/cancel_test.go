@@ -114,8 +114,8 @@ func TestRunPipelinedCancelledLeavesDevicePristine(t *testing.T) {
 	g, plan, in := cancelPlan(t)
 	for _, at := range []int{0, 1, 4, 8} {
 		dev := gpu.New(gpu.Custom("cancel-pipe", 1<<20))
-		rep, err := RunPipelined(countdown(at), g, plan, in,
-			Options{Device: dev, PipelineWorkers: 2})
+		rep, err := Run(countdown(at), g, plan, in,
+			Options{Device: dev, Pipeline: true, PipelineWorkers: 2})
 		if !errors.Is(err, context.Canceled) {
 			t.Fatalf("cancel at %d: err = %v, want context.Canceled", at, err)
 		}
@@ -134,8 +134,8 @@ func TestRunPipelinedCancelledLeavesDevicePristine(t *testing.T) {
 func TestRunResilientCancelledSkipsLadder(t *testing.T) {
 	g, plan, in := cancelPlan(t)
 	dev := gpu.New(gpu.Custom("cancel-res", 1<<20))
-	rep, err := RunResilient(countdown(len(plan.Steps)/3), g, plan, in,
-		ResilientOptions{Options: Options{Device: dev}})
+	rep, err := Run(countdown(len(plan.Steps)/3), g, plan, in,
+		Options{Device: dev, Resilient: &Resilience{}})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}

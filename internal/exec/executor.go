@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -49,8 +50,8 @@ type Options struct {
 	// compute-worker pool synchronized by the step-dependency DAG
 	// (sched.StepDeps) — so materialized runs overlap real transfer work
 	// with real kernel work on the host. Results and statistics are
-	// bit-identical to sequential execution. Honored by core.Compiled;
-	// plain Run ignores it (call RunPipelined).
+	// bit-identical to sequential execution. Run dispatches on it;
+	// ignored when Resilient is set (the resilient driver is sequential).
 	Pipeline bool
 	// PipelineWorkers bounds the compute-worker pool of a pipelined
 	// execution (0 → GOMAXPROCS).
@@ -82,6 +83,41 @@ type Options struct {
 	// job's own host copy, so elision never changes data. Only sound for
 	// buffers the residency analysis proved read-only.
 	Resident map[int]bool
+	// Resilient, when non-nil, runs the plan under the resilient driver:
+	// transient faults retry with backoff, device loss restarts from the
+	// last offload-unit checkpoint, and persistent OOM walks the
+	// degradation ladder (see Resilience). Takes precedence over Pipeline
+	// — the resilient driver executes sequentially so checkpoints land at
+	// deterministic step boundaries. With no faults injected the result
+	// is bit- and stat-identical to a non-resilient run.
+	Resilient *Resilience
+
+	// shared, when non-nil, makes this execution one part of a
+	// cross-device partitioned run: host arrays and host-validity are
+	// shared with the sibling parts (set only by RunPartitioned).
+	shared *hostState
+}
+
+// hostState is the host side of an execution: the root arrays
+// (materialized mode) and the per-buffer host-validity map, guarded by
+// one mutex. A single-device run owns one privately; the parts of a
+// partitioned run share one, which is how a cut buffer D2H'd by its
+// producing device becomes loadable on the consuming device.
+type hostState struct {
+	mu    sync.Mutex
+	arr   map[int]*tensor.Tensor // root arrays (materialized mode)
+	valid map[int]bool
+	// serialize makes perform hold mu across real host-array copies.
+	// Single-device pipelined runs keep copies outside the lock (steps
+	// touching the same bytes are DAG-ordered); partitioned runs must
+	// serialize, because halo duplication means two devices can copy
+	// byte-identical but overlapping host regions with no cross-part
+	// ordering edge between them.
+	serialize bool
+}
+
+func newHostState() *hostState {
+	return &hostState{arr: make(map[int]*tensor.Tensor), valid: make(map[int]bool)}
 }
 
 // Report is the result of executing a plan.
@@ -130,13 +166,13 @@ type executor struct {
 	dev  *gpu.Device
 	rep  *Report
 
-	// mu guards the execution-state maps (resident, hostValid) during a
-	// pipelined run, where perform halves of independent steps execute
-	// from multiple goroutines. Sequential execution takes it uncontended.
-	mu        sync.Mutex
-	host      map[int]*tensor.Tensor // root arrays (materialized mode)
-	hostValid map[int]bool
-	resident  map[int]*devBuf
+	// hs carries the host arrays and host-validity map; its mutex also
+	// guards the resident map during a pipelined run, where perform
+	// halves of independent steps execute from multiple goroutines.
+	// Sequential execution takes it uncontended. Partitioned runs share
+	// one hs across all parts.
+	hs       *hostState
+	resident map[int]*devBuf
 
 	// obs is opt.Obs; loaded marks buffers that have been device-resident
 	// once (transferred up or produced by a launch), distinguishing
@@ -183,45 +219,63 @@ func newExecutor(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*exe
 	}
 	e := &executor{
 		g: g, plan: plan, opt: opt, dev: dev,
-		rep:       &Report{},
-		host:      make(map[int]*tensor.Tensor),
-		hostValid: make(map[int]bool),
-		resident:  make(map[int]*devBuf),
-		accLive:   make(map[int]bool),
-		overlap:   opt.Overlap && dev.Spec.AsyncTransfer,
-		ready:     make(map[int]float64),
-		obs:       opt.Obs,
+		rep:      &Report{},
+		hs:       opt.shared,
+		resident: make(map[int]*devBuf),
+		accLive:  make(map[int]bool),
+		overlap:  opt.Overlap && dev.Spec.AsyncTransfer,
+		ready:    make(map[int]float64),
+		obs:      opt.Obs,
 	}
 	if e.obs != nil {
 		e.loaded = make(map[int]bool)
 	}
+	shared := e.hs != nil
+	if !shared {
+		e.hs = newHostState()
+	}
 	// Host validity is only ever consulted for buffers the plan touches,
-	// so seed it from the plan's canonical buffer walk.
+	// so seed it from the plan's canonical buffer walk. (Idempotent when
+	// the host state is shared across partition parts, but the lock is
+	// still required: sibling parts seed concurrently.)
+	e.hs.mu.Lock()
 	for _, b := range plan.Buffers() {
 		if b.Root.IsInput || b.IsInput {
-			e.hostValid[b.ID] = true
+			e.hs.valid[b.ID] = true
 		}
 	}
-	if opt.Mode == Materialized {
-		for _, b := range g.Buffers() {
-			if !b.IsRoot() {
-				continue
-			}
-			if b.IsInput {
-				t, ok := in[b.ID]
-				if !ok {
-					return nil, fmt.Errorf("exec: missing input tensor for %s", b)
-				}
-				if t.Rows() != b.Region.Rows || t.Cols() != b.Region.Cols {
-					return nil, fmt.Errorf("exec: input %s shape %v, want %v", b, t, b.Shape())
-				}
-				e.host[b.ID] = t.Clone()
-			} else {
-				e.host[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
-			}
+	e.hs.mu.Unlock()
+	// A shared host state was materialized by the partition driver; a
+	// private one is materialized here.
+	if opt.Mode == Materialized && !shared {
+		if err := materializeHost(e.hs, g, in); err != nil {
+			return nil, err
 		}
 	}
 	return e, nil
+}
+
+// materializeHost allocates the host-side root arrays: template inputs
+// are cloned from the caller's tensors, everything else starts zeroed.
+func materializeHost(hs *hostState, g *graph.Graph, in Inputs) error {
+	for _, b := range g.Buffers() {
+		if !b.IsRoot() {
+			continue
+		}
+		if b.IsInput {
+			t, ok := in[b.ID]
+			if !ok {
+				return fmt.Errorf("exec: missing input tensor for %s", b)
+			}
+			if t.Rows() != b.Region.Rows || t.Cols() != b.Region.Cols {
+				return fmt.Errorf("exec: input %s shape %v, want %v", b, t, b.Shape())
+			}
+			hs.arr[b.ID] = t.Clone()
+		} else {
+			hs.arr[b.ID] = tensor.New(b.Region.Rows, b.Region.Cols)
+		}
+	}
+	return nil
 }
 
 func (e *executor) rec(kind gpu.EventKind, label, engine string, start, end float64) {
@@ -275,6 +329,39 @@ func (e *executor) observe(si int, step sched.Step, t0 float64) {
 	m.Gauge("exec.peak_resident_bytes").SetMax(float64(e.accResident))
 }
 
+// malloc allocates device memory, defragmenting the arena and retrying
+// once when the failure is pure external fragmentation: enough free
+// bytes, no contiguous span. The framework placed every live allocation
+// on the device, so it can slide them down (Device.Compact charges the
+// modeled D2D copy time) and fix up its own offsets — which is what
+// makes a plan the scheduler verified against the planner's byte budget
+// run without OOM even when first-fit layout fragments. Disabled under
+// Pipeline: concurrent perform halves hold offsets outside the lock,
+// which a compaction would invalidate; pipelined plans keep the
+// planner's contiguity slack instead.
+func (e *executor) malloc(n int64) (int64, error) {
+	off, err := e.dev.Malloc(n)
+	if err == nil || e.opt.Pipeline || !errors.Is(err, gpu.ErrOOM) {
+		return off, err
+	}
+	if e.dev.Allocator().FreeBytes() < n {
+		return off, err // genuine capacity overrun, not fragmentation
+	}
+	moves := e.dev.Compact()
+	e.hs.mu.Lock()
+	remap := make(map[int64]int64, len(moves))
+	for _, m := range moves {
+		remap[m.Old] = m.New
+	}
+	for _, db := range e.resident {
+		if to, ok := remap[db.off]; ok {
+			db.off = to
+		}
+	}
+	e.hs.mu.Unlock()
+	return e.dev.Malloc(n)
+}
+
 // stall pushes both engine timelines forward by t seconds (retry backoff
 // in overlapped mode: the whole device idles).
 func (e *executor) stall(t float64) {
@@ -298,17 +385,17 @@ func (e *executor) perform(si int, step sched.Step) error {
 	switch step.Kind {
 	case sched.StepH2D:
 		b := step.Buf
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		_, already := e.resident[b.ID]
-		valid := e.hostValid[b.ID]
-		e.mu.Unlock()
+		valid := e.hs.valid[b.ID]
+		e.hs.mu.Unlock()
 		if already {
 			return fmt.Errorf("exec: step %d: H2D of already-resident %s", si, b)
 		}
 		if !valid {
 			return fmt.Errorf("exec: step %d: H2D of %s but host copy is invalid", si, b)
 		}
-		off, err := dev.Malloc(b.Bytes())
+		off, err := e.malloc(b.Bytes())
 		if err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
@@ -324,18 +411,24 @@ func (e *executor) perform(si int, step sched.Step) error {
 		}
 		db := &devBuf{off: off}
 		if e.opt.Mode == Materialized {
-			root := e.host[b.Root.ID]
+			if e.hs.serialize {
+				e.hs.mu.Lock()
+			}
+			root := e.hs.arr[b.Root.ID]
 			db.data = root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).Clone()
+			if e.hs.serialize {
+				e.hs.mu.Unlock()
+			}
 		}
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		e.resident[b.ID] = db
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 
 	case sched.StepD2H:
 		b := step.Buf
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		db, ok := e.resident[b.ID]
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("exec: step %d: D2H of non-resident %s", si, b)
 		}
@@ -343,27 +436,33 @@ func (e *executor) perform(si int, step sched.Step) error {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
 		if e.opt.Mode == Materialized {
-			root := e.host[b.Root.ID]
+			if e.hs.serialize {
+				e.hs.mu.Lock()
+			}
+			root := e.hs.arr[b.Root.ID]
 			root.View(b.Region.Row, b.Region.Col, b.Region.Rows, b.Region.Cols).CopyFrom(db.data)
+			if e.hs.serialize {
+				e.hs.mu.Unlock()
+			}
 		}
-		e.mu.Lock()
-		e.hostValid[b.ID] = true
-		e.mu.Unlock()
+		e.hs.mu.Lock()
+		e.hs.valid[b.ID] = true
+		e.hs.mu.Unlock()
 
 	case sched.StepFree:
 		b := step.Buf
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		db, ok := e.resident[b.ID]
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 		if !ok {
 			return fmt.Errorf("exec: step %d: free of non-resident %s", si, b)
 		}
 		if err := dev.FreeMem(db.off); err != nil {
 			return fmt.Errorf("exec: step %d: %w", si, err)
 		}
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		delete(e.resident, b.ID)
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 
 	case sched.StepLaunch:
 		n := step.Node
@@ -372,21 +471,21 @@ func (e *executor) perform(si int, step sched.Step) error {
 		// back to a retryable state.
 		var fresh []int
 		rollback := func() {
-			e.mu.Lock()
+			e.hs.mu.Lock()
 			for _, id := range fresh {
 				_ = dev.FreeMem(e.resident[id].off)
 				delete(e.resident, id)
 			}
-			e.mu.Unlock()
+			e.hs.mu.Unlock()
 		}
 		for _, b := range n.OutputBuffers() {
-			e.mu.Lock()
+			e.hs.mu.Lock()
 			_, ok := e.resident[b.ID]
-			e.mu.Unlock()
+			e.hs.mu.Unlock()
 			if ok {
 				continue
 			}
-			off, err := dev.Malloc(b.Bytes())
+			off, err := e.malloc(b.Bytes())
 			if err != nil {
 				rollback()
 				return fmt.Errorf("exec: step %d (%s): output %s: %w", si, n, b, err)
@@ -395,9 +494,9 @@ func (e *executor) perform(si int, step sched.Step) error {
 			if e.opt.Mode == Materialized {
 				db.data = tensor.New(b.Region.Rows, b.Region.Cols)
 			}
-			e.mu.Lock()
+			e.hs.mu.Lock()
 			e.resident[b.ID] = db
-			e.mu.Unlock()
+			e.hs.mu.Unlock()
 			fresh = append(fresh, b.ID)
 		}
 		// Snapshot the operand buffers under the lock: the kernel runs
@@ -406,7 +505,7 @@ func (e *executor) perform(si int, step sched.Step) error {
 		// themselves are stable until this step completes.
 		snapshot := make(map[int]*devBuf, len(n.Buffers()))
 		var missing *graph.Buffer
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		for _, b := range n.Buffers() {
 			db, ok := e.resident[b.ID]
 			if !ok {
@@ -415,7 +514,7 @@ func (e *executor) perform(si int, step sched.Step) error {
 			}
 			snapshot[b.ID] = db
 		}
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 		if missing != nil {
 			rollback()
 			return fmt.Errorf("exec: step %d: launch %s with non-resident %s", si, n, missing)
@@ -429,11 +528,11 @@ func (e *executor) perform(si int, step sched.Step) error {
 				return fmt.Errorf("exec: step %d: %w", si, err)
 			}
 		}
-		e.mu.Lock()
+		e.hs.mu.Lock()
 		for _, b := range n.OutputBuffers() {
-			e.hostValid[b.ID] = false // GPU now holds the only valid copy
+			e.hs.valid[b.ID] = false // GPU now holds the only valid copy
 		}
-		e.mu.Unlock()
+		e.hs.mu.Unlock()
 
 	case sched.StepSync:
 		// Synchronization has no state-changing half; its cost is charged
@@ -580,8 +679,8 @@ func (e *executor) step(si int, step sched.Step) error {
 // the device pristine for the next request. FreeMem errors are ignored:
 // a lost device discards its allocations on Recover/Reset anyway.
 func (e *executor) releaseAll() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.hs.mu.Lock()
+	defer e.hs.mu.Unlock()
 	for id, db := range e.resident {
 		_ = e.dev.FreeMem(db.off)
 		delete(e.resident, id)
@@ -620,7 +719,10 @@ func (e *executor) capture() *Report {
 // finish runs the end-of-plan invariant checks and seals the report.
 func (e *executor) finish() (*Report, error) {
 	for _, b := range e.g.OutputBuffers() {
-		if !e.hostValid[b.ID] {
+		e.hs.mu.Lock()
+		valid := e.hs.valid[b.ID]
+		e.hs.mu.Unlock()
+		if !valid {
 			return e.capture(), fmt.Errorf("exec: template output %s did not reach the host", b)
 		}
 	}
@@ -636,16 +738,30 @@ func (e *executor) finish() (*Report, error) {
 		for _, b := range e.g.OutputBuffers() {
 			root := b.Root
 			if _, ok := e.rep.Outputs[root.ID]; !ok {
-				e.rep.Outputs[root.ID] = e.host[root.ID]
+				e.rep.Outputs[root.ID] = e.hs.arr[root.ID]
 			}
 		}
 	}
 	return e.rep, nil
 }
 
-// Run executes the plan on the simulated GPU. It enforces every memory
-// and data-validity constraint: transfers of data that is not valid at
-// the source, launches with missing operands, and device out-of-memory
+// Run is the single entry point for plan execution: it executes the plan
+// on the simulated GPU under the driver Options selects.
+//
+//   - Options.Resilient non-nil → the resilient driver: transient-fault
+//     retry, checkpoint/restart on device loss, and the OOM degradation
+//     ladder. Takes precedence over Pipeline (checkpoints need
+//     deterministic sequential step boundaries).
+//   - Options.Pipeline → the pipelined driver: perform halves run
+//     concurrently under the step-dependency DAG, accounting replays in
+//     plan order, so results and statistics stay bit-identical.
+//   - otherwise → plain sequential execution.
+//
+// Mode selects materialized execution vs. accounting simulation, and
+// Resident opts buffers into residency elision; every combination runs
+// through this one function. All drivers enforce every memory and
+// data-validity constraint: transfers of data that is not valid at the
+// source, launches with missing operands, and device out-of-memory
 // conditions are errors — so a plan that "passes" is proven feasible for
 // the device. The device must be pristine (no live allocations).
 //
@@ -657,6 +773,17 @@ func (e *executor) finish() (*Report, error) {
 // peak residency accumulated up to the failure, for diagnosability; only
 // a nil report means execution never started.
 func Run(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	if opt.Resilient != nil {
+		return runResilient(ctx, g, plan, in, opt)
+	}
+	if opt.Pipeline {
+		return runPipelined(ctx, g, plan, in, opt)
+	}
+	return runSequential(ctx, g, plan, in, opt)
+}
+
+// runSequential drives the step machine straight through in plan order.
+func runSequential(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	e, err := newExecutor(g, plan, in, opt)
 	if err != nil {
 		return nil, err

@@ -74,9 +74,9 @@ func TestObserverDoesNotPerturbResilientExecution(t *testing.T) {
 	run := func(o *obs.Observer) *Report {
 		dev := gpu.New(spec)
 		dev.SetInjector(inject())
-		rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-			Options:  Options{Mode: Materialized, Device: dev, Obs: o},
-			Capacity: capacity,
+		rep, err := Run(context.Background(), g, plan, in, Options{
+			Mode: Materialized, Device: dev, Obs: o,
+			Resilient: &Resilience{Capacity: capacity},
 		})
 		if err != nil {
 			t.Fatal(err)

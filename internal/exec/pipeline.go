@@ -28,10 +28,11 @@ import (
 	"repro/internal/sched"
 )
 
-// RunPipelined executes the plan concurrently under the step-dependency
-// DAG. It enforces the same memory and data-validity constraints as Run
-// and produces the identical Report; the only difference is host
-// wall-clock time. The device must be pristine.
+// runPipelined executes the plan concurrently under the step-dependency
+// DAG (Run with Options.Pipeline). It enforces the same memory and
+// data-validity constraints as sequential execution and produces the
+// identical Report; the only difference is host wall-clock time. The
+// device must be pristine.
 //
 // On a step failure the concurrent dispatch stops, in-flight steps drain,
 // and the partial report carries no simulated-time charges for performed
@@ -40,7 +41,7 @@ import (
 // Cancellation is checked at every scheduler round: when ctx expires,
 // dispatch stops, in-flight steps drain, every device allocation is
 // freed (the device stays pristine), and the error wraps ctx.Err().
-func RunPipelined(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+func runPipelined(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	e, err := newExecutor(g, plan, in, opt)
 	if err != nil {
 		return nil, err
@@ -66,9 +67,18 @@ func RunPipelined(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 	return e.finish()
 }
 
+// RunPipelined executes the plan under the pipelined driver.
+//
+// Deprecated: set Options.Pipeline and call Run.
+func RunPipelined(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
+	opt.Pipeline = true
+	opt.Resilient = nil
+	return Run(ctx, g, plan, in, opt)
+}
+
 // RunPipelinedNoCtx is RunPipelined without cancellation.
 //
-// Deprecated: use RunPipelined with a context.
+// Deprecated: set Options.Pipeline and call Run with a context.
 func RunPipelinedNoCtx(g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	return RunPipelined(context.Background(), g, plan, in, opt)
 }

@@ -75,8 +75,9 @@ func TestPipelinedMatchesRunMaterialized(t *testing.T) {
 			if !pipeline {
 				return Run(context.Background(), g, plan, in, opt)
 			}
+			opt.Pipeline = true
 			opt.PipelineWorkers = c.workers
-			return RunPipelined(context.Background(), g, plan, in, opt)
+			return Run(context.Background(), g, plan, in, opt)
 		})
 	}
 
@@ -88,11 +89,8 @@ func TestPipelinedMatchesRunMaterialized(t *testing.T) {
 	async.MemoryBytes = capacity * 6
 	pre := sched.PrefetchH2D(plan, capacity*9/10)
 	comparePipelined(t, "overlap-prefetch", func(pipeline bool) (*Report, error) {
-		opt := Options{Mode: Materialized, Device: gpu.New(async), Overlap: true}
-		if !pipeline {
-			return Run(context.Background(), g, pre, in, opt)
-		}
-		return RunPipelined(context.Background(), g, pre, in, opt)
+		opt := Options{Mode: Materialized, Device: gpu.New(async), Overlap: true, Pipeline: pipeline}
+		return Run(context.Background(), g, pre, in, opt)
 	})
 }
 
@@ -168,11 +166,8 @@ func TestPipelinedStatIdenticalPaperWorkloads(t *testing.T) {
 					overlap = true
 				}
 				comparePipelined(t, name, func(pipeline bool) (*Report, error) {
-					opt := Options{Mode: Accounting, Device: gpu.New(spec), Overlap: overlap}
-					if !pipeline {
-						return Run(context.Background(), g, plan, nil, opt)
-					}
-					return RunPipelined(context.Background(), g, plan, nil, opt)
+					opt := Options{Mode: Accounting, Device: gpu.New(spec), Overlap: overlap, Pipeline: pipeline}
+					return Run(context.Background(), g, plan, nil, opt)
 				})
 			})
 		}
@@ -201,8 +196,8 @@ func TestPipelinedFaultFailsCleanly(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			dev := gpu.New(spec)
 			dev.SetInjector(gpu.NewInjector(7).FailAt(c.kind, c.call, gpu.Persistent))
-			rep, err := RunPipelined(context.Background(), g, plan, in, Options{
-				Mode: Materialized, Device: dev, PipelineWorkers: 4})
+			rep, err := Run(context.Background(), g, plan, in, Options{
+				Mode: Materialized, Device: dev, Pipeline: true, PipelineWorkers: 4})
 			if err == nil {
 				t.Fatal("injected fault did not surface")
 			}
@@ -228,8 +223,8 @@ func TestPipelinedFaultFailsCleanly(t *testing.T) {
 		dev.SetInjector(gpu.NewInjector(seed).
 			SetRate(gpu.FaultH2D, 0.02, gpu.Persistent).
 			SetRate(gpu.FaultLaunch, 0.02, gpu.Persistent))
-		rep, err := RunPipelined(context.Background(), g, plan, in, Options{
-			Mode: Materialized, Device: dev, PipelineWorkers: 4})
+		rep, err := Run(context.Background(), g, plan, in, Options{
+			Mode: Materialized, Device: dev, Pipeline: true, PipelineWorkers: 4})
 		if err != nil {
 			var fe *gpu.FaultError
 			if !errors.As(err, &fe) {
@@ -290,9 +285,9 @@ func TestPipelinedWallTraceAndLanes(t *testing.T) {
 
 	wall := &gpu.Trace{}
 	o := obs.New()
-	if _, err := RunPipelined(context.Background(), g, plan, in, Options{
+	if _, err := Run(context.Background(), g, plan, in, Options{
 		Mode: Materialized, Device: gpu.New(spec),
-		PipelineWorkers: 2, WallTrace: wall, Obs: o,
+		Pipeline: true, PipelineWorkers: 2, WallTrace: wall, Obs: o,
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -101,8 +101,9 @@ func TestResidencyResilientCleanMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resil, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options: Options{Mode: Materialized, Device: gpu.New(spec), Resident: resident}})
+	resil, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: gpu.New(spec), Resident: resident,
+		Resilient: &Resilience{}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,7 +58,29 @@ func (p RetryPolicy) backoff(attempt int) float64 {
 	return d
 }
 
-// ResilientOptions configures RunResilient.
+// Resilience configures the resilient driver selected by
+// Options.Resilient. The zero value is a usable default (4 retries,
+// 1ms–100ms backoff, 3 replays, ladder budgets 95/80/60% of the
+// device's planner capacity, CPU fallback enabled).
+type Resilience struct {
+	// Retry caps the transient-fault retry loop.
+	Retry RetryPolicy
+	// Capacity is the planner memory budget in floats used when the
+	// degradation ladder replans (0 → the device's PlannerCapacity).
+	Capacity int64
+	// Budgets are the shrinking capacity fractions the degradation ladder
+	// replans with on persistent OOM (nil → 0.95, 0.80, 0.60).
+	Budgets []float64
+	// MaxReplays bounds checkpoint restarts per plan attempt (0 → 3).
+	MaxReplays int
+	// DisableCPUFallback turns off the final pure-CPU fallback rung.
+	DisableCPUFallback bool
+}
+
+// ResilientOptions configures the deprecated RunResilient entry point:
+// plain execution Options plus the resilience knobs, flattened.
+//
+// Deprecated: set Options.Resilient and call Run.
 type ResilientOptions struct {
 	Options
 	Retry RetryPolicy
@@ -138,7 +160,7 @@ func (e *executor) snapshot(next int) *checkpoint {
 	cp := &checkpoint{
 		next:      next,
 		data:      make(map[int]*tensor.Tensor, len(e.resident)),
-		hostValid: make(map[int]bool, len(e.hostValid)),
+		hostValid: make(map[int]bool, len(e.hs.valid)),
 		dmaFree:   e.dmaFree,
 		compFree:  e.compFree,
 		ready:     make(map[int]float64, len(e.ready)),
@@ -150,7 +172,7 @@ func (e *executor) snapshot(next int) *checkpoint {
 		}
 	}
 	sort.Ints(cp.resident)
-	for id, v := range e.hostValid {
+	for id, v := range e.hs.valid {
 		cp.hostValid[id] = v
 	}
 	for id, t := range e.ready {
@@ -167,9 +189,13 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 	e.obs.R().CloseAll(e.dev.Clock()) // device reset drops all allocations
 	e.dev.Recover()
 	e.resident = make(map[int]*devBuf)
-	e.hostValid = make(map[int]bool, len(cp.hostValid))
+	// Rewind host validity in place (the resilient driver always owns a
+	// private host state, but the map identity is kept regardless).
+	for id := range e.hs.valid {
+		delete(e.hs.valid, id)
+	}
 	for id, v := range cp.hostValid {
-		e.hostValid[id] = v
+		e.hs.valid[id] = v
 	}
 	e.dmaFree, e.compFree = cp.dmaFree, cp.compFree
 	e.ready = make(map[int]float64, len(cp.ready))
@@ -224,8 +250,8 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 	return floats, nil
 }
 
-// RunResilient executes the plan like Run but survives injected and real
-// runtime faults:
+// runResilient executes the plan like plain sequential Run but survives
+// injected and real runtime faults (Run with Options.Resilient):
 //
 //   - transient transfer/kernel/malloc faults are retried with capped
 //     exponential backoff, charged to the simulated clock;
@@ -237,32 +263,39 @@ func (e *executor) restore(cp *checkpoint) (int64, error) {
 //     graph via split+sched against a shrinking memory budget, and as a
 //     last resort falls back to the pure-CPU reference executor.
 //
-// With no faults the result is bit- and stat-identical to Run. The
-// returned Report always carries a non-nil Recovery section.
+// With no faults the result is bit- and stat-identical to a
+// non-resilient run. The returned Report always carries a non-nil
+// Recovery section.
 //
 // Cancellation is checked between steps and before each ladder rung:
 // when ctx expires, the attempt releases every device allocation (the
 // device stays pristine), no further rung — including the CPU fallback —
 // runs, and the error wraps ctx.Err().
-func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
+func runResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options) (*Report, error) {
 	dev := opt.Device
 	if dev == nil {
 		return nil, fmt.Errorf("exec: no device")
 	}
-	opt.Retry = opt.Retry.withDefaults()
-	if opt.MaxReplays == 0 {
-		opt.MaxReplays = 3
+	res := *opt.Resilient
+	// Attempts drive the plain sequential step machine: clear the driver
+	// selection on the executor-facing options so checkpoints land at
+	// deterministic step boundaries.
+	opt.Resilient = nil
+	opt.Pipeline = false
+	res.Retry = res.Retry.withDefaults()
+	if res.MaxReplays == 0 {
+		res.MaxReplays = 3
 	}
-	if opt.Capacity == 0 {
-		opt.Capacity = dev.Spec.PlannerCapacity()
+	if res.Capacity == 0 {
+		res.Capacity = dev.Spec.PlannerCapacity()
 	}
-	budgets := opt.Budgets
+	budgets := res.Budgets
 	if budgets == nil {
 		budgets = []float64{0.95, 0.80, 0.60}
 	}
 
 	rec := &Recovery{}
-	rep, err := runAttempt(ctx, g, plan, in, opt, rec)
+	rep, err := runAttempt(ctx, g, plan, in, opt, res, rec)
 	if err == nil {
 		rep.Recovery = rec
 		return rep, nil
@@ -276,7 +309,7 @@ func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 		if !errors.Is(err, ErrOOM) || ctx.Err() != nil {
 			break
 		}
-		target := int64(float64(opt.Capacity) * frac)
+		target := int64(float64(res.Capacity) * frac)
 		if target <= 0 {
 			break
 		}
@@ -296,7 +329,7 @@ func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 		rec.Replans++
 		rec.ReplanBudgets = append(rec.ReplanBudgets, target)
 		dev.Recover() // drop the failed attempt's allocations, keep clock/stats
-		rep, err = runAttempt(ctx, g2, plan2, in, opt, rec)
+		rep, err = runAttempt(ctx, g2, plan2, in, opt, res, rec)
 		if err == nil {
 			rep.Recovery = rec
 			return rep, nil
@@ -306,7 +339,7 @@ func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 	// Final rung: pure-CPU reference execution. Only meaningful when data
 	// is materialized; accounting mode has nothing to compute. A cancelled
 	// caller gets the cancellation error, not a CPU-computed result.
-	if !opt.DisableCPUFallback && opt.Mode == Materialized && ctx.Err() == nil {
+	if !res.DisableCPUFallback && opt.Mode == Materialized && ctx.Err() == nil {
 		rec.logf("degradation ladder exhausted (%v): falling back to CPU reference", err)
 		opt.Obs.M().Counter("exec.cpu_fallback").Inc()
 		opt.Obs.T().MarkSim(obs.RecoveryTrack, "cpu_fallback", "recovery", dev.Clock(), nil)
@@ -330,9 +363,24 @@ func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inpu
 	return rep, err
 }
 
+// RunResilient executes the plan under the resilient driver.
+//
+// Deprecated: set Options.Resilient and call Run.
+func RunResilient(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
+	o := opt.Options
+	o.Resilient = &Resilience{
+		Retry:              opt.Retry,
+		Capacity:           opt.Capacity,
+		Budgets:            opt.Budgets,
+		MaxReplays:         opt.MaxReplays,
+		DisableCPUFallback: opt.DisableCPUFallback,
+	}
+	return Run(ctx, g, plan, in, o)
+}
+
 // RunResilientNoCtx is RunResilient without cancellation.
 //
-// Deprecated: use RunResilient with a context.
+// Deprecated: set Options.Resilient and call Run with a context.
 func RunResilientNoCtx(g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions) (*Report, error) {
 	return RunResilient(context.Background(), g, plan, in, opt)
 }
@@ -362,8 +410,8 @@ func replan(g *graph.Graph, budget int64) (*graph.Graph, *sched.Plan, error) {
 // runAttempt drives one plan to completion with step-level retry and
 // checkpoint restart. It returns the partial report alongside any error
 // it cannot absorb (persistent OOM for the ladder, plan bugs).
-func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt ResilientOptions, rec *Recovery) (*Report, error) {
-	e, err := newExecutor(g, plan, in, opt.Options)
+func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs, opt Options, res Resilience, rec *Recovery) (*Report, error) {
+	e, err := newExecutor(g, plan, in, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +423,7 @@ func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs
 			return e.cancelled(ctx, si)
 		}
 		step := plan.Steps[si]
-		err := e.stepWithRetry(si, step, opt, rec)
+		err := e.stepWithRetry(si, step, res.Retry, rec)
 		if err == nil {
 			if step.Kind == sched.StepSync {
 				cp = e.snapshot(si + 1)
@@ -391,19 +439,19 @@ func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs
 			// Device loss, or a persistent kernel/transfer fault treated
 			// as a device-level reset: restore the last checkpoint and
 			// replay from there.
-			if replays >= opt.MaxReplays {
-				rec.logf("step %d: %v: replay budget (%d) exhausted", si, err, opt.MaxReplays)
+			if replays >= res.MaxReplays {
+				rec.logf("step %d: %v: replay budget (%d) exhausted", si, err, res.MaxReplays)
 				return e.capture(), err
 			}
 			replays++
 			rec.Replays++
 			rec.logf("step %d: %v: restoring checkpoint at step %d (replay %d/%d)",
-				si, err, cp.next, replays, opt.MaxReplays)
+				si, err, cp.next, replays, res.MaxReplays)
 			e.observeFault("checkpoint_restore", si, step, err, map[string]string{
 				"resume_step": fmt.Sprint(cp.next),
-				"replay":      fmt.Sprintf("%d/%d", replays, opt.MaxReplays),
+				"replay":      fmt.Sprintf("%d/%d", replays, res.MaxReplays),
 			})
-			if rerr := e.restoreWithRetry(cp, opt, rec); rerr != nil {
+			if rerr := e.restoreWithRetry(cp, res.Retry, rec); rerr != nil {
 				return e.capture(), rerr
 			}
 			si = cp.next
@@ -417,10 +465,10 @@ func runAttempt(ctx context.Context, g *graph.Graph, plan *sched.Plan, in Inputs
 
 // stepWithRetry executes one step, retrying transient faults with capped
 // exponential backoff charged to the simulated clock.
-func (e *executor) stepWithRetry(si int, step sched.Step, opt ResilientOptions, rec *Recovery) error {
+func (e *executor) stepWithRetry(si int, step sched.Step, retry RetryPolicy, rec *Recovery) error {
 	err := e.step(si, step)
-	for attempt := 0; err != nil && gpu.IsTransient(err) && attempt < opt.Retry.MaxRetries; attempt++ {
-		b := opt.Retry.backoff(attempt)
+	for attempt := 0; err != nil && gpu.IsTransient(err) && attempt < retry.MaxRetries; attempt++ {
+		b := retry.backoff(attempt)
 		e.dev.ChargeRecovery(b)
 		if e.overlap {
 			e.stall(b)
@@ -461,14 +509,14 @@ func (e *executor) observeFault(action string, si int, step sched.Step, err erro
 
 // restoreWithRetry restores a checkpoint, absorbing transient faults and
 // repeated device losses during the replay itself (restore is idempotent).
-func (e *executor) restoreWithRetry(cp *checkpoint, opt ResilientOptions, rec *Recovery) error {
+func (e *executor) restoreWithRetry(cp *checkpoint, retry RetryPolicy, rec *Recovery) error {
 	floats, err := e.restore(cp)
 	rec.ReplayedFloats += floats
-	for attempt := 0; err != nil && attempt < opt.Retry.MaxRetries; attempt++ {
+	for attempt := 0; err != nil && attempt < retry.MaxRetries; attempt++ {
 		if !(gpu.IsTransient(err) || gpu.IsDeviceLost(err)) {
 			return err
 		}
-		b := opt.Retry.backoff(attempt)
+		b := retry.backoff(attempt)
 		e.dev.ChargeRecovery(b)
 		if e.overlap {
 			e.stall(b)

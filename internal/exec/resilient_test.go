@@ -53,17 +53,17 @@ func cnnGraph(t *testing.T, h, w int) (*graph.Graph, Inputs) {
 }
 
 // assertIdentical asserts the zero-overhead-when-healthy acceptance
-// criterion: with fault injection disabled, RunResilient must be bit- and
-// stat-identical to plain Run.
+// criterion: with fault injection disabled, a resilient Run must be bit-
+// and stat-identical to plain Run.
 func assertIdentical(t *testing.T, spec gpu.Spec, g *graph.Graph, plan *sched.Plan, in Inputs, capacity int64) {
 	t.Helper()
 	plain, err := Run(context.Background(), g, plan, in, Options{Mode: Materialized, Device: gpu.New(spec)})
 	if err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
-	res, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
-		Capacity: capacity,
+	res, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: gpu.New(spec),
+		Resilient: &Resilience{Capacity: capacity},
 	})
 	if err != nil {
 		t.Fatalf("resilient run: %v", err)
@@ -120,9 +120,9 @@ func TestResilientTransientRetry(t *testing.T) {
 		FailAt(gpu.FaultH2D, 1, gpu.Transient).
 		FailAt(gpu.FaultD2H, 0, gpu.Transient).
 		FailAt(gpu.FaultLaunch, 2, gpu.Transient))
-	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: dev},
-		Capacity: capacity,
+	rep, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: dev,
+		Resilient: &Resilience{Capacity: capacity},
 	})
 	if err != nil {
 		t.Fatalf("resilient run: %v", err)
@@ -162,8 +162,8 @@ func TestResilientDeviceLossReplay(t *testing.T) {
 	probeDev := gpu.New(spec)
 	probe := gpu.NewInjector(1)
 	probeDev.SetInjector(probe)
-	clean, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options: Options{Mode: Materialized, Device: probeDev}, Capacity: capacity})
+	clean, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: probeDev, Resilient: &Resilience{Capacity: capacity}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,9 +174,9 @@ func TestResilientDeviceLossReplay(t *testing.T) {
 	dev := gpu.New(spec)
 	dev.SetInjector(gpu.NewInjector(1).
 		FailAt(gpu.FaultDeviceLost, probe.Ops()/2, gpu.Persistent))
-	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: dev},
-		Capacity: capacity,
+	rep, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: dev,
+		Resilient: &Resilience{Capacity: capacity},
 	})
 	if err != nil {
 		t.Fatalf("resilient run after device loss: %v", err)
@@ -214,9 +214,9 @@ func TestResilientOOMDegradationLadder(t *testing.T) {
 
 	gOver := g.Clone()
 	planOver := compileFor(t, gOver, capacity*3)
-	rep, err := RunResilient(context.Background(), gOver, planOver, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
-		Capacity: capacity,
+	rep, err := Run(context.Background(), gOver, planOver, in, Options{
+		Mode: Materialized, Device: gpu.New(spec),
+		Resilient: &Resilience{Capacity: capacity},
 	})
 	if err != nil {
 		t.Fatalf("ladder must recover from OOM: %v", err)
@@ -251,9 +251,9 @@ func TestResilientCPUFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: gpu.New(spec)},
-		Capacity: 600,
+	rep, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: gpu.New(spec),
+		Resilient: &Resilience{Capacity: 600},
 	})
 	if err != nil {
 		t.Fatalf("CPU fallback must absorb the failure: %v", err)
@@ -268,10 +268,9 @@ func TestResilientCPUFallback(t *testing.T) {
 		}
 	}
 	// With fallback disabled the OOM surfaces, with a partial report.
-	rep2, err := RunResilient(context.Background(), g, plan, in, ResilientOptions{
-		Options:            Options{Mode: Materialized, Device: gpu.New(spec)},
-		Capacity:           600,
-		DisableCPUFallback: true,
+	rep2, err := Run(context.Background(), g, plan, in, Options{
+		Mode: Materialized, Device: gpu.New(spec),
+		Resilient: &Resilience{Capacity: 600, DisableCPUFallback: true},
 	})
 	if err == nil || !gpu.IsOOM(err) {
 		t.Fatalf("want OOM error, got %v", err)
@@ -301,8 +300,8 @@ func TestResilientChaos(t *testing.T) {
 	probeDev := gpu.New(spec)
 	probe := gpu.NewInjector(1)
 	probeDev.SetInjector(probe)
-	if _, err := RunResilient(context.Background(), gRun, plan, in, ResilientOptions{
-		Options: Options{Mode: Materialized, Device: probeDev}, Capacity: capacity}); err != nil {
+	if _, err := Run(context.Background(), gRun, plan, in, Options{
+		Mode: Materialized, Device: probeDev, Resilient: &Resilience{Capacity: capacity}}); err != nil {
 		t.Fatal(err)
 	}
 	nOps, nMalloc := probe.Ops(), probe.Calls(gpu.FaultMalloc)
@@ -320,9 +319,9 @@ func TestResilientChaos(t *testing.T) {
 		FailAt(gpu.FaultMalloc, nMalloc-1, gpu.Persistent)
 	dev.SetInjector(inj)
 
-	rep, err := RunResilient(context.Background(), gRun, plan, in, ResilientOptions{
-		Options:  Options{Mode: Materialized, Device: dev},
-		Capacity: capacity,
+	rep, err := Run(context.Background(), gRun, plan, in, Options{
+		Mode: Materialized, Device: dev,
+		Resilient: &Resilience{Capacity: capacity},
 	})
 	if err != nil {
 		t.Fatalf("chaos run failed: %v", err)

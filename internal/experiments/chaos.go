@@ -101,8 +101,8 @@ func chaosRun(dim int, spec gpu.Spec, inj *gpu.Injector) (*exec.Report, error) {
 	}
 	dev := gpu.New(spec)
 	dev.SetInjector(inj)
-	return exec.RunResilient(context.Background(), g, plan, nil, exec.ResilientOptions{
-		Options:  exec.Options{Mode: exec.Accounting, Device: dev},
-		Capacity: capacity,
+	return exec.Run(context.Background(), g, plan, nil, exec.Options{
+		Mode: exec.Accounting, Device: dev,
+		Resilient: &exec.Resilience{Capacity: capacity},
 	})
 }

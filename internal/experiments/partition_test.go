@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestPartitionExperimentSmall runs the cross-device partition
+// experiment at a CI-sized input and asserts the acceptance verdicts the
+// paper-scale run reports: the partition beats the best single-device
+// paged baseline, every accounting round is OOM-free and deterministic,
+// and the materialized verification is bit-identical to the sequential
+// single-device reference.
+func TestPartitionExperimentSmall(t *testing.T) {
+	res, err := partitionExperiment(1280, 960, 160, 120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Baselines) != 2 || len(res.Parts) != 2 {
+		t.Fatalf("got %d baselines, %d parts, want 2 and 2", len(res.Baselines), len(res.Parts))
+	}
+	if res.PartitionedSec <= 0 || res.StaticMakespanSec <= 0 {
+		t.Fatalf("non-positive makespan: executed %g, static %g",
+			res.PartitionedSec, res.StaticMakespanSec)
+	}
+	if res.PartitionedSec != res.StaticMakespanSec {
+		t.Errorf("executed makespan %g diverges from the compile-time model %g",
+			res.PartitionedSec, res.StaticMakespanSec)
+	}
+	if res.Speedup <= 1 {
+		t.Errorf("speedup %.3f not > 1 over the best paged baseline", res.Speedup)
+	}
+	if res.CutFloats <= 0 || res.CrossEdges <= 0 {
+		t.Errorf("connected graph produced no cut: %d floats over %d edges",
+			res.CutFloats, res.CrossEdges)
+	}
+	if !res.OOMFree {
+		t.Error("a partitioned round exceeded member memory")
+	}
+	if !res.Deterministic {
+		t.Error("charged stats diverged across rounds")
+	}
+	if !res.OutputsBitIdentical {
+		t.Error("materialized outputs diverged from the single-device reference")
+	}
+}

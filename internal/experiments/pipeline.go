@@ -160,9 +160,9 @@ func Pipeline(workers, reps int) ([]PipelineRow, error) {
 
 			tr := &gpu.Trace{}
 			t0 = time.Now()
-			rep, err = exec.RunPipelined(context.Background(), g, plan, in, exec.Options{
+			rep, err = exec.Run(context.Background(), g, plan, in, exec.Options{
 				Mode: exec.Materialized, Device: gpu.New(spec),
-				PipelineWorkers: workers, WallTrace: tr})
+				Pipeline: true, PipelineWorkers: workers, WallTrace: tr})
 			if err != nil {
 				return nil, fmt.Errorf("%s %s pipelined: %w", wl.template, wl.input, err)
 			}

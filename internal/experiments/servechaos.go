@@ -191,7 +191,7 @@ func ServeChaosTraced(seed int64, rounds, clients int, traceOut io.Writer) (*Ser
 			faults: func(seed int64) map[string]*gpu.Injector {
 				injs := make(map[string]*gpu.Injector)
 				for i, spec := range specs {
-					injs[spec.Name] = gpu.NewInjector(seed + int64(i)).
+					injs[spec.Name] = gpu.NewInjector(seed+int64(i)).
 						SetRate(gpu.FaultH2D, 0.01, gpu.Transient).
 						SetRate(gpu.FaultLaunch, 0.005, gpu.Transient)
 				}

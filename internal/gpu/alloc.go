@@ -96,6 +96,44 @@ func (a *Allocator) Free(off int64) error {
 	return nil
 }
 
+// Move records one live allocation relocated by Compact: Len bytes moved
+// from offset Old to offset New.
+type Move struct{ Old, New, Len int64 }
+
+// Compact slides every live allocation toward offset zero in offset
+// order, leaving all free space coalesced into one tail span, and returns
+// the moves so the owner can redirect its handles. The framework manages
+// device memory itself, so — unlike a raw driver allocator — it can
+// defragment: every live buffer is one it placed, and the simulated
+// device charges the D2D copy cost of the moves (Device.Compact).
+func (a *Allocator) Compact() []Move {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	offs := make([]int64, 0, len(a.used))
+	for off := range a.used {
+		offs = append(offs, off)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	var moves []Move
+	var next int64
+	used := make(map[int64]int64, len(a.used))
+	for _, off := range offs {
+		n := a.used[off]
+		if off != next {
+			moves = append(moves, Move{Old: off, New: next, Len: n})
+		}
+		used[next] = n
+		next += n
+	}
+	a.used = used
+	if next < a.size {
+		a.free = []span{{next, a.size - next}}
+	} else {
+		a.free = nil
+	}
+	return moves
+}
+
 // UsedBytes returns the total allocated bytes (O(1), running counter).
 func (a *Allocator) UsedBytes() int64 {
 	a.mu.Lock()

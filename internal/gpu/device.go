@@ -41,6 +41,14 @@ type Stats struct {
 	// RecoveryTime is simulated time spent in failure recovery (retry
 	// backoff charged by a resilient executor); zero on healthy runs.
 	RecoveryTime float64
+	// Compactions/CompactedFloats/CompactTime account arena
+	// defragmentation (Device.Compact): live buffers slid down by modeled
+	// on-device copies when external fragmentation blocks an allocation
+	// the planner's byte accounting proved feasible. Zero on runs that
+	// never fragment past the planner's slack.
+	Compactions     int
+	CompactedFloats int64
+	CompactTime     float64
 	// WallTime, when non-zero, is the overlapped-execution makespan set
 	// by an executor running with asynchronous transfers; otherwise the
 	// engines serialize and TotalTime is the sum of the buckets.
@@ -51,12 +59,35 @@ type Stats struct {
 // the objective the paper's PB formulation minimizes.
 func (s Stats) TotalFloats() int64 { return s.H2DFloats + s.D2HFloats }
 
+// Add accumulates o's counters and time buckets into s — aggregation
+// across the devices of a partitioned (gang) execution. WallTime takes
+// the max, not the sum: overlapped makespans on different devices run
+// concurrently, and summing them would double-charge the joined clock.
+func (s *Stats) Add(o Stats) {
+	s.H2DFloats += o.H2DFloats
+	s.D2HFloats += o.D2HFloats
+	s.H2DCalls += o.H2DCalls
+	s.D2HCalls += o.D2HCalls
+	s.KernelLaunches += o.KernelLaunches
+	s.Syncs += o.Syncs
+	s.TransferTime += o.TransferTime
+	s.ComputeTime += o.ComputeTime
+	s.SyncTime += o.SyncTime
+	s.RecoveryTime += o.RecoveryTime
+	s.Compactions += o.Compactions
+	s.CompactedFloats += o.CompactedFloats
+	s.CompactTime += o.CompactTime
+	if o.WallTime > s.WallTime {
+		s.WallTime = o.WallTime
+	}
+}
+
 // TotalTime returns the simulated execution time.
 func (s Stats) TotalTime() float64 {
 	if s.WallTime > 0 {
 		return s.WallTime
 	}
-	return s.TransferTime + s.ComputeTime + s.SyncTime + s.RecoveryTime
+	return s.TransferTime + s.ComputeTime + s.SyncTime + s.RecoveryTime + s.CompactTime
 }
 
 // TransferShare returns the fraction of simulated time spent in DMA,
@@ -187,6 +218,27 @@ func (d *Device) Malloc(n int64) (int64, error) {
 
 // FreeMem releases a device allocation.
 func (d *Device) FreeMem(off int64) error { return d.Allocator().Free(off) }
+
+// Compact defragments the device arena: every live allocation slides
+// toward offset zero (Allocator.Compact) and the clock is charged the
+// modeled cost of the on-device copies — each moved byte is read once
+// and written once at the device memory bandwidth. Returns the moves so
+// the caller can redirect its buffer handles.
+func (d *Device) Compact() []Move {
+	moves := d.Allocator().Compact()
+	var bytes int64
+	for _, m := range moves {
+		bytes += m.Len
+	}
+	t := 2 * float64(bytes) / d.Spec.DeviceBandwidth
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clock += t
+	d.stats.Compactions++
+	d.stats.CompactedFloats += bytes / 4
+	d.stats.CompactTime += t
+	return moves
+}
 
 // H2DDuration returns the modeled host→device DMA duration.
 func (d *Device) H2DDuration(floats int64) float64 {

@@ -310,3 +310,72 @@ func TestEventKindStrings(t *testing.T) {
 		t.Fatal("unknown kind string empty")
 	}
 }
+
+func TestAllocatorCompact(t *testing.T) {
+	a := NewAllocator(100)
+	var offs []int64
+	for i := 0; i < 10; i++ {
+		o, err := a.Alloc(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, o)
+	}
+	// Free every other block: 50 bytes free, largest span 10 — then
+	// compaction must yield one 50-byte tail span and report the moves.
+	for i := 0; i < 10; i += 2 {
+		if err := a.Free(offs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves := a.Compact()
+	if len(moves) != 5 {
+		t.Fatalf("moves=%d, want 5 (every surviving block slides down)", len(moves))
+	}
+	var moved int64
+	next := int64(0)
+	for _, m := range moves {
+		if m.New >= m.Old {
+			t.Errorf("move %+v does not slide down", m)
+		}
+		if m.New != next {
+			t.Errorf("move %+v not packed at %d", m, next)
+		}
+		next += m.Len
+		moved += m.Len
+	}
+	if moved != 50 {
+		t.Fatalf("moved %d bytes, want 50", moved)
+	}
+	if a.FreeSpans() != 1 || a.LargestFree() != 50 || a.UsedBytes() != 50 {
+		t.Fatalf("after compact: spans=%d largest=%d used=%d", a.FreeSpans(), a.LargestFree(), a.UsedBytes())
+	}
+	if _, err := a.Alloc(50); err != nil {
+		t.Fatalf("post-compact 50-byte alloc failed: %v", err)
+	}
+}
+
+func TestDeviceCompactCharges(t *testing.T) {
+	d := New(Custom("c", 100))
+	o1, _ := d.Malloc(10)
+	if _, err := d.Malloc(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.FreeMem(o1); err != nil {
+		t.Fatal(err)
+	}
+	moves := d.Compact()
+	if len(moves) != 1 {
+		t.Fatalf("moves=%d, want 1", len(moves))
+	}
+	st := d.Stats()
+	if st.Compactions != 1 || st.CompactedFloats != 10/4 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if st.CompactTime <= 0 || d.Clock() != st.CompactTime {
+		t.Fatalf("compact time %g not charged to clock %g", st.CompactTime, d.Clock())
+	}
+	if st.TotalTime() != st.CompactTime {
+		t.Fatalf("TotalTime %g must include CompactTime %g", st.TotalTime(), st.CompactTime)
+	}
+}

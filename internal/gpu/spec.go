@@ -54,6 +54,15 @@ type Spec struct {
 	// capability"); the Tesla C1060 profile models the next generation
 	// that could.
 	AsyncTransfer bool
+	// PeerTransfer reports whether the device can source or sink a
+	// direct device↔device DMA (cudaMemcpyPeer-class hardware). A
+	// cross-device transfer takes the peer route only when both
+	// endpoints set it; otherwise it stages through host memory. None of
+	// the paper-era profiles set it, so the default pool always stages.
+	PeerTransfer bool
+	// PeerBandwidth is the device↔device link speed in bytes/s used on
+	// the peer route (0 → the device's own H2DBandwidth).
+	PeerBandwidth float64
 	// HostMemoryBytes is the host's main memory (8 GB on both paper
 	// systems); executions whose transfer volume exceeds it are flagged
 	// as thrashing, reproducing the erratic entries of Table 2.

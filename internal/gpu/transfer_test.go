@@ -1,0 +1,64 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferEngineStaged(t *testing.T) {
+	src, dst := TeslaC870(), GeForce8800GTX()
+	e := NewTransferEngine(src, dst)
+	if e.Route() != RouteStaged {
+		t.Fatalf("route = %v, want staged (no peer flags)", e.Route())
+	}
+	const floats = 1 << 20
+	wantSrc := src.TransferLatency + float64(floats*4)/src.D2HBandwidth
+	wantDst := dst.TransferLatency + float64(floats*4)/dst.H2DBandwidth
+	if got := e.SrcSec(floats); math.Abs(got-wantSrc) > 1e-12 {
+		t.Errorf("SrcSec = %g, want %g", got, wantSrc)
+	}
+	if got := e.DstSec(floats); math.Abs(got-wantDst) > 1e-12 {
+		t.Errorf("DstSec = %g, want %g", got, wantDst)
+	}
+	if got := e.Duration(floats); math.Abs(got-(wantSrc+wantDst)) > 1e-12 {
+		t.Errorf("Duration = %g, want %g", got, wantSrc+wantDst)
+	}
+}
+
+func TestTransferEnginePeer(t *testing.T) {
+	src, dst := TeslaC1060(), TeslaC1060()
+	src.PeerTransfer, dst.PeerTransfer = true, true
+	dst.PeerBandwidth = 8e9
+	e := NewTransferEngine(src, dst)
+	if e.Route() != RoutePeer {
+		t.Fatalf("route = %v, want peer", e.Route())
+	}
+	const floats = 1 << 20
+	// Effective bandwidth is the slower endpoint: dst's 8 GB/s beats
+	// src's default (its H2D bandwidth), so the min is src's default.
+	bw := min(src.H2DBandwidth, 8e9)
+	want := max(src.TransferLatency, dst.TransferLatency) + float64(floats*4)/bw
+	if got := e.Duration(floats); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Duration = %g, want %g", got, want)
+	}
+	if e.SrcSec(floats) != e.Duration(floats) || e.DstSec(floats) != e.Duration(floats) {
+		t.Errorf("peer route must hold both endpoints for the full DMA")
+	}
+
+	// Peer must beat staging for the same volume on the same parts.
+	staged := NewTransferEngine(TeslaC1060(), TeslaC1060())
+	if staged.Route() != RouteStaged {
+		t.Fatalf("route without flags = %v, want staged", staged.Route())
+	}
+	if e.Duration(floats) >= staged.Duration(floats) {
+		t.Errorf("peer %g not faster than staged %g", e.Duration(floats), staged.Duration(floats))
+	}
+}
+
+func TestTransferEnginePeerNeedsBothEndpoints(t *testing.T) {
+	src, dst := TeslaC1060(), TeslaC1060()
+	src.PeerTransfer = true // dst does not advertise it
+	if e := NewTransferEngine(src, dst); e.Route() != RouteStaged {
+		t.Fatalf("route = %v, want staged when only one endpoint has PeerTransfer", e.Route())
+	}
+}

@@ -485,6 +485,22 @@ func (g *Graph) Consumers() map[int][]*Node {
 	return m
 }
 
+// Subgraph returns a read-only view of g restricted to the given nodes
+// (in the given order). Nodes and buffers are shared with g — same
+// pointers, same IDs — so buffers cut off from their producers by the
+// restriction keep their identity, which is what lets a cross-device
+// partition reference one buffer from several per-device subplans. The
+// view shares g's buffer registry and must not be mutated (no AddNode /
+// NewBuffer / RemoveNode).
+func (g *Graph) Subgraph(nodes []*Node) *Graph {
+	return &Graph{
+		Nodes:      append([]*Node(nil), nodes...),
+		nextBufID:  g.nextBufID,
+		nextNodeID: g.nextNodeID,
+		buffers:    g.buffers,
+	}
+}
+
 // RemoveNode deletes n from the graph (used by the split pass when a node
 // is replaced by its parts).
 func (g *Graph) RemoveNode(n *Node) {

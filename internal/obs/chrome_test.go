@@ -64,15 +64,15 @@ func TestImportGPUTrace(t *testing.T) {
 
 func TestValidateChromeRejectsBadTraces(t *testing.T) {
 	cases := map[string]string{
-		"not JSON":       `{"traceEvents": [`,
-		"no events":      `{"traceEvents": []}`,
-		"empty name":     `{"traceEvents": [{"name":"","ph":"X","ts":0,"dur":1,"pid":2,"tid":1}]}`,
-		"negative ts":    `{"traceEvents": [{"name":"a","ph":"X","ts":-5,"dur":1,"pid":2,"tid":1}]}`,
-		"end < start":    `{"traceEvents": [{"name":"a","ph":"X","ts":5,"dur":-1,"pid":2,"tid":1}]}`,
-		"no duration":    `{"traceEvents": [{"name":"a","ph":"X","ts":5,"pid":2,"tid":1}]}`,
-		"bad phase":      `{"traceEvents": [{"name":"a","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
-		"only metadata":  `{"traceEvents": [{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0}]}`,
-		"negative inst":  `{"traceEvents": [{"name":"a","ph":"X","ts":0,"dur":1,"pid":2,"tid":1},{"name":"r","ph":"i","ts":-1,"pid":2,"tid":1}]}`,
+		"not JSON":      `{"traceEvents": [`,
+		"no events":     `{"traceEvents": []}`,
+		"empty name":    `{"traceEvents": [{"name":"","ph":"X","ts":0,"dur":1,"pid":2,"tid":1}]}`,
+		"negative ts":   `{"traceEvents": [{"name":"a","ph":"X","ts":-5,"dur":1,"pid":2,"tid":1}]}`,
+		"end < start":   `{"traceEvents": [{"name":"a","ph":"X","ts":5,"dur":-1,"pid":2,"tid":1}]}`,
+		"no duration":   `{"traceEvents": [{"name":"a","ph":"X","ts":5,"pid":2,"tid":1}]}`,
+		"bad phase":     `{"traceEvents": [{"name":"a","ph":"Q","ts":0,"pid":1,"tid":1}]}`,
+		"only metadata": `{"traceEvents": [{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0}]}`,
+		"negative inst": `{"traceEvents": [{"name":"a","ph":"X","ts":0,"dur":1,"pid":2,"tid":1},{"name":"r","ph":"i","ts":-1,"pid":2,"tid":1}]}`,
 	}
 	for name, data := range cases {
 		if _, err := ValidateChrome([]byte(data)); err == nil {

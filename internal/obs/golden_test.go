@@ -1,8 +1,8 @@
 package obs_test
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"

@@ -82,14 +82,14 @@ func TestWritePrometheusHistogramCumulative(t *testing.T) {
 
 func TestValidatePrometheusRejectsBadDocuments(t *testing.T) {
 	cases := map[string]string{
-		"no families":      "\n",
-		"sample sans TYPE": "foo 1\n",
-		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
-		"unquoted label":   "# TYPE a counter\na{k=v} 1\n",
-		"bad escape":       "# TYPE a counter\na{k=\"\\x\"} 1\n",
-		"bad value":        "# TYPE a counter\na zzz\n",
+		"no families":       "\n",
+		"sample sans TYPE":  "foo 1\n",
+		"bad name":          "# TYPE 9bad counter\n9bad 1\n",
+		"unquoted label":    "# TYPE a counter\na{k=v} 1\n",
+		"bad escape":        "# TYPE a counter\na{k=\"\\x\"} 1\n",
+		"bad value":         "# TYPE a counter\na zzz\n",
 		"type after sample": "# TYPE a counter\na 1\n# TYPE a gauge\n",
-		"no inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"no inf bucket":     "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
 		"not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n" +
 			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
 	}

@@ -48,8 +48,8 @@ func TestResidencyRefetchMakesTwoIntervals(t *testing.T) {
 
 func TestResidencyBreakdownAndTimeline(t *testing.T) {
 	p := NewResidencyProfiler()
-	p.Alloc(1, "image", 1 << 20, 0)
-	p.Alloc(2, "edges", 2 << 20, 1)
+	p.Alloc(1, "image", 1<<20, 0)
+	p.Alloc(2, "edges", 2<<20, 1)
 	p.CloseAll(4)
 
 	br := p.Breakdown(10)

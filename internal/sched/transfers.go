@@ -46,6 +46,18 @@ type Options struct {
 	// transfer scheduling) and scheduling metrics (evictions, writebacks,
 	// eager frees). Nil disables instrumentation at zero cost.
 	Obs *obs.Observer
+	// HostValid marks buffer IDs whose host copies are valid before the
+	// plan starts even though the graph does not produce them and they are
+	// not template inputs. A cross-device partition sets it for cut
+	// buffers another part ships to the host; everything else leaves it
+	// nil.
+	HostValid map[int]bool
+	// Ship marks buffer IDs that must reach the host even though they are
+	// not template outputs — the cut buffers other parts of a cross-device
+	// partition consume. Each is copied down (once) as soon as its
+	// producing unit completes, so consumer parts can start early, and the
+	// plan fails if one never reaches the host.
+	Ship map[int]bool
 }
 
 // ScheduleTransfers infers a minimal set of host↔GPU data transfers for
@@ -111,7 +123,7 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 	resident := make(map[int]*res)
 	validHost := make(map[int]bool)
 	for _, b := range g.LiveBuffers() {
-		if b.IsInput || b.Root.IsInput {
+		if b.IsInput || b.Root.IsInput || opt.HostValid[b.ID] {
 			validHost[b.ID] = true
 		}
 	}
@@ -130,7 +142,7 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 		emit(StepFree, r.buf, nil)
 	}
 	evict := func(r *res, t int) {
-		liveLater := nextUse(r.buf.ID, t) != math.MaxInt || r.buf.IsOutput
+		liveLater := nextUse(r.buf.ID, t) != math.MaxInt || r.buf.IsOutput || opt.Ship[r.buf.ID]
 		if liveLater {
 			// The buffer will be needed again: this eviction forces a
 			// future refetch, the cost the Belady rule minimizes.
@@ -184,7 +196,7 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 				if pinned[r.buf.ID] {
 					continue
 				}
-				if nextUse(r.buf.ID, t) == math.MaxInt && !r.buf.IsOutput {
+				if nextUse(r.buf.ID, t) == math.MaxInt && !r.buf.IsOutput && !opt.Ship[r.buf.ID] {
 					if dead == nil || r.buf.ID < dead.buf.ID {
 						dead = r // dead: free without copy
 					}
@@ -240,6 +252,23 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 		}
 		emit(StepSync, nil, nil)
 
+		// Ship cut buffers the moment their producing unit completes,
+		// whether or not this part still uses them: a consumer part is
+		// blocked on the host copy, so a late (drain-time) D2H would
+		// serialize the whole partition.
+		if len(opt.Ship) > 0 {
+			for _, b := range unitBufs {
+				if producedHere[b.ID] && opt.Ship[b.ID] && !validHost[b.ID] {
+					if r, ok := resident[b.ID]; ok {
+						m.Counter("sched.ship_d2h").Inc()
+						emit(StepD2H, b, nil)
+						validHost[b.ID] = true
+						r.dirty = false
+					}
+				}
+			}
+		}
+
 		if !opt.NoEagerFree {
 			for _, b := range unitBufs {
 				r, ok := resident[b.ID]
@@ -252,9 +281,12 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 				m.Counter("sched.eager_frees").Inc()
 				if b.IsOutput {
 					// Template output with no further consumer: ship it to
-					// the host now and release the space.
-					emit(StepD2H, b, nil)
-					validHost[b.ID] = true
+					// the host now and release the space. (A cut buffer that
+					// is also an output was already shipped above.)
+					if !opt.Ship[b.ID] || !validHost[b.ID] {
+						emit(StepD2H, b, nil)
+						validHost[b.ID] = true
+					}
 					free(r)
 					continue
 				}
@@ -269,7 +301,7 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 		if !ok {
 			continue
 		}
-		if b.IsOutput && !validHost[b.ID] {
+		if (b.IsOutput || opt.Ship[b.ID]) && !validHost[b.ID] {
 			emit(StepD2H, b, nil)
 			validHost[b.ID] = true
 		}
@@ -278,6 +310,11 @@ func ScheduleUnits(g *graph.Graph, units [][]*graph.Node, opt Options) (*Plan, e
 	for _, b := range g.OutputBuffers() {
 		if !validHost[b.ID] {
 			return nil, fmt.Errorf("sched: template output %s never reached the host", b)
+		}
+	}
+	for _, b := range g.LiveBuffers() {
+		if opt.Ship[b.ID] && !validHost[b.ID] {
+			return nil, fmt.Errorf("sched: cut buffer %s never reached the host", b)
 		}
 	}
 	h2d, d2h := plan.TransferFloats()

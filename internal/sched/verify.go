@@ -14,6 +14,15 @@ import (
 // a device, usable on plans from any source (heuristic, PB, prefetched,
 // hand-written).
 func Verify(g *graph.Graph, plan *Plan, capacity int64) error {
+	return VerifyPart(g, plan, capacity, nil, nil)
+}
+
+// VerifyPart is Verify for one per-device subplan of a cross-device
+// partition: hostValid marks cut buffers whose host copies another part
+// provides before this plan starts, and ship marks cut buffers this plan
+// must deliver to the host for other parts. Verify is VerifyPart with
+// both sets nil.
+func VerifyPart(g *graph.Graph, plan *Plan, capacity int64, hostValid, ship map[int]bool) error {
 	if g == nil {
 		return fmt.Errorf("sched: verify: nil graph")
 	}
@@ -29,7 +38,7 @@ func Verify(g *graph.Graph, plan *Plan, capacity int64) error {
 	live := map[int]bool{}
 	for _, b := range g.LiveBuffers() {
 		live[b.ID] = true
-		if b.IsInput || b.Root.IsInput {
+		if b.IsInput || b.Root.IsInput || hostValid[b.ID] {
 			validHost[b.ID] = true
 		}
 	}
@@ -131,6 +140,11 @@ func Verify(g *graph.Graph, plan *Plan, capacity int64) error {
 	for _, b := range g.OutputBuffers() {
 		if !validHost[b.ID] {
 			return fmt.Errorf("sched: template output %s never reached the host", b)
+		}
+	}
+	for _, b := range g.LiveBuffers() {
+		if ship[b.ID] && !validHost[b.ID] {
+			return fmt.Errorf("sched: cut buffer %s never reached the host", b)
 		}
 	}
 	if len(resident) != 0 {

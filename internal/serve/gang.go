@@ -1,0 +1,485 @@
+// Cross-device gang scheduling: the pool's placement path for templates
+// too large for any single in-rotation device. When single-device
+// admission comes up infeasible everywhere, the pool compiles the
+// template partitioned across the in-rotation fleet
+// (core.Service.CompilePartitioned), enqueues the batch on one member
+// (the leader, whose worker stream drives the whole gang), and at
+// dequeue reserves every member's share of the committed-bytes ledger
+// atomically — all k reservations or none, with partial reservations
+// rolled back before the stream ever waits, so two competing gangs can
+// never deadlock holding pieces of each other's memory. Execution runs
+// exec.RunPartitioned through the leader's core.Service on fresh member
+// devices (each with its pool-configured fault injector); a terminal
+// device fault on any member quarantines that member and re-places the
+// whole gang from scratch.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/obs"
+)
+
+// Placement is where a job's memory lives: one entry per device with the
+// bytes reserved there, parallel slices. Single-device jobs have exactly
+// one entry; gang (partitioned) jobs one per member, in partition-part
+// order. The zero value means "not placed yet".
+type Placement struct {
+	Devices []string `json:"devices"`
+	Bytes   []int64  `json:"bytes"`
+}
+
+// Primary returns the placement's first device — the only one for a
+// single-device job, the gang leader otherwise ("" when unplaced).
+func (pl Placement) Primary() string {
+	if len(pl.Devices) == 0 {
+		return ""
+	}
+	return pl.Devices[0]
+}
+
+// Total returns the bytes reserved across all devices.
+func (pl Placement) Total() int64 {
+	var t int64
+	for _, b := range pl.Bytes {
+		t += b
+	}
+	return t
+}
+
+// Gang reports whether the placement spans more than one device.
+func (pl Placement) Gang() bool { return len(pl.Devices) > 1 }
+
+// String renders "c870+8800gtx"-style labels for traces and logs.
+func (pl Placement) String() string { return strings.Join(pl.Devices, "+") }
+
+// placement returns the batch's typed placement.
+func (b *batch) placement() Placement {
+	if len(b.gang) == 0 {
+		return Placement{Devices: []string{b.dev.spec.Name}, Bytes: []int64{b.footprint}}
+	}
+	names := make([]string, len(b.gang))
+	for i, m := range b.gang {
+		names[i] = m.spec.Name
+	}
+	return Placement{Devices: names, Bytes: append([]int64(nil), b.memberBytes...)}
+}
+
+// queuedAdd and queuedSub charge and release the batch's footprint on
+// the queued-bytes load signal: the one device of a single batch, every
+// member of a gang (its share on each).
+func (b *batch) queuedAdd() {
+	if len(b.gang) == 0 {
+		b.dev.queuedBytes.Add(b.footprint)
+		return
+	}
+	for i, m := range b.gang {
+		m.queuedBytes.Add(b.memberBytes[i])
+	}
+}
+
+func (b *batch) queuedSub() {
+	if len(b.gang) == 0 {
+		b.dev.queuedBytes.Add(-b.footprint)
+		return
+	}
+	for i, m := range b.gang {
+		m.queuedBytes.Add(-b.memberBytes[i])
+	}
+}
+
+// workingSetBytes is the template's whole-graph working set: the summed
+// bytes of every live root buffer — what a single device must page
+// through the bus when it exceeds physical memory. Admission prefers a
+// gang whenever this exceeds the largest in-rotation device's memory.
+func workingSetBytes(g *graph.Graph) int64 {
+	seen := make(map[int]bool)
+	var total int64
+	for _, b := range g.LiveBuffers() {
+		root := b.Root
+		if !seen[root.ID] {
+			seen[root.ID] = true
+			total += root.Bytes()
+		}
+	}
+	return total
+}
+
+// sickMember returns the first batch device no longer in rotation (the
+// whole gang must be healthy to run), nil when all are.
+func (b *batch) sickMember() *device {
+	if len(b.gang) == 0 {
+		if !b.dev.health.inRotation() {
+			return b.dev
+		}
+		return nil
+	}
+	for _, m := range b.gang {
+		if !m.health.inRotation() {
+			return m
+		}
+	}
+	return nil
+}
+
+// placeGang is place's fallback when no single in-rotation device can
+// host the template: compile it partitioned across every candidate
+// member and enqueue a gang batch on the first member with queue room.
+// handled=false means gang placement does not apply here (fewer than two
+// candidates) and place should return its single-device verdict; with
+// handled=true the returned device/error are the final placement result.
+func (p *Pool) placeGang(ctx context.Context, g *graph.Graph, accounting bool, jobs []*Job,
+	exclude map[*device]bool, migrations int, migration bool) (*device, bool, error) {
+
+	var members []*device
+	for _, d := range p.devices {
+		if exclude[d] || !d.health.inRotation() {
+			continue
+		}
+		members = append(members, d)
+	}
+	if len(members) < 2 {
+		return nil, false, nil
+	}
+	specs := make([]gpu.Spec, len(members))
+	for i, m := range members {
+		specs[i] = m.spec
+	}
+
+	compileStart := time.Now()
+	pc, hit, err := members[0].svc.CompilePartitioned(ctx, g, specs)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			for _, j := range jobs {
+				j.trace.mark("placement-skip", map[string]string{
+					"device": "gang", "reason": "infeasible"})
+			}
+			return nil, true, fmt.Errorf(
+				"serve: no single device can host template and partitioning across %d devices failed: %w",
+				len(members), err)
+		}
+		return nil, true, err // infrastructure failure or ctx cancelled
+	}
+
+	memberBytes := make([]int64, len(members))
+	var total int64
+	for i, part := range pc.Partition.Parts {
+		memberBytes[i] = part.Plan.PeakFloats * 4
+		total += memberBytes[i]
+	}
+	b := &batch{
+		fp:          jobs[0].Fingerprint,
+		graph:       g,
+		pc:          pc,
+		footprint:   total,
+		accounting:  accounting,
+		gang:        members,
+		memberBytes: memberBytes,
+		migrations:  migrations,
+		jobs:        jobs,
+	}
+	pl := b.placement()
+	for _, j := range jobs {
+		j.setPlacement(pl, migration)
+	}
+	if !migration {
+		jobs[0].cacheHit = hit
+	}
+
+	// Any member can hold the gang's queue slot; the partition-part
+	// order (and the compiled artifact) stays fixed regardless of which
+	// queue the batch waits in.
+	for _, leader := range members {
+		b.dev = leader
+		pushed, perr := p.enqueueBatch(b, jobs, migration)
+		if perr != nil {
+			return nil, true, perr
+		}
+		if !pushed {
+			for _, j := range jobs {
+				j.trace.mark("placement-skip", map[string]string{
+					"device": leader.spec.Name, "reason": "queue_full"})
+			}
+			continue
+		}
+		p.gangPlaced.Add(1)
+		metricInc(p.obs, metricGangPlaced)
+		for _, j := range jobs {
+			j.trace.span(PhaseCompile, compileStart, b.enqueuedAt, map[string]string{
+				"device": pl.String(), "cache_hit": fmt.Sprint(hit)})
+			j.trace.mark("enqueue", map[string]string{
+				"device": leader.spec.Name, "gang": fmt.Sprint(len(members))})
+		}
+		return leader, true, nil
+	}
+	return nil, true, fmt.Errorf("%w: all gang members at queue depth %d", ErrQueueFull, p.cfg.queueDepth)
+}
+
+// admitGang reserves every member's share of device memory atomically:
+// all k reservations are charged to their committed-bytes ledgers or
+// none are. Members are walked in partition order; a member that cannot
+// fit (even after evicting idle residency pins) rolls the partial
+// reservation back before the stream waits, so a blocked stream holds
+// nothing while it sleeps — two gangs contending for overlapping member
+// sets cannot deadlock on pieces of each other's memory.
+func (p *Pool) admitGang(b *batch) {
+	for {
+		blocked := -1
+		for i, d := range b.gang {
+			need := b.memberBytes[i]
+			d.mu.Lock()
+			if deficit := d.committed + need - d.spec.MemoryBytes; deficit > 0 && d.pins != nil {
+				if freed, n := d.pins.EvictLRU(deficit); n > 0 {
+					d.committed -= freed
+					d.pinEvictions += int64(n)
+					metricAdd(p.obs, metricPinEvictions, int64(n), "device", d.spec.Name)
+				}
+			}
+			if d.committed+need <= d.spec.MemoryBytes {
+				d.committed += need
+				metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", d.spec.Name)
+				d.mu.Unlock()
+				continue
+			}
+			d.mu.Unlock()
+			blocked = i
+			break
+		}
+		if blocked < 0 {
+			b.reserve = b.footprint // released member-by-member in releaseGang
+			return
+		}
+		// Roll back the members already charged, then wait for room on
+		// the one that blocked — holding no reservation at all.
+		for j := 0; j < blocked; j++ {
+			d := b.gang[j]
+			d.mu.Lock()
+			d.committed -= b.memberBytes[j]
+			metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", d.spec.Name)
+			d.cond.Broadcast()
+			d.mu.Unlock()
+		}
+		d := b.gang[blocked]
+		need := b.memberBytes[blocked]
+		d.mu.Lock()
+		for d.committed+need > d.spec.MemoryBytes {
+			if d.pins != nil {
+				if freed, n := d.pins.EvictLRU(d.committed + need - d.spec.MemoryBytes); n > 0 {
+					d.committed -= freed
+					d.pinEvictions += int64(n)
+					metricAdd(p.obs, metricPinEvictions, int64(n), "device", d.spec.Name)
+					continue
+				}
+			}
+			d.cond.Wait()
+		}
+		d.mu.Unlock()
+		// Room appeared on the blocked member; retry the atomic pass
+		// from scratch (another stream may have taken it meanwhile).
+	}
+}
+
+// releaseGang returns every member's reservation to its ledger.
+func (p *Pool) releaseGang(b *batch) {
+	for i, d := range b.gang {
+		d.mu.Lock()
+		d.committed -= b.memberBytes[i]
+		metricGauge(p.obs, metricCommittedBytes, float64(d.committed), "device", d.spec.Name)
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}
+}
+
+// gangDevices builds fresh simulated devices for one gang execution,
+// each with its pool-configured fault injector — the same per-execution
+// device lifecycle as the single-device path, spread across members.
+func (p *Pool) gangDevices(b *batch) []*gpu.Device {
+	devs := make([]*gpu.Device, len(b.gang))
+	for i, m := range b.gang {
+		devs[i] = gpu.New(m.spec)
+		if inj := p.cfg.faults[m.spec.Name]; inj != nil {
+			devs[i].SetInjector(inj)
+		}
+	}
+	return devs
+}
+
+// runGang executes a gang batch's live jobs through the leader's service
+// (exec.RunPartitioned under the hood): accounting batches simulate once
+// and share the report; materialized batches run each job's inputs on
+// fresh member devices. A terminal device fault on any member aborts and
+// re-places the whole gang.
+func (p *Pool) runGang(d *device, stream int, b *batch, live []*Job) {
+	lane := fmt.Sprintf("worker:%s#%d", d.spec.Name, stream)
+	label := b.placement().String()
+	tr := p.obs.T()
+	if b.accounting {
+		ctx, stop := batchContext(live)
+		var sink *obs.Tracer
+		if p.obs != nil {
+			sink = obs.NewTracer()
+		}
+		t0 := time.Now()
+		laneStart := tr.NowSeconds()
+		rep, err := d.svc.RunPartitioned(ctx, b.pc, p.gangDevices(b), core.RunOptions{
+			Simulate: true, Sink: sink})
+		stop()
+		wall := time.Since(t0)
+		tr.AddWall(lane, fmt.Sprintf("gang[%d] %s", len(live), shortFP(b.fp)),
+			"serve.exec", laneStart, tr.NowSeconds())
+		for _, j := range live {
+			j.trace.span(PhaseAttempt, t0, t0.Add(wall), map[string]string{
+				"device": label, "stream": fmt.Sprint(stream),
+				"outcome": attemptOutcome(err)})
+			j.trace.addExec(sink)
+		}
+		if err != nil && exec.IsDeviceFault(err) {
+			p.escalateGang(d, b, live, err)
+			return
+		}
+		if err == nil {
+			p.gangCutFloats.Add(rep.CutFloats)
+		}
+		for _, j := range live {
+			p.settleGang(d, stream, b, j, rep, err, wall)
+		}
+		p.noteGangHealth(b, err)
+		return
+	}
+	for i, j := range live {
+		if j.cancelled() {
+			if j.finish(nil, fmt.Errorf("%w before execution on %s", ErrCancelled, label)) {
+				p.noteFailure(d, "cancelled", false)
+			}
+			continue
+		}
+		ctx, stop := batchContext(live[i : i+1])
+		var sink *obs.Tracer
+		if p.obs != nil {
+			sink = obs.NewTracer()
+		}
+		t0 := time.Now()
+		laneStart := tr.NowSeconds()
+		rep, err := d.svc.RunPartitioned(ctx, b.pc, p.gangDevices(b), core.RunOptions{
+			Inputs: j.inputs, Sink: sink})
+		stop()
+		wall := time.Since(t0)
+		tr.AddWall(lane, shortFP(b.fp), "serve.exec", laneStart, tr.NowSeconds())
+		j.trace.span(PhaseAttempt, t0, t0.Add(wall), map[string]string{
+			"device": label, "stream": fmt.Sprint(stream),
+			"outcome": attemptOutcome(err)})
+		j.trace.addExec(sink)
+		if err != nil && exec.IsDeviceFault(err) {
+			p.escalateGang(d, b, live[i:], err)
+			return
+		}
+		if err == nil {
+			p.gangCutFloats.Add(rep.CutFloats)
+		}
+		p.settleGang(d, stream, b, j, rep, err, wall)
+		p.noteGangHealth(b, err)
+	}
+}
+
+// settleGang finishes one gang job from its execution outcome. The
+// queue-holding stream is occupied for the joined makespan; every other
+// member's device-seconds land in its gang busy accounting (the gang
+// never occupied one of that member's own worker streams). The job's
+// report is the combined per-part aggregate; the full PartitionReport
+// stays available through Job.Partition.
+func (p *Pool) settleGang(d *device, stream int, b *batch, j *Job, pr *exec.PartitionReport, err error, wall time.Duration) {
+	name := d.spec.Name
+	switch {
+	case err == nil:
+		d.mu.Lock()
+		d.completed++
+		d.streamClock[stream] += pr.Makespan
+		d.mu.Unlock()
+		for i, m := range b.gang {
+			if m == d || pr.Parts[i] == nil {
+				continue
+			}
+			sec := pr.Parts[i].Stats.TotalTime()
+			m.mu.Lock()
+			m.gangSec += sec
+			m.mu.Unlock()
+		}
+		p.gangCompleted.Add(1)
+		metricInc(p.obs, metricCompleted, "device", name)
+		metricObserve(p.obs, metricExecSeconds, wall.Seconds())
+		p.breaker.recordSuccess()
+		if j.finishWith(pr.Combined(), pr, nil) {
+			p.slo.observeDone(j.Fingerprint, wall.Seconds(),
+				time.Since(j.submitted).Seconds(), j.ID)
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.finish(nil, fmt.Errorf("%w mid-flight on %s: %v", ErrCancelled, b.placement(), err)) {
+			p.noteFailure(d, "cancelled", false)
+		}
+	default:
+		p.gangFailed.Add(1)
+		if j.finishWith(pr.Combined(), pr, err) {
+			p.noteFailure(d, "exec", true)
+		}
+	}
+}
+
+// noteGangHealth feeds a gang outcome to every member's health tracker:
+// a clean run is evidence about all of them; a non-fault error is
+// unattributable and says nothing (terminal device faults never reach
+// here — escalateGang handles those).
+func (p *Pool) noteGangHealth(b *batch, err error) {
+	if err != nil {
+		return
+	}
+	for _, m := range b.gang {
+		m.health.noteClean()
+	}
+}
+
+// escalateGang handles a terminal device fault inside a gang execution:
+// attribute the fault to the member part it originated on (exec wraps
+// partition failures in a PartError), quarantine that member, and
+// re-place the whole gang from scratch — the surviving jobs may land on
+// a single device or a new gang excluding the quarantined member.
+func (p *Pool) escalateGang(d *device, b *batch, jobs []*Job, cause error) {
+	p.gangAborted.Add(1)
+	metricInc(p.obs, metricGangAborted)
+	member := d
+	var pe *exec.PartError
+	if errors.As(cause, &pe) {
+		for _, m := range b.gang {
+			if m.spec.Name == pe.Device {
+				member = m
+				break
+			}
+		}
+	}
+	p.escalate(member, b, jobs, cause)
+}
+
+// GangStats is the pool-wide cross-device gang scheduling summary:
+// all-zero until some template needed more than one device.
+type GangStats struct {
+	// Placed counts gang batches enqueued (fresh submissions and
+	// re-placements alike); Completed/Failed count jobs settled through
+	// gang execution.
+	Placed    int64 `json:"placed"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Aborted counts gang executions torn down by a member's terminal
+	// device fault — the whole gang is re-placed, not just the faulty
+	// part.
+	Aborted int64 `json:"aborted"`
+	// CutFloats accumulates the cross-device float traffic of every
+	// successful gang execution.
+	CutFloats int64 `json:"cut_floats"`
+}

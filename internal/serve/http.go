@@ -295,11 +295,13 @@ func NewHandler(p *Pool) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		deviceHealth := make(map[string]string, len(p.devices))
 		inRotation := 0
+		var rotationBytes int64
 		for _, d := range p.devices {
 			h := d.health.current()
 			deviceHealth[d.spec.Name] = h.String()
 			if h != Quarantined {
 				inRotation++
+				rotationBytes += d.spec.MemoryBytes
 			}
 		}
 		breakerOpen, _ := p.breaker.snapshot()
@@ -317,6 +319,14 @@ func NewHandler(p *Pool) http.Handler {
 			"device_health": deviceHealth,
 			"breaker_open":  breakerOpen,
 			"closed":        p.closed.Load(),
+			// Admission declares a template infeasible only when it fits
+			// no placement at all — neither any single in-rotation device
+			// nor a partition across them. gang_capable says whether the
+			// partition fallback is currently available (≥2 in rotation);
+			// in_rotation_memory_bytes is the aggregate memory a gang can
+			// draw on.
+			"gang_capable":             inRotation >= 2,
+			"in_rotation_memory_bytes": rotationBytes,
 		})
 	})
 

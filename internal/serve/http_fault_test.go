@@ -122,7 +122,7 @@ func TestHTTPErrorLadder(t *testing.T) {
 			},
 		},
 		{
-			name: "no device in rotation is 503 with Retry-After",
+			name:     "no device in rotation is 503 with Retry-After",
 			wantCode: http.StatusServiceUnavailable, wantErr: "retry", retryAfter: true,
 			run: func(t *testing.T) (*http.Response, JobResponse) {
 				inj := gpu.NewInjector(1).SetRate(gpu.FaultDeviceLost, 1.0, gpu.Persistent)

@@ -44,9 +44,11 @@ type Job struct {
 	mu        sync.Mutex
 	state     State
 	rep       *exec.Report
+	prep      *exec.PartitionReport // per-part detail of a gang execution
 	err       error
-	device    string
-	batch     *batch // admitted batch; nil once started (pool.mu guards)
+	device    string    // placement.Primary(), kept for cheap labeling
+	placement Placement // device set + per-device bytes (updated on migration)
+	batch     *batch    // admitted batch; nil once started (pool.mu guards)
 	batchSize int
 	cacheHit  bool
 	coalesced bool
@@ -122,11 +124,30 @@ func (j *Job) terminal() bool {
 	return j.state == StateDone || j.state == StateFailed
 }
 
-// Report returns the finished job's report (nil until StateDone).
+// Report returns the finished job's report (nil until StateDone). For a
+// gang job this is the combined per-part aggregate
+// (exec.PartitionReport.Combined); Partition has the per-part detail.
 func (j *Job) Report() *exec.Report {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.rep
+}
+
+// Partition returns the per-part report of a job executed as a
+// cross-device gang (nil for single-device jobs or until StateDone).
+func (j *Job) Partition() *exec.PartitionReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.prep
+}
+
+// Placement returns where the job's memory is (or was) placed: one
+// device for an ordinary job, the member set of a gang. Zero value
+// until admission places the job.
+func (j *Job) Placement() Placement {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.placement
 }
 
 // Err returns the failure of a StateFailed job (nil otherwise or while
@@ -144,9 +165,17 @@ type Status struct {
 	State       State  `json:"state"`
 	Error       string `json:"error,omitempty"`
 
-	// Device is the pool device the job was admitted to (updated when
+	// Device is the job's primary pool device — its only device for a
+	// single-device placement, the gang leader otherwise (updated when
 	// quarantine migration re-places the job).
 	Device string `json:"device"`
+	// Placement is the job's full typed placement: the device set plus
+	// the bytes reserved on each, reported uniformly for single- and
+	// multi-device jobs (one entry vs. one per gang member).
+	Placement Placement `json:"placement"`
+	// GangParts is how many devices the job's partitioned execution
+	// spanned (0 for ordinary single-device jobs).
+	GangParts int `json:"gang_parts,omitempty"`
 	// BatchSize is how many coalesced jobs shared the batch (1 = alone);
 	// set when the batch starts.
 	BatchSize int `json:"batch_size,omitempty"`
@@ -178,6 +207,7 @@ func (j *Job) Status() Status {
 		Fingerprint: j.Fingerprint,
 		State:       j.state,
 		Device:      j.device,
+		Placement:   j.placement,
 		BatchSize:   j.batchSize,
 		CacheHit:    j.cacheHit,
 		Coalesced:   j.coalesced,
@@ -206,6 +236,12 @@ func (j *Job) Status() Status {
 			s.Recovered = true
 		}
 	}
+	if j.prep != nil {
+		// A gang's combined Stats.TotalTime sums device-seconds across
+		// members; the joined makespan is the meaningful duration.
+		s.GangParts = len(j.prep.Parts)
+		s.ModeledSeconds = j.prep.Makespan
+	}
 	return s
 }
 
@@ -223,11 +259,12 @@ func (j *Job) start(batchSize int, now time.Time) bool {
 	return true
 }
 
-// setDevice records the device the job is (re-)placed on; migration
-// bumps the counter.
-func (j *Job) setDevice(name string, migration bool) {
+// setPlacement records where the job is (re-)placed; migration bumps
+// the counter.
+func (j *Job) setPlacement(pl Placement, migration bool) {
 	j.mu.Lock()
-	j.device = name
+	j.placement = pl
+	j.device = pl.Primary()
 	if migration {
 		j.migrated++
 	}
@@ -238,12 +275,18 @@ func (j *Job) setDevice(name string, migration bool) {
 // The first finisher wins (eager expiry, cancellation, and the worker
 // may race); false means the job was already terminal.
 func (j *Job) finish(rep *exec.Report, err error) bool {
+	return j.finishWith(rep, nil, err)
+}
+
+// finishWith is finish carrying the per-part detail of a gang execution.
+func (j *Job) finishWith(rep *exec.Report, prep *exec.PartitionReport, err error) bool {
 	j.mu.Lock()
 	if j.state == StateDone || j.state == StateFailed {
 		j.mu.Unlock()
 		return false
 	}
 	j.rep = rep
+	j.prep = prep
 	j.err = err
 	if err != nil {
 		j.state = StateFailed

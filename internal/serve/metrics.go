@@ -20,13 +20,16 @@ const (
 	metricAborted = "serve.aborted" // label: reason (cancelled, deadline)
 
 	// Queue and memory gauges/histograms.
-	metricQueueDepth     = "serve.queue.depth"             // label: device
-	metricQueueWait      = "serve.queue.wait_seconds"      // histogram
-	metricBatchSize      = "serve.batch.size"              // histogram
-	metricCommittedBytes = "serve.device.committed_bytes"  // label: device
-	metricExecSeconds    = "serve.exec.seconds"            // histogram
+	metricQueueDepth     = "serve.queue.depth"            // label: device
+	metricQueueWait      = "serve.queue.wait_seconds"     // histogram
+	metricBatchSize      = "serve.batch.size"             // histogram
+	metricCommittedBytes = "serve.device.committed_bytes" // label: device
+	metricExecSeconds    = "serve.exec.seconds"           // histogram
 
 	// Cross-job residency (pinned read-only buffers, rolling admission).
+	metricGangPlaced  = "serve.gang.placed"
+	metricGangAborted = "serve.gang.aborted"
+
 	metricPinHits      = "serve.pin.hits"      // label: device
 	metricPinMisses    = "serve.pin.misses"    // label: device
 	metricPinEvictions = "serve.pin.evictions" // label: device
@@ -35,8 +38,8 @@ const (
 	metricRollOverlap  = "serve.rolling.overlap_seconds" // histogram
 
 	// Fault tolerance.
-	metricDeviceFault      = "serve.device.fault"      // label: device
-	metricMigrateBatches   = "serve.migrate.batches"   // labels: from, to
+	metricDeviceFault      = "serve.device.fault"    // label: device
+	metricMigrateBatches   = "serve.migrate.batches" // labels: from, to
 	metricMigrateJobs      = "serve.migrate.jobs"
 	metricProbe            = "serve.probe"             // labels: device, result
 	metricHealthTransition = "serve.health.transition" // labels: device, from, to

@@ -7,13 +7,18 @@
 // template for a candidate device (through the per-device core.Service,
 // so identical templates share one compile via the single-flight plan
 // cache) and admits the job only where the plan's peak residency fits the
-// device. A full queue is backpressure (ErrQueueFull); a template no
-// device can host surfaces core.ErrInfeasible. Identical-fingerprint
-// requests waiting on the same device coalesce into one batch that is
-// compiled and memory-reserved once.
+// device. Templates no single device can host are placed as a
+// cross-device gang instead — compiled partitioned across the
+// in-rotation fleet and admitted on all members atomically (see
+// gang.go) — and WithGangPlacement prefers the gang up front whenever a
+// working set exceeds the largest device's memory. A full queue is
+// backpressure (ErrQueueFull); a template no placement can host — no
+// single device and no partition — surfaces core.ErrInfeasible. Identical-fingerprint requests waiting on the same
+// device coalesce into one batch that is compiled and memory-reserved
+// once.
 //
 // Execution is per-device worker streams running the resilient executor
-// (exec.RunResilient): each stream pops a batch, reserves the plan's
+// (exec.Options.Resilient): each stream pops a batch, reserves the plan's
 // footprint against the device's physical memory, expires or cancels
 // dead jobs, and runs the rest through core.Service. Transient faults
 // are absorbed in place; a terminal device fault (device loss, a
@@ -73,11 +78,20 @@ type batch struct {
 	fp         string
 	graph      *graph.Graph // original template; migration recompiles it
 	compiled   *core.Compiled
-	footprint  int64 // bytes, Plan.PeakFloats*4
+	footprint  int64 // bytes: Plan.PeakFloats*4, or the summed member shares of a gang
 	accounting bool
 	dev        *device
 	migrations int       // how many devices already gave up on this batch
 	enqueuedAt time.Time // when the batch entered its device queue (trace lane)
+
+	// Gang placement state (nil for single-device batches): gang lists
+	// the member devices the partition spans in partition-part order, pc
+	// the pool-compiled artifact, and memberBytes each member's share of
+	// the reservation, parallel to gang. dev is the member whose queue
+	// holds the batch (the leader whose worker stream drives the gang).
+	gang        []*device
+	pc          *core.PartitionedCompiled
+	memberBytes []int64
 
 	// jobs and started are guarded by the pool mutex: Submit appends
 	// only while !started; a worker sets started before snapshotting.
@@ -142,6 +156,10 @@ type device struct {
 	// each execution advances its stream by the report's simulated time.
 	// The max across all pool streams is the modeled makespan.
 	streamClock []float64
+	// gangSec is modeled time this device spent as a non-leading gang
+	// member — busy executing a partition part without occupying one of
+	// its own worker streams (the leader's stream carries the makespan).
+	gangSec float64
 }
 
 func (d *device) load() int64 {
@@ -167,6 +185,7 @@ type poolConfig struct {
 	flightCap   int
 	flightDump  string
 	residency   bool
+	gangFirst   bool
 	// gate, when non-nil, is received from by every worker stream before
 	// it dequeues — a test hook that freezes dequeue so tests can fill
 	// queues and coalesce deterministically. Close the channel to open.
@@ -246,6 +265,18 @@ func WithResidency() PoolOption {
 	return func(c *poolConfig) { c.residency = true }
 }
 
+// WithGangPlacement prefers gang placement for oversized templates: a
+// job whose whole working set exceeds the largest in-rotation device's
+// memory is partitioned across the pool up front — aggregate memory and
+// concurrently running parts — instead of paging through one card's
+// bus. Off by default: without this option a job gangs only as the last
+// resort before admission would report core.ErrInfeasible, so
+// single-device placement (and its charged stats) is unchanged for
+// every template one device can host.
+func WithGangPlacement() PoolOption {
+	return func(c *poolConfig) { c.gangFirst = true }
+}
+
 // WithHealthPolicy overrides the health state machine thresholds and the
 // quarantine probe cadence (zero fields keep their defaults).
 func WithHealthPolicy(hp HealthPolicy) PoolOption {
@@ -290,6 +321,13 @@ type Pool struct {
 	pending map[string]*batch // un-started batch per fingerprint (coalescing)
 	jobs    map[string]*Job
 	nextID  atomic.Int64
+
+	// Gang scheduling counters (see GangStats).
+	gangPlaced    atomic.Int64
+	gangCompleted atomic.Int64
+	gangFailed    atomic.Int64
+	gangAborted   atomic.Int64
+	gangCutFloats atomic.Int64
 
 	// Eager deadline expiry: a min-heap of queued jobs by deadline and a
 	// sweeper goroutine that frees their queue slots the moment they
@@ -416,7 +454,8 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 	if b := p.pending[j.Fingerprint]; b != nil && !b.started &&
 		b.accounting == accounting && len(b.jobs) < p.cfg.maxBatch {
 		b.jobs = append(b.jobs, j)
-		j.device = b.dev.spec.Name
+		j.placement = b.placement()
+		j.device = j.placement.Primary()
 		j.coalesced = true
 		j.batch = b
 		size := len(b.jobs)
@@ -443,13 +482,20 @@ func (p *Pool) Submit(ctx context.Context, req Request) (*Job, error) {
 	return j, nil
 }
 
-// place compiles g for each candidate device in least-loaded order and
-// enqueues a new batch carrying jobs on the first one whose compiled
-// plan fits and whose queue has room. Quarantined devices and the
-// exclude set are skipped. Fresh submissions (migration=false) register
-// the batch for coalescing and the lead job for polling; migrated
-// batches are not coalescable. Failures are typed: ErrQueueFull,
-// core.ErrInfeasible, ErrRetryAfter (no device in rotation), ErrClosed.
+// place finds the job's placement: under WithGangPlacement, a template
+// whose working set exceeds the largest in-rotation device's memory
+// goes to a cross-device gang first (placeGang); otherwise g is
+// compiled for each candidate device
+// in least-loaded order and a new batch carrying jobs lands on the
+// first one whose compiled plan fits and whose queue has room. A
+// template no single device can host gets one more gang attempt before
+// the infeasible verdict — admission reports core.ErrInfeasible only
+// when a graph fits no feasible placement at all, single-device or
+// partitioned. Quarantined devices and the exclude set are skipped.
+// Fresh submissions (migration=false) register the batch for coalescing
+// and the lead job for polling; migrated batches are not coalescable.
+// Failures are typed: ErrQueueFull, core.ErrInfeasible, ErrRetryAfter
+// (no device in rotation), ErrClosed.
 func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs []*Job,
 	exclude map[*device]bool, migrations int, migration bool) (*device, error) {
 
@@ -490,6 +536,32 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		sort.SliceStable(order, func(a, b int) bool { return order[a].load() < order[b].load() })
 	}
 
+	// Under WithGangPlacement, oversized templates prefer a gang up
+	// front: when the template's whole working set exceeds the largest
+	// in-rotation device's memory, a single device could only page it
+	// through the bus, while a partition across the pool gets the
+	// fleet's aggregate memory and concurrently running parts. A failed
+	// gang attempt (partition infeasible, every member queue full) falls
+	// through to the single-device paging path below.
+	triedGang := false
+	var gangErr error
+	if p.cfg.gangFirst && len(order) >= 2 {
+		var maxMem int64
+		for _, d := range order {
+			if d.spec.MemoryBytes > maxMem {
+				maxMem = d.spec.MemoryBytes
+			}
+		}
+		if workingSetBytes(g) > maxMem {
+			triedGang = true
+			d, handled, err := p.placeGang(ctx, g, accounting, jobs, exclude, migrations, migration)
+			if handled && err == nil {
+				return d, nil
+			}
+			gangErr = err
+		}
+	}
+
 	sawFull := false
 	var lastInfeasible error
 	for _, d := range order {
@@ -527,21 +599,17 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 			jobs:       jobs,
 		}
 		for _, j := range jobs {
-			j.setDevice(d.spec.Name, migration)
+			j.setPlacement(b.placement(), migration)
 		}
 		if !migration {
 			jobs[0].cacheHit = hit // not yet visible to other goroutines
 		}
 
-		b.enqueuedAt = time.Now()
-
-		p.mu.Lock()
-		if p.closed.Load() { // Close closes queues under this mutex
-			p.mu.Unlock()
-			return nil, ErrClosed
+		pushed, err := p.enqueueBatch(b, jobs, migration)
+		if err != nil {
+			return nil, err
 		}
-		if !d.queue.tryPush(b) {
-			p.mu.Unlock()
+		if !pushed {
 			for _, j := range jobs {
 				j.trace.mark("placement-skip", map[string]string{
 					"device": d.spec.Name, "reason": "queue_full"})
@@ -549,16 +617,6 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 			sawFull = true // queue full — try the next device
 			continue
 		}
-		for _, j := range jobs {
-			j.batch = b
-		}
-		if !migration {
-			p.pending[b.fp] = b
-			p.jobs[jobs[0].ID] = jobs[0]
-		}
-		p.mu.Unlock()
-		d.queuedBytes.Add(b.footprint)
-		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", d.spec.Name)
 		for _, j := range jobs {
 			j.trace.span(PhaseCompile, compileStart, b.enqueuedAt, map[string]string{
 				"device": d.spec.Name, "cache_hit": fmt.Sprint(hit)})
@@ -571,11 +629,63 @@ func (p *Pool) place(ctx context.Context, g *graph.Graph, accounting bool, jobs 
 		metricInc(p.obs, metricRejected, "reason", "queue_full")
 		return nil, fmt.Errorf("%w: all feasible devices at queue depth %d", ErrQueueFull, p.cfg.queueDepth)
 	}
+	if gangErr != nil && errors.Is(gangErr, ErrQueueFull) {
+		// The preferred gang placement was feasible but backed up — that
+		// is backpressure, not infeasibility.
+		metricInc(p.obs, metricRejected, "reason", "queue_full")
+		return nil, gangErr
+	}
+
+	// No single device can host the template. Before declaring it
+	// infeasible, try a gang placement: the template partitioned across
+	// every in-rotation device, admitted on all of them atomically.
+	if !triedGang {
+		if d, handled, err := p.placeGang(ctx, g, accounting, jobs, exclude, migrations, migration); handled {
+			if err != nil {
+				switch {
+				case errors.Is(err, ErrQueueFull):
+					metricInc(p.obs, metricRejected, "reason", "queue_full")
+				case errors.Is(err, core.ErrInfeasible):
+					metricInc(p.obs, metricRejected, "reason", "infeasible")
+				}
+			}
+			return d, err
+		}
+	}
+
 	metricInc(p.obs, metricRejected, "reason", "infeasible")
 	if lastInfeasible == nil {
 		lastInfeasible = core.ErrInfeasible
 	}
 	return nil, fmt.Errorf("serve: no device can host template: %w", lastInfeasible)
+}
+
+// enqueueBatch registers an assembled batch and pushes it onto its
+// device's queue under the pool mutex; pushed=false means that queue is
+// full (the caller picks another candidate). Fresh submissions register
+// the batch for coalescing and the lead job for polling.
+func (p *Pool) enqueueBatch(b *batch, jobs []*Job, migration bool) (bool, error) {
+	b.enqueuedAt = time.Now()
+	p.mu.Lock()
+	if p.closed.Load() { // Close closes queues under this mutex
+		p.mu.Unlock()
+		return false, ErrClosed
+	}
+	if !b.dev.queue.tryPush(b) {
+		p.mu.Unlock()
+		return false, nil
+	}
+	for _, j := range jobs {
+		j.batch = b
+	}
+	if !migration {
+		p.pending[b.fp] = b
+		p.jobs[jobs[0].ID] = jobs[0]
+	}
+	p.mu.Unlock()
+	b.queuedAdd()
+	metricGauge(p.obs, metricQueueDepth, float64(b.dev.queue.len()), "device", b.dev.spec.Name)
+	return true, nil
 }
 
 // Job returns a submitted job by ID (nil when unknown).
@@ -620,7 +730,7 @@ func (p *Pool) abortQueued(j *Job, sentinel error, reason string) {
 		p.flight.note(flightAbort, "job", j.ID, "reason", reason, "device", d.spec.Name)
 	}
 	if empty && d.queue.remove(b) {
-		d.queuedBytes.Add(-b.footprint)
+		b.queuedSub() // a gang batch releases every member's share
 		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", d.spec.Name)
 	}
 }
@@ -774,7 +884,7 @@ func (p *Pool) worker(d *device, stream int) {
 		}
 		jobs := append([]*Job(nil), b.jobs...)
 		p.mu.Unlock()
-		d.queuedBytes.Add(-b.footprint)
+		b.queuedSub()
 		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", name)
 		if tr := p.obs.T(); tr != nil && !b.enqueuedAt.IsZero() {
 			// Queue lane: one span per batch covering its time in this
@@ -789,16 +899,26 @@ func (p *Pool) worker(d *device, stream int) {
 		}
 
 		// A batch popped off a quarantined device (raced with the drain)
-		// is migrated, never executed there.
-		if !d.health.inRotation() {
-			p.migrate(d, b, jobs, fmt.Errorf("%s quarantined", name))
+		// is migrated, never executed there. A gang is only as healthy
+		// as its sickest member: one quarantined member re-places the
+		// whole gang.
+		if sick := b.sickMember(); sick != nil {
+			if b.gang != nil {
+				p.gangAborted.Add(1)
+				metricInc(p.obs, metricGangAborted)
+			}
+			p.migrate(sick, b, jobs, fmt.Errorf("%s quarantined", sick.spec.Name))
 			continue
 		}
 
 		// Reserve device memory (footprint, or transient peak plus pin
-		// refs under a residency grant); block while concurrent streams
-		// hold too much of the device.
-		p.admit(d, b)
+		// refs under a residency grant; every member's share atomically
+		// for a gang); block while concurrent streams hold too much.
+		if b.gang != nil {
+			p.admitGang(b)
+		} else {
+			p.admit(d, b)
+		}
 
 		now := time.Now()
 		live := jobs[:0:0]
@@ -826,10 +946,18 @@ func (p *Pool) worker(d *device, stream int) {
 		}
 		if len(live) > 0 {
 			metricObserve(p.obs, metricBatchSize, float64(len(live)))
-			p.runBatch(d, stream, b, live)
+			if b.gang != nil {
+				p.runGang(d, stream, b, live)
+			} else {
+				p.runBatch(d, stream, b, live)
+			}
 		}
 
-		p.release(d, b)
+		if b.gang != nil {
+			p.releaseGang(b)
+		} else {
+			p.release(d, b)
+		}
 	}
 }
 
@@ -911,7 +1039,8 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 		}
 		t0 := time.Now()
 		laneStart := tr.NowSeconds()
-		rep, err := d.svc.SimulateResilientResidentTraced(ctx, b.compiled, b.resident, sink)
+		rep, err := d.svc.Run(ctx, b.compiled, core.RunOptions{
+			Simulate: true, Resilient: true, Resident: b.resident, Sink: sink})
 		stop()
 		wall := time.Since(t0)
 		tr.AddWall(lane, fmt.Sprintf("batch[%d] %s", len(live), shortFP(b.fp)),
@@ -946,7 +1075,8 @@ func (p *Pool) runBatch(d *device, stream int, b *batch, live []*Job) {
 		}
 		t0 := time.Now()
 		laneStart := tr.NowSeconds()
-		rep, err := d.svc.ExecuteResilientResidentTraced(ctx, b.compiled, j.inputs, b.resident, sink)
+		rep, err := d.svc.Run(ctx, b.compiled, core.RunOptions{
+			Inputs: j.inputs, Resilient: true, Resident: b.resident, Sink: sink})
 		stop()
 		wall := time.Since(t0)
 		tr.AddWall(lane, shortFP(b.fp), "serve.exec", laneStart, tr.NowSeconds())
@@ -1075,7 +1205,7 @@ func (p *Pool) escalate(d *device, b *batch, jobs []*Job, cause error) {
 			}
 			qjobs := append([]*Job(nil), qb.jobs...)
 			p.mu.Unlock()
-			d.queuedBytes.Add(-qb.footprint)
+			qb.queuedSub()
 			p.migrate(d, qb, qjobs, cause)
 		}
 		metricGauge(p.obs, metricQueueDepth, float64(d.queue.len()), "device", name)
@@ -1183,7 +1313,7 @@ func (p *Pool) probe(d *device) bool {
 	}
 	clean := false
 	if c, _, cerr := d.svc.Compile(context.Background(), g); cerr == nil {
-		rep, rerr := d.svc.SimulateResilient(context.Background(), c)
+		rep, rerr := d.svc.Run(context.Background(), c, core.RunOptions{Simulate: true, Resilient: true})
 		clean = rerr == nil && rep != nil && rep.Recovery != nil && rep.Recovery.Clean()
 	}
 	result := "failed"
@@ -1199,12 +1329,12 @@ func (p *Pool) probe(d *device) bool {
 
 // DeviceStats is one device's slice of Pool.Stats.
 type DeviceStats struct {
-	Name           string  `json:"name"`
-	MemoryBytes    int64   `json:"memory_bytes"`
-	QueueDepth     int     `json:"queue_depth"`
-	CommittedBytes int64   `json:"committed_bytes"`
-	Completed      int64   `json:"completed"`
-	Failed         int64   `json:"failed"`
+	Name           string `json:"name"`
+	MemoryBytes    int64  `json:"memory_bytes"`
+	QueueDepth     int    `json:"queue_depth"`
+	CommittedBytes int64  `json:"committed_bytes"`
+	Completed      int64  `json:"completed"`
+	Failed         int64  `json:"failed"`
 	// Health is the device's fault-tolerance state (healthy, degraded,
 	// quarantined, recovered); Quarantines counts how many times it left
 	// rotation, Probes how many probe jobs it has been sent.
@@ -1214,8 +1344,11 @@ type DeviceStats struct {
 	// MigratedOut/MigratedIn count jobs moved off this device after a
 	// quarantine (queue drain or in-flight escalation) and re-placed
 	// jobs it accepted from sick peers.
-	MigratedOut    int64   `json:"migrated_out,omitempty"`
-	MigratedIn     int64   `json:"migrated_in,omitempty"`
+	MigratedOut int64 `json:"migrated_out,omitempty"`
+	MigratedIn  int64 `json:"migrated_in,omitempty"`
+	// GangBusySec is modeled time spent executing partition parts as a
+	// non-leading gang member (included in ModeledBusySec).
+	GangBusySec    float64 `json:"gang_busy_seconds,omitempty"`
 	ModeledBusySec float64 `json:"modeled_busy_seconds"`
 	// Utilization is modeled busy time over streams × modeled makespan —
 	// how evenly the admission policy spread simulated work.
@@ -1279,6 +1412,9 @@ type Stats struct {
 	// Residency summarizes the cross-job pinned-buffer state pool-wide;
 	// always present (Enabled false when the feature is off).
 	Residency ResidencyStats `json:"residency"`
+	// Gangs summarizes cross-device gang scheduling; always present
+	// (all-zero while every job fit a single device).
+	Gangs GangStats `json:"gangs"`
 }
 
 // Stats snapshots the pool.
@@ -1315,6 +1451,8 @@ func (p *Pool) Stats() Stats {
 			st.Residency.ElidedH2DFloats += d.elidedFloats
 			st.Residency.RollingOverlapSec += d.rollSec
 		}
+		ds.GangBusySec = d.gangSec
+		ds.ModeledBusySec = d.gangSec
 		for _, c := range d.streamClock {
 			ds.ModeledBusySec += c
 			if c > st.ModeledMakespanSec {
@@ -1333,6 +1471,13 @@ func (p *Pool) Stats() Stats {
 	}
 	st.BreakerOpen, st.BreakerOpens = p.breaker.snapshot()
 	st.SLOs = p.slo.stats()
+	st.Gangs = GangStats{
+		Placed:    p.gangPlaced.Load(),
+		Completed: p.gangCompleted.Load(),
+		Failed:    p.gangFailed.Load(),
+		Aborted:   p.gangAborted.Load(),
+		CutFloats: p.gangCutFloats.Load(),
+	}
 	if st.ModeledMakespanSec > 0 {
 		for i := range st.Devices {
 			streams := float64(p.cfg.streams)

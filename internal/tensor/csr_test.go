@@ -3,9 +3,10 @@ package tensor
 import "testing"
 
 // small example:
-//   [ 1 0 2 ]
-//   [ 0 0 0 ]
-//   [ 0 3 0 ]
+//
+//	[ 1 0 2 ]
+//	[ 0 0 0 ]
+//	[ 0 3 0 ]
 func smallCSR(t *testing.T) *CSR {
 	t.Helper()
 	s, err := NewCSR(3, 3,
